@@ -1,0 +1,121 @@
+// Command benchgen writes the synthetic Table-I benchmark suite (or
+// a scaled variant) to disk as hMETIS .hgr files, one per circuit,
+// plus a <name>.pads file listing the designated I/O pad cells.
+//
+// Usage:
+//
+//	benchgen [-scale tiny|small|medium|full] [-dir .] [-only name,...]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mlpart/internal/hypergraph"
+	"mlpart/internal/netgen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scale  = flag.String("scale", "tiny", "suite scale: tiny, small, medium, full")
+		dir    = flag.String("dir", ".", "output directory")
+		only   = flag.String("only", "", "comma-separated circuit names to generate")
+		format = flag.String("format", "hgr", "netlist format: hgr or netd")
+	)
+	flag.Parse()
+	specs := netgen.SuiteSpecs(netgen.SuiteScale(*scale))
+	if len(specs) == 0 {
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	for _, s := range specs {
+		if len(want) > 0 && !want[s.Name] {
+			continue
+		}
+		c, err := netgen.Generate(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.Name, err)
+		}
+		var hgrPath string
+		switch *format {
+		case "hgr":
+			hgrPath = filepath.Join(*dir, s.Name+".hgr")
+			f, err := os.Create(hgrPath)
+			if err != nil {
+				return err
+			}
+			err = hypergraph.WriteHGR(f, c.H)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("%s: %w", hgrPath, err)
+			}
+		case "netd":
+			hgrPath = filepath.Join(*dir, s.Name+".netD")
+			arePath := filepath.Join(*dir, s.Name+".are")
+			f, err := os.Create(hgrPath)
+			if err != nil {
+				return err
+			}
+			af, err := os.Create(arePath)
+			if err != nil {
+				f.Close()
+				return err
+			}
+			err = hypergraph.WriteNetD(f, af, c.H, c.Pads)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if cerr := af.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("%s: %w", hgrPath, err)
+			}
+		default:
+			return fmt.Errorf("unknown format %q (want hgr or netd)", *format)
+		}
+		padPath := filepath.Join(*dir, s.Name+".pads")
+		pf, err := os.Create(padPath)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(pf)
+		for v, isPad := range c.Pads {
+			if isPad {
+				fmt.Fprintln(bw, v+1) // 1-based, matching .hgr indices
+			}
+		}
+		err = bw.Flush()
+		if cerr := pf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", padPath, err)
+		}
+		st := c.H.ComputeStats()
+		fmt.Printf("%-10s %8d modules %8d nets %9d pins -> %s\n",
+			s.Name, st.Cells, st.Nets, st.Pins, hgrPath)
+	}
+	return nil
+}

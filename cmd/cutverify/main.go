@@ -1,0 +1,78 @@
+// Command cutverify checks a partition file against a netlist: it
+// recomputes the cut (and sum-of-degrees for k > 2), verifies the
+// §III.B balance bound, and exits non-zero if the partition is
+// malformed or unbalanced. Useful for validating solutions produced
+// by other tools before comparing against mlpart.
+//
+// Usage:
+//
+//	cutverify -hgr circuit.hgr -part circuit.part [-k 2] [-tolerance 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlpart"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cutverify:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		hgrPath   = flag.String("hgr", "", "netlist in hMETIS format (required)")
+		partPath  = flag.String("part", "", "partition file, one block index per line (required)")
+		k         = flag.Int("k", 0, "expected number of blocks (0 = infer from file)")
+		tolerance = flag.Float64("tolerance", 0.1, "balance tolerance r")
+	)
+	flag.Parse()
+	if *hgrPath == "" || *partPath == "" {
+		flag.Usage()
+		return fmt.Errorf("missing -hgr or -part")
+	}
+	hf, err := os.Open(*hgrPath)
+	if err != nil {
+		return err
+	}
+	h, err := mlpart.ReadHGR(hf)
+	hf.Close()
+	if err != nil {
+		return err
+	}
+	pf, err := os.Open(*partPath)
+	if err != nil {
+		return err
+	}
+	p, err := mlpart.ReadPartition(pf, h.NumCells())
+	pf.Close()
+	if err != nil {
+		return err
+	}
+	if *k != 0 && p.K != *k {
+		return fmt.Errorf("partition has %d blocks, expected %d", p.K, *k)
+	}
+	if err := p.Validate(h.NumCells()); err != nil {
+		return err
+	}
+	cut := p.Cut(h)
+	fmt.Printf("blocks:          %d\n", p.K)
+	fmt.Printf("cut nets:        %d of %d\n", cut, h.NumNets())
+	if p.K > 2 {
+		fmt.Printf("sum of degrees:  %d\n", p.SumOfDegrees(h))
+	}
+	areas := p.BlockAreas(h)
+	fmt.Printf("block areas:     %v (total %d)\n", areas, h.TotalArea())
+	bound := mlpart.Balance(h, p.K, *tolerance)
+	fmt.Printf("balance bound:   [%d, %d] at r = %v\n", bound.Lo, bound.Hi, *tolerance)
+	if !p.IsBalanced(h, bound) {
+		return fmt.Errorf("partition violates the balance bound")
+	}
+	fmt.Println("balance:         OK")
+	return nil
+}

@@ -1,0 +1,99 @@
+// Command experiments regenerates the tables and figures of the
+// paper's evaluation section (§IV) on the synthetic benchmark suite.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments [-table table4] [-scale tiny|small|medium|full]
+//	            [-runs N] [-seed S] [-workers W]
+//	            [-circuits balu,bm1] [-maxcells N]
+//
+// Without -table, every registered experiment runs in order. At
+// -scale full with -runs 100 this reproduces the paper's exact
+// protocol (hours of CPU; golem3 included). The default (tiny, 5
+// runs) completes in seconds and shows the same qualitative shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mlpart/internal/expt"
+	"mlpart/internal/netgen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		table    = flag.String("table", "", "experiment id (default: run all); see -list")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		scale    = flag.String("scale", "tiny", "suite scale: tiny, small, medium, full")
+		runs     = flag.Int("runs", 0, "runs per algorithm per circuit (default by scale; paper uses 100)")
+		seed     = flag.Int64("seed", 1997, "base random seed")
+		workers  = flag.Int("workers", 0, "parallel workers (default NumCPU)")
+		circuits = flag.String("circuits", "", "comma-separated circuit names (default all in scale)")
+		maxCells = flag.Int("maxcells", 0, "skip circuits with more cells (0 = no limit)")
+		format   = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range expt.Experiments() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Paper)
+		}
+		return nil
+	}
+
+	opts := expt.Options{
+		Scale:    netgen.SuiteScale(*scale),
+		Runs:     *runs,
+		Seed:     *seed,
+		Workers:  *workers,
+		MaxCells: *maxCells,
+	}
+	if *circuits != "" {
+		for _, n := range strings.Split(*circuits, ",") {
+			opts.Circuits = append(opts.Circuits, strings.TrimSpace(n))
+		}
+	}
+
+	var selected []expt.Experiment
+	if *table == "" {
+		selected = expt.Experiments()
+	} else {
+		e, ok := expt.Lookup(*table)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", *table)
+		}
+		selected = []expt.Experiment{e}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		t, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		switch *format {
+		case "text":
+			t.Format(os.Stdout)
+			fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		case "csv":
+			if err := t.FormatCSV(os.Stdout); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown format %q (want text or csv)", *format)
+		}
+	}
+	return nil
+}

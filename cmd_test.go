@@ -1,0 +1,269 @@
+package mlpart
+
+// End-to-end tests of the command-line tools: each binary is built
+// once into a temp dir and driven through its primary flows.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+func buildTools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "mlpart-bins")
+		if buildErr != nil {
+			return
+		}
+		for _, tool := range []string{"mlpart", "benchgen", "experiments", "cutverify", "drawplace"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, tool), "./cmd/"+tool)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = err
+				t.Logf("build %s: %s", tool, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v", buildErr)
+	}
+	return buildDir
+}
+
+func TestCmdBenchgenAndMlpart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t)
+	dir := t.TempDir()
+
+	// benchgen writes .hgr and .pads files.
+	out, err := exec.Command(filepath.Join(bins, "benchgen"),
+		"-scale", "tiny", "-dir", dir, "-only", "balu,bm1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("benchgen: %v\n%s", err, out)
+	}
+	for _, f := range []string{"balu.hgr", "balu.pads", "bm1.hgr", "bm1.pads"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("benchgen did not write %s: %v", f, err)
+		}
+	}
+
+	// mlpart bipartitions the generated netlist.
+	partPath := filepath.Join(dir, "balu.part")
+	out, err = exec.Command(filepath.Join(bins, "mlpart"),
+		"-in", filepath.Join(dir, "balu.hgr"),
+		"-out", partPath, "-k", "2", "-stats").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mlpart: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "cut ") {
+		t.Errorf("mlpart output missing cut report:\n%s", out)
+	}
+	// The partition file must parse and cover every cell.
+	pf, err := os.Open(partPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	hf, err := os.Open(filepath.Join(dir, "balu.hgr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hf.Close()
+	h, err := ReadHGR(hf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ReadPartition(pf, h.NumCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 2 {
+		t.Errorf("K = %d, want 2", p.K)
+	}
+	if !p.IsBalanced(h, Balance(h, 2, 0.1)) {
+		t.Error("CLI partition unbalanced")
+	}
+
+	// netD-format flow: generate, then partition from .netD input.
+	ndDir := t.TempDir()
+	if out, err := exec.Command(filepath.Join(bins, "benchgen"),
+		"-scale", "tiny", "-dir", ndDir, "-only", "balu", "-format", "netd").CombinedOutput(); err != nil {
+		t.Fatalf("benchgen netd: %v\n%s", err, out)
+	}
+	for _, f := range []string{"balu.netD", "balu.are", "balu.pads"} {
+		if _, err := os.Stat(filepath.Join(ndDir, f)); err != nil {
+			t.Fatalf("benchgen netd did not write %s: %v", f, err)
+		}
+	}
+	if out, err := exec.Command(filepath.Join(bins, "mlpart"),
+		"-in", filepath.Join(ndDir, "balu.netD")).CombinedOutput(); err != nil {
+		t.Fatalf("mlpart netD input: %v\n%s", err, out)
+	}
+
+	// Quadrisection through the CLI.
+	out, err = exec.Command(filepath.Join(bins, "mlpart"),
+		"-in", filepath.Join(dir, "bm1.hgr"), "-k", "4", "-engine", "fm").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mlpart -k 4: %v\n%s", err, out)
+	}
+
+	// Error paths.
+	if out, err := exec.Command(filepath.Join(bins, "mlpart"),
+		"-in", filepath.Join(dir, "balu.hgr"), "-k", "3").CombinedOutput(); err == nil {
+		t.Errorf("-k 3 should fail, got:\n%s", out)
+	}
+	if out, err := exec.Command(filepath.Join(bins, "mlpart"),
+		"-in", filepath.Join(dir, "balu.hgr"), "-engine", "magic").CombinedOutput(); err == nil {
+		t.Errorf("bad engine should fail, got:\n%s", out)
+	}
+	if _, err := exec.Command(filepath.Join(bins, "mlpart"),
+		"-in", filepath.Join(dir, "missing.hgr")).CombinedOutput(); err == nil {
+		t.Error("missing input should fail")
+	}
+}
+
+func TestCmdCutverify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t)
+	dir := t.TempDir()
+	if out, err := exec.Command(filepath.Join(bins, "benchgen"),
+		"-scale", "tiny", "-dir", dir, "-only", "balu").CombinedOutput(); err != nil {
+		t.Fatalf("benchgen: %v\n%s", err, out)
+	}
+	hgr := filepath.Join(dir, "balu.hgr")
+	part := filepath.Join(dir, "balu.part")
+	if out, err := exec.Command(filepath.Join(bins, "mlpart"),
+		"-in", hgr, "-out", part).CombinedOutput(); err != nil {
+		t.Fatalf("mlpart: %v\n%s", err, out)
+	}
+	out, err := exec.Command(filepath.Join(bins, "cutverify"),
+		"-hgr", hgr, "-part", part).CombinedOutput()
+	if err != nil {
+		t.Fatalf("cutverify: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "balance:         OK") {
+		t.Errorf("cutverify output:\n%s", out)
+	}
+	// A deliberately unbalanced partition must fail.
+	badPart := filepath.Join(dir, "bad.part")
+	h, err := os.Open(hgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg, err := ReadHGR(h)
+	h.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := NewPartitionForTest(hg.NumCells())
+	bf, err := os.Create(badPart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePartition(bf, bad); err != nil {
+		t.Fatal(err)
+	}
+	bf.Close()
+	if out, err := exec.Command(filepath.Join(bins, "cutverify"),
+		"-hgr", hgr, "-part", badPart, "-k", "2").CombinedOutput(); err == nil {
+		t.Errorf("unbalanced partition accepted:\n%s", out)
+	}
+}
+
+func TestCmdDrawplace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t)
+	dir := t.TempDir()
+	if out, err := exec.Command(filepath.Join(bins, "benchgen"),
+		"-scale", "tiny", "-dir", dir, "-only", "balu").CombinedOutput(); err != nil {
+		t.Fatalf("benchgen: %v\n%s", err, out)
+	}
+	svg := filepath.Join(dir, "balu.svg")
+	if out, err := exec.Command(filepath.Join(bins, "drawplace"),
+		"-in", filepath.Join(dir, "balu.hgr"), "-out", svg).CombinedOutput(); err != nil {
+		t.Fatalf("drawplace: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") || !strings.Contains(string(data), "</svg>") {
+		t.Errorf("output is not an SVG:\n%.200s", data)
+	}
+	if !strings.Contains(string(data), "circle") {
+		t.Error("SVG has no cells")
+	}
+}
+
+func TestCmdExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t)
+
+	out, err := exec.Command(filepath.Join(bins, "experiments"), "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("experiments -list: %v\n%s", err, out)
+	}
+	for _, id := range []string{"table2", "table9", "fig4", "placement-hpwl"} {
+		if !strings.Contains(string(out), id) {
+			t.Errorf("-list output missing %s", id)
+		}
+	}
+
+	out, err = exec.Command(filepath.Join(bins, "experiments"),
+		"-table", "table3", "-runs", "2", "-circuits", "balu").CombinedOutput()
+	if err != nil {
+		t.Fatalf("experiments -table table3: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "MIN-CLIP") || !strings.Contains(string(out), "balu") {
+		t.Errorf("table3 output malformed:\n%s", out)
+	}
+
+	if out, err := exec.Command(filepath.Join(bins, "experiments"),
+		"-table", "no-such-table").CombinedOutput(); err == nil {
+		t.Errorf("unknown table should fail, got:\n%s", out)
+	}
+}
+
+func TestCmdExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t)
+	run := func() string {
+		out, err := exec.Command(filepath.Join(bins, "experiments"),
+			"-table", "table2", "-runs", "3", "-circuits", "balu,bm1", "-seed", "7").CombinedOutput()
+		if err != nil {
+			t.Fatalf("experiments: %v\n%s", err, out)
+		}
+		// Strip the timing line, which varies.
+		lines := strings.Split(string(out), "\n")
+		var kept []string
+		for _, l := range lines {
+			if !strings.HasPrefix(l, "(") {
+				kept = append(kept, l)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed produced different experiment output:\n%s\n---\n%s", a, b)
+	}
+}

@@ -1,0 +1,53 @@
+package mlpart_test
+
+import (
+	"fmt"
+
+	"mlpart"
+)
+
+// ExampleBipartition demonstrates the one-call multilevel
+// bipartitioning API on a tiny two-cluster netlist.
+func ExampleBipartition() {
+	// Two triangles joined by a single net: optimal cut = 1.
+	h := mlpart.NewBuilder(6).
+		AddNet(0, 1).AddNet(1, 2).AddNet(0, 2).
+		AddNet(3, 4).AddNet(4, 5).AddNet(3, 5).
+		AddNet(2, 3).
+		MustBuild()
+	p, info, err := mlpart.Bipartition(h, mlpart.Options{Seed: 1, Starts: 4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cut:", info.Cut)
+	fmt.Println("same side 0,1,2:", p.Part[0] == p.Part[1] && p.Part[1] == p.Part[2])
+	fmt.Println("same side 3,4,5:", p.Part[3] == p.Part[4] && p.Part[4] == p.Part[5])
+	// Output:
+	// cut: 1
+	// same side 0,1,2: true
+	// same side 3,4,5: true
+}
+
+// ExampleBalance shows the §III.B balance bound computation.
+func ExampleBalance() {
+	h := mlpart.NewBuilder(10).AddNet(0, 1).MustBuild() // 10 unit cells
+	b := mlpart.Balance(h, 2, 0.1)
+	fmt.Printf("each side must hold between %d and %d area units\n", b.Lo, b.Hi)
+	// Output:
+	// each side must hold between 4 and 6 area units
+}
+
+// ExampleGenerateCircuit builds a synthetic stand-in benchmark.
+func ExampleGenerateCircuit() {
+	c, err := mlpart.GenerateCircuit(mlpart.CircuitSpec{
+		Name: "demo", Cells: 100, Nets: 110, Pins: 360, Seed: 7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cells:", c.H.NumCells())
+	fmt.Println("nets within 5%:", c.H.NumNets() >= 104 && c.H.NumNets() <= 110)
+	// Output:
+	// cells: 100
+	// nets within 5%: true
+}

@@ -1,0 +1,82 @@
+// Fileio demonstrates the external interchange formats: it generates
+// a benchmark circuit, writes it as an hMETIS .hgr file, reads it
+// back, partitions it, and writes the partition file — the same
+// round trip the cmd/mlpart CLI performs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"mlpart"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "mlpart-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	circuit, err := mlpart.GenerateCircuit(mlpart.CircuitSpec{
+		Name: "demo", Cells: 600, Nets: 700, Pins: 2300, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Write the netlist in hMETIS format.
+	hgrPath := filepath.Join(dir, "demo.hgr")
+	f, err := os.Create(hgrPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mlpart.WriteHGR(f, circuit.H); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	st, _ := os.Stat(hgrPath)
+	fmt.Printf("wrote %s (%d bytes)\n", hgrPath, st.Size())
+
+	// Read it back and verify.
+	rf, err := os.Open(hgrPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := mlpart.ReadHGR(rf)
+	rf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reloaded:", h)
+
+	// Partition and persist the block assignment.
+	p, info, err := mlpart.Bipartition(h, mlpart.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	partPath := filepath.Join(dir, "demo.part")
+	pf, err := os.Create(partPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mlpart.WritePartition(pf, p); err != nil {
+		log.Fatal(err)
+	}
+	pf.Close()
+	fmt.Printf("bipartitioned: cut = %d, wrote %s\n", info.Cut, partPath)
+
+	// Read the partition back and re-measure the cut.
+	qf, err := os.Open(partPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := mlpart.ReadPartition(qf, h.NumCells())
+	qf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-read partition: cut = %d (must match)\n", q.Cut(h))
+}

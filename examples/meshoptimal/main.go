@@ -1,0 +1,61 @@
+// Meshoptimal demonstrates the repository's ground-truth workload: a
+// 2-D mesh circuit whose optimal bisection cut is known by geometry
+// (a straight line across the shorter dimension). Every engine is
+// run against that optimum; on a 32×32 mesh all of them find it —
+// a correctness validation no statistical benchmark can give. The
+// quality differences the paper's tables establish appear on larger,
+// less regular instances (see cmd/experiments).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlpart"
+)
+
+func main() {
+	spec := mlpart.MeshSpec{Width: 32, Height: 32}
+	h, err := mlpart.GenerateMesh(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := mlpart.MeshOptimalCut(spec)
+	fmt.Printf("32×32 mesh: %d cells, %d nets, optimal bisection cut = %d\n\n",
+		h.NumCells(), h.NumNets(), opt)
+	fmt.Printf("%-22s %8s %8s\n", "engine", "best", "vs opt")
+
+	best := func(run func(seed int64) (int, error)) int {
+		b := 1 << 30
+		for seed := int64(0); seed < 5; seed++ {
+			cut, err := run(seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if cut < b {
+				b = cut
+			}
+		}
+		return b
+	}
+	report := func(name string, cut int) {
+		fmt.Printf("%-22s %8d %7.2fx\n", name, cut, float64(cut)/float64(opt))
+	}
+
+	report("flat FM", best(func(seed int64) (int, error) {
+		_, res, err := mlpart.FMBipartition(h, mlpart.FMConfig{}, seed)
+		return res.Cut, err
+	}))
+	report("flat CLIP", best(func(seed int64) (int, error) {
+		_, res, err := mlpart.FMBipartition(h, mlpart.FMConfig{Engine: mlpart.EngineCLIP}, seed)
+		return res.Cut, err
+	}))
+	report("spectral (Lanczos)", best(func(seed int64) (int, error) {
+		_, cut, err := mlpart.SpectralBipartition(h, mlpart.SpectralConfig{Lanczos: true}, seed)
+		return cut, err
+	}))
+	report("ML_C (the paper)", best(func(seed int64) (int, error) {
+		_, info, err := mlpart.Bipartition(h, mlpart.Options{Seed: seed})
+		return info.Cut, err
+	}))
+}

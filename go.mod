@@ -1,0 +1,3 @@
+module mlpart
+
+go 1.22

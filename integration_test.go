@@ -1,0 +1,268 @@
+package mlpart
+
+// Integration tests exercising full flows across modules: generator →
+// file formats → partitioners → metrics, with the invariants that
+// must hold end to end.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestIntegrationFullBipartitionFlow: generate a Table-I-style
+// circuit, write/read .hgr, run every bipartitioning engine, and
+// check that all agree on the measured cut semantics and balance.
+func TestIntegrationFullBipartitionFlow(t *testing.T) {
+	c, err := GenerateCircuit(CircuitSpec{Name: "flow", Cells: 900, Nets: 1000, Pins: 3300, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteHGR(&buf, c.H); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadHGR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := Balance(h, 2, 0.1)
+	type run struct {
+		name string
+		cut  int
+	}
+	var runs []run
+	for _, eng := range []struct {
+		name string
+		cfg  FMConfig
+	}{
+		{"FM", FMConfig{Engine: EngineFM}},
+		{"CLIP", FMConfig{Engine: EngineCLIP}},
+		{"PROP", FMConfig{Engine: EnginePROP}},
+		{"CL-PR", FMConfig{Engine: EngineCLIPPROP}},
+	} {
+		p, res, err := FMBipartition(h, eng.cfg, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.name, err)
+		}
+		if res.Cut != p.Cut(h) {
+			t.Errorf("%s: reported cut %d != measured %d", eng.name, res.Cut, p.Cut(h))
+		}
+		if !p.IsBalanced(h, bound) {
+			t.Errorf("%s: unbalanced", eng.name)
+		}
+		runs = append(runs, run{eng.name, res.Cut})
+	}
+	// ML and spectral.
+	p, info, err := Bipartition(h, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Cut != p.Cut(h) || !p.IsBalanced(h, bound) {
+		t.Error("ML: inconsistent result")
+	}
+	runs = append(runs, run{"ML", info.Cut})
+	sp, scut, err := SpectralBipartition(h, SpectralConfig{RefineFM: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scut != sp.Cut(h) {
+		t.Error("spectral: cut mismatch")
+	}
+	runs = append(runs, run{"EIG+FM", scut})
+	// ML should win or tie against every flat engine on this
+	// clustered instance.
+	for _, r := range runs {
+		if r.name != "ML" && info.Cut > r.cut {
+			t.Logf("note: ML (%d) behind %s (%d) on this seed", info.Cut, r.name, r.cut)
+		}
+	}
+}
+
+// TestIntegrationQuadrisectionConsistency: ML quadrisection, flat
+// 4-way and the GORDIAN baseline must all produce valid, balanced (or
+// legal) partitions whose reported metrics match recomputation.
+func TestIntegrationQuadrisectionConsistency(t *testing.T) {
+	c, err := GenerateCircuit(CircuitSpec{Name: "q", Cells: 700, Nets: 800, Pins: 2600, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.H
+	p, info, err := Quadrisect(h, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Cut != p.Cut(h) || info.SumDegrees != p.SumOfDegrees(h) {
+		t.Error("ML quad metrics mismatch")
+	}
+	if !p.IsBalanced(h, Balance(h, 4, 0.1)) {
+		t.Error("ML quad unbalanced")
+	}
+	kp, kcut, err := KwayPartition(h, nil, KwayConfig{K: 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kcut != kp.Cut(h) {
+		t.Error("kway cut mismatch")
+	}
+	gp, gcut, err := GordianQuadrisect(h, c.Pads, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gcut != gp.Cut(h) {
+		t.Error("gordian cut mismatch")
+	}
+	if err := gp.Validate(h.NumCells()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIntegrationPlacementFlow: top-down placement end to end, HPWL
+// sanity against random, determinism across calls.
+func TestIntegrationPlacementFlow(t *testing.T) {
+	c, err := GenerateCircuit(CircuitSpec{Name: "pl", Cells: 500, Nets: 550, Pins: 1800, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.H
+	pl, err := Place(h, nil, nil, nil, PlacerConfig{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2, err := Place(h, nil, nil, nil, PlacerConfig{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.HPWL != pl2.HPWL {
+		t.Error("placement not deterministic")
+	}
+	rng := rand.New(rand.NewSource(3))
+	rx := make([]float64, h.NumCells())
+	ry := make([]float64, h.NumCells())
+	for v := range rx {
+		rx[v], ry[v] = rng.Float64(), rng.Float64()
+	}
+	if random := PlacementHPWL(h, rx, ry); pl.HPWL >= random {
+		t.Errorf("placement HPWL %.2f not better than random %.2f", pl.HPWL, random)
+	}
+}
+
+// TestIntegrationPartitionFileFlow: the cut of a partition survives
+// serialization through the partition-file format.
+func TestIntegrationPartitionFileFlow(t *testing.T) {
+	c, err := GenerateCircuit(CircuitSpec{Name: "pf", Cells: 300, Nets: 330, Pins: 1050, Seed: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.H
+	p, info, err := Bipartition(h, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePartition(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadPartition(&buf, h.NumCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Cut(h) != info.Cut {
+		t.Errorf("cut after file round trip %d != %d", q.Cut(h), info.Cut)
+	}
+}
+
+// TestIntegrationLSMCBudget: LSMC with a 10-descent budget must do at
+// least as well as the best of its underlying descents would suggest
+// (never worse than a single run with the same starting seed family).
+func TestIntegrationLSMCBudget(t *testing.T) {
+	c, err := GenerateCircuit(CircuitSpec{Name: "ls", Cells: 400, Nets: 450, Pins: 1450, Seed: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.H
+	_, lsmcCut, err := LSMCBipartition(h, LSMCConfig{Descents: 10}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, single, err := FMBipartition(h, FMConfig{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsmcCut > single.Cut {
+		t.Errorf("LSMC (%d) worse than a single FM descent (%d)", lsmcCut, single.Cut)
+	}
+}
+
+// TestIntegrationTwoPhaseBetweenFlatAndML: two-phase is the middle
+// rung of the levels ladder; over several seeds its total cut should
+// be no worse than flat CLIP's and no better than full ML's by a wide
+// margin (soft ordering check with slack).
+func TestIntegrationTwoPhaseBetweenFlatAndML(t *testing.T) {
+	c, err := GenerateCircuit(CircuitSpec{Name: "tp", Cells: 1000, Nets: 1100, Pins: 3600, Seed: 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.H
+	var flat, twoP, ml int
+	for seed := int64(0); seed < 4; seed++ {
+		_, f, err := FMBipartition(h, FMConfig{Engine: EngineCLIP}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat += f.Cut
+		_, tp, err := TwoPhaseBipartition(h, MLConfig{}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twoP += tp.Cut
+		_, m, err := Bipartition(h, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ml += m.Cut
+	}
+	if twoP > flat+flat/10 {
+		t.Errorf("two-phase total %d clearly worse than flat %d", twoP, flat)
+	}
+	if ml > twoP+twoP/10 {
+		t.Errorf("ML total %d clearly worse than two-phase %d", ml, twoP)
+	}
+}
+
+// TestIntegrationGolem3Scale exercises the full-size flagship
+// instance once: generate the 103k-cell golem3 stand-in and run one
+// ML_C bipartition, checking the structural invariants that matter
+// at scale (hierarchy depth, balance, cut sanity). Skipped in -short.
+func TestIntegrationGolem3Scale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golem3-scale run takes one to a few minutes")
+	}
+	specs := BenchmarkSpecs()
+	spec := specs[len(specs)-1]
+	if spec.Name != "golem3" {
+		t.Fatalf("suite tail = %s", spec.Name)
+	}
+	c, err := GenerateCircuit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.H
+	if h.NumCells() != 103048 {
+		t.Fatalf("cells = %d", h.NumCells())
+	}
+	p, info, err := Bipartition(h, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Levels < 10 {
+		t.Errorf("levels = %d, want ≥ 10 for 103k cells at T=35, R=0.5", info.Levels)
+	}
+	if !p.IsBalanced(h, Balance(h, 2, 0.1)) {
+		t.Error("unbalanced at scale")
+	}
+	if info.Cut <= 0 || info.Cut >= h.NumNets() {
+		t.Errorf("implausible cut %d", info.Cut)
+	}
+	t.Logf("golem3: cut %d over %d nets, %d levels", info.Cut, h.NumNets(), info.Levels)
+}

@@ -1,0 +1,190 @@
+// Package coarsen implements the Match coarsening procedure of
+// Alpert/Huang/Kahng (Fig. 3): a connectivity-weighted matching that
+// loosely follows the heavy-edge matching of Metis, with a matching
+// ratio parameter R that controls the speed of coarsening and hence
+// the number of levels in the multilevel hierarchy.
+package coarsen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlpart/internal/hypergraph"
+)
+
+// Config parameterizes Match.
+type Config struct {
+	// Ratio is the matching ratio R ∈ (0, 1]: the fraction of modules
+	// to match before stopping. R = 1 seeks a maximal matching
+	// (halving the instance, as in Chaco/Metis); R = 0.5 matches only
+	// half the modules, slowing coarsening and deepening the
+	// hierarchy. Default 1.0.
+	Ratio float64
+	// MaxNetSize: nets with more modules are ignored when computing
+	// conn(v, w), to keep Match linear time. Default 10 (§III.A).
+	MaxNetSize int
+	// Exclude marks cells that must never be matched (they always
+	// become singleton clusters). Used for pre-assigned modules such
+	// as I/O pads (§III.C) so that fixed cells with different block
+	// assignments are never merged. Optional; length must equal the
+	// cell count if non-nil.
+	Exclude []bool
+	// SameBlockOnly, when non-nil, restricts matching to cell pairs
+	// in the same block of the given partition — the "restricted
+	// coarsening" of V-cycle (iterated multilevel) refinement, which
+	// lets a hierarchy be rebuilt around an existing solution without
+	// destroying it.
+	SameBlockOnly *hypergraph.Partition
+}
+
+// Normalize fills defaults and validates.
+func (c Config) Normalize() (Config, error) {
+	if c.Ratio == 0 {
+		c.Ratio = 1.0
+	}
+	if c.Ratio < 0 || c.Ratio > 1 {
+		return c, fmt.Errorf("coarsen: matching ratio %v outside (0,1]", c.Ratio)
+	}
+	if c.MaxNetSize == 0 {
+		c.MaxNetSize = 10
+	}
+	if c.MaxNetSize < 2 {
+		return c, fmt.Errorf("coarsen: MaxNetSize %d < 2", c.MaxNetSize)
+	}
+	return c, nil
+}
+
+// Conn computes the connectivity between modules v and w of §III.A:
+//
+//	conn(v, w) = 1/(A(v)+A(w)) · Σ_{e ∋ v,w, |e| ≤ maxNetSize} 1/(|e|−1)
+//
+// The 1/(|e|−1) term emphasizes nets with fewer modules; the area
+// term prefers matching small modules to keep cluster sizes balanced.
+// Exposed for tests and for alternative clustering strategies.
+func Conn(h *hypergraph.Hypergraph, v, w int, maxNetSize int) float64 {
+	var sum float64
+	for _, e := range h.Nets(v) {
+		size := h.NetSize(int(e))
+		if size > maxNetSize {
+			continue
+		}
+		for _, u := range h.Pins(int(e)) {
+			if int(u) == w {
+				sum += float64(h.NetWeight(int(e))) / float64(size-1)
+				break
+			}
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return sum / float64(h.Area(v)+h.Area(w))
+}
+
+// Match constructs a clustering P^k of h following Fig. 3. Modules
+// are visited in a random permutation; each unmatched module v is
+// paired with the unmatched neighbor w maximizing conn(v, w), forming
+// the cluster {v, w}; if no unmatched neighbor exists, v becomes a
+// singleton. Matching stops once the fraction of matched modules
+// reaches cfg.Ratio, and every remaining unmatched module is assigned
+// its own cluster.
+func Match(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*hypergraph.Clustering, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	n := h.NumCells()
+	if cfg.Exclude != nil && len(cfg.Exclude) != n {
+		return nil, fmt.Errorf("coarsen: Exclude has %d entries, hypergraph has %d cells", len(cfg.Exclude), n)
+	}
+	if cfg.SameBlockOnly != nil && len(cfg.SameBlockOnly.Part) != n {
+		return nil, fmt.Errorf("coarsen: SameBlockOnly partition has %d cells, hypergraph has %d", len(cfg.SameBlockOnly.Part), n)
+	}
+	excluded := func(v int) bool { return cfg.Exclude != nil && cfg.Exclude[v] }
+	sameBlock := func(v, w int) bool {
+		return cfg.SameBlockOnly == nil || cfg.SameBlockOnly.Part[v] == cfg.SameBlockOnly.Part[w]
+	}
+	c := &hypergraph.Clustering{CellToCluster: make([]int32, n)}
+	for v := range c.CellToCluster {
+		c.CellToCluster[v] = -1
+	}
+	if n == 0 {
+		return c, nil
+	}
+	perm := rng.Perm(n)
+	// conn accumulator indexed by module, reset via the neighbor set
+	// after each pairing (the Conn-array technique of §III.A).
+	connAcc := make([]float64, n)
+	neighbors := make([]int32, 0, 64)
+
+	k := int32(0)
+	nMatch := 0
+	j := 0
+	for float64(nMatch)/float64(n) < cfg.Ratio && j < n {
+		v := perm[j]
+		j++
+		if c.CellToCluster[v] >= 0 || excluded(v) {
+			continue
+		}
+		// Accumulate connectivity to unmatched neighbors.
+		neighbors = neighbors[:0]
+		av := h.Area(v)
+		for _, e := range h.Nets(v) {
+			size := h.NetSize(int(e))
+			if size > cfg.MaxNetSize {
+				continue
+			}
+			wgt := float64(h.NetWeight(int(e))) / float64(size-1)
+			for _, w := range h.Pins(int(e)) {
+				if int(w) == v || c.CellToCluster[w] >= 0 || excluded(int(w)) || !sameBlock(v, int(w)) {
+					continue
+				}
+				if connAcc[w] == 0 {
+					neighbors = append(neighbors, w)
+				}
+				connAcc[w] += wgt
+			}
+		}
+		// Pick the unmatched w maximizing conn = acc / (A(v)+A(w)).
+		best := int32(-1)
+		bestConn := 0.0
+		for _, w := range neighbors {
+			cw := connAcc[w] / float64(av+h.Area(int(w)))
+			if cw > bestConn {
+				bestConn = cw
+				best = w
+			}
+			connAcc[w] = 0 // reset as we go
+		}
+		c.CellToCluster[v] = k
+		if best >= 0 {
+			c.CellToCluster[best] = k
+			nMatch += 2
+		}
+		k++
+	}
+	// Steps 8–10: every remaining unmatched module becomes a
+	// singleton cluster.
+	for v := 0; v < n; v++ {
+		if c.CellToCluster[v] < 0 {
+			c.CellToCluster[v] = k
+			k++
+		}
+	}
+	c.NumClusters = int(k)
+	return c, nil
+}
+
+// Coarsen applies Match and induces the coarser hypergraph in one
+// step, returning both.
+func Coarsen(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*hypergraph.Hypergraph, *hypergraph.Clustering, error) {
+	c, err := Match(h, cfg, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	coarse, err := hypergraph.Induce(h, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	return coarse, c, nil
+}

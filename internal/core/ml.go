@@ -1,0 +1,216 @@
+// Package core implements ML, the multilevel circuit partitioning
+// algorithm of Alpert, Huang and Kahng (DAC 1997, Fig. 2): the
+// netlist is recursively coarsened with the Match algorithm while it
+// has more than T modules, the coarsest netlist is partitioned, and
+// the solution is projected back level by level with FM/CLIP
+// refinement at every level.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlpart/internal/coarsen"
+	"mlpart/internal/fm"
+	"mlpart/internal/hypergraph"
+)
+
+// Config parameterizes the ML algorithm.
+type Config struct {
+	// Threshold is the coarsening threshold T: coarsening proceeds
+	// while |V_i| > T. Default 35 (the paper's bipartitioning
+	// experiments; quadrisection uses T = 100).
+	Threshold int
+	// Ratio is the matching ratio R passed to Match. Default 1.0;
+	// the paper's best bipartitioning results use R = 0.5.
+	Ratio float64
+	// Refine configures the FMPartition engine used at every level
+	// (engine FM gives ML_F, engine CLIP gives ML_C).
+	Refine fm.Config
+	// CoarsestStarts > 1 partitions the coarsest netlist that many
+	// times from independent random starts and keeps the best (§V
+	// future work: spend more CPU at the top levels). Default 1.
+	CoarsestStarts int
+	// MaxLevels caps the hierarchy depth as a safety valve against
+	// degenerate instances where Match cannot shrink the netlist.
+	// 0 means a generous default of 64.
+	MaxLevels int
+	// MergeParallelNets merges identical coarse nets into single
+	// weighted nets during coarsening (InduceMerged). The weighted
+	// cut is provably unchanged, but the coarse netlists shrink,
+	// which speeds refinement — the hMETIS-era optimization that the
+	// paper's Definition 1 forgoes (ablation-mergenets measures it).
+	MergeParallelNets bool
+}
+
+// Normalize fills defaults and validates.
+func (c Config) Normalize() (Config, error) {
+	if c.Threshold == 0 {
+		c.Threshold = 35
+	}
+	if c.Threshold < 2 {
+		return c, fmt.Errorf("core: threshold %d < 2", c.Threshold)
+	}
+	if c.Ratio == 0 {
+		c.Ratio = 1.0
+	}
+	if c.Ratio < 0 || c.Ratio > 1 {
+		return c, fmt.Errorf("core: matching ratio %v outside (0,1]", c.Ratio)
+	}
+	if c.CoarsestStarts == 0 {
+		c.CoarsestStarts = 1
+	}
+	if c.CoarsestStarts < 1 {
+		return c, fmt.Errorf("core: CoarsestStarts %d < 1", c.CoarsestStarts)
+	}
+	if c.MaxLevels == 0 {
+		c.MaxLevels = 64
+	}
+	if c.MaxLevels < 1 {
+		return c, fmt.Errorf("core: MaxLevels %d < 1", c.MaxLevels)
+	}
+	var err error
+	if c.Refine, err = c.Refine.Normalize(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// Result reports what a multilevel run did.
+type Result struct {
+	// Cut of the final bipartitioning of H_0 (all nets counted).
+	Cut int
+	// Levels is m, the number of coarsening levels used.
+	Levels int
+	// CoarsestCells is |V_m|.
+	CoarsestCells int
+	// LevelCells records |V_i| for i = 0..m.
+	LevelCells []int
+	// RefineResults holds the per-level refinement summaries, index
+	// 0 = coarsest ... last = H_0.
+	RefineResults []fm.Result
+}
+
+// level is one rung of the hierarchy: the hypergraph plus the
+// clustering that produced the *next* (coarser) hypergraph.
+type level struct {
+	h *hypergraph.Hypergraph
+	c *hypergraph.Clustering // nil at the coarsest level
+}
+
+// Bipartition runs the ML algorithm of Fig. 2 on h and returns the
+// final bipartitioning P_0 = {X_0, Y_0}.
+func Bipartition(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*hypergraph.Partition, Result, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, Result{}, err
+	}
+	levels, res, err := buildHierarchy(h, cfg, rng)
+	if err != nil {
+		return nil, Result{}, err
+	}
+
+	// Step 6: partition the coarsest netlist from a random start.
+	coarsest := levels[len(levels)-1].h
+	p, rres, err := partitionCoarsest(coarsest, cfg, rng)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	res.RefineResults = append(res.RefineResults, rres)
+
+	// Steps 7–9: project and refine down to H_0.
+	for i := len(levels) - 2; i >= 0; i-- {
+		p, err = hypergraph.Project(levels[i].c, p)
+		if err != nil {
+			return nil, Result{}, err
+		}
+		fineH := levels[i].h
+		// The projected solution may violate the balance bound for
+		// H_i (A(v*) can decrease during uncoarsening, §III.B);
+		// FMPartition rebalances before refining.
+		p, rres, err = fm.Partition(fineH, p, cfg.Refine, rng)
+		if err != nil {
+			return nil, Result{}, err
+		}
+		res.RefineResults = append(res.RefineResults, rres)
+	}
+	res.Cut = p.Cut(h)
+	return p, res, nil
+}
+
+// buildHierarchy performs the coarsening phase (Steps 1–5 of Fig. 2).
+func buildHierarchy(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) ([]level, Result, error) {
+	res := Result{}
+	matchCfg := coarsen.Config{Ratio: cfg.Ratio}
+	levels := []level{{h: h}}
+	res.LevelCells = append(res.LevelCells, h.NumCells())
+	cur := h
+	for cur.NumCells() > cfg.Threshold && len(levels) <= cfg.MaxLevels {
+		c, err := coarsen.Match(cur, matchCfg, rng)
+		if err != nil {
+			return nil, res, err
+		}
+		var coarseH *hypergraph.Hypergraph
+		if cfg.MergeParallelNets {
+			coarseH, err = hypergraph.InduceMerged(cur, c)
+		} else {
+			coarseH, err = hypergraph.Induce(cur, c)
+		}
+		if err != nil {
+			return nil, res, err
+		}
+		if coarseH.NumCells() >= cur.NumCells() {
+			// Match made no progress (e.g. netless instance with
+			// R ≈ 0); stop coarsening rather than loop forever.
+			break
+		}
+		levels[len(levels)-1].c = c
+		levels = append(levels, level{h: coarseH})
+		res.LevelCells = append(res.LevelCells, coarseH.NumCells())
+		cur = coarseH
+	}
+	res.Levels = len(levels) - 1
+	res.CoarsestCells = cur.NumCells()
+	return levels, res, nil
+}
+
+// partitionCoarsest runs FMPartition(H_m, NULL), optionally with
+// multiple independent starts.
+func partitionCoarsest(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*hypergraph.Partition, fm.Result, error) {
+	var best *hypergraph.Partition
+	var bestRes fm.Result
+	for s := 0; s < cfg.CoarsestStarts; s++ {
+		p, r, err := fm.Partition(h, nil, cfg.Refine, rng)
+		if err != nil {
+			return nil, fm.Result{}, err
+		}
+		if best == nil || r.Cut < bestRes.Cut {
+			best, bestRes = p, r
+		}
+	}
+	return best, bestRes, nil
+}
+
+// Hierarchy exposes the coarsening phase on its own: it returns the
+// sequence of hypergraphs H_0..H_m and the clusterings between them.
+// Useful for inspecting coarsening behaviour (examples, tests,
+// experiments on hierarchy depth).
+func Hierarchy(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) ([]*hypergraph.Hypergraph, []*hypergraph.Clustering, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	levels, _, err := buildHierarchy(h, cfg, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	hs := make([]*hypergraph.Hypergraph, len(levels))
+	cs := make([]*hypergraph.Clustering, 0, len(levels)-1)
+	for i, l := range levels {
+		hs[i] = l.h
+		if l.c != nil {
+			cs = append(cs, l.c)
+		}
+	}
+	return hs, cs, nil
+}

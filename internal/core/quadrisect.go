@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlpart/internal/coarsen"
+	"mlpart/internal/hypergraph"
+	"mlpart/internal/kway"
+)
+
+// QuadConfig parameterizes multilevel k-way partitioning (§III.C,
+// §IV.D). The paper's quadrisection experiments use ML_F-style
+// refinement with R = 1.0, T = 100 and the sum-of-degrees gain.
+type QuadConfig struct {
+	// Threshold is the coarsening threshold T. Default 100.
+	Threshold int
+	// Ratio is the matching ratio R. Default 1.0.
+	Ratio float64
+	// Refine configures the Sanchis-style multi-way engine used at
+	// every level. Refine.K defaults to 4 (quadrisection).
+	Refine kway.Config
+	// CoarsestStarts as in Config. Default 1.
+	CoarsestStarts int
+	// MaxLevels as in Config. Default 64.
+	MaxLevels int
+	// Fixed marks pre-assigned cells of H_0 (e.g. I/O pads, §III.C);
+	// they keep the block given in Preassign and never move. Optional.
+	Fixed []bool
+	// Preassign gives the block of each fixed cell (only entries
+	// with Fixed[v] true are read). Required iff Fixed is non-nil.
+	Preassign []int32
+}
+
+// Normalize fills defaults and validates.
+func (c QuadConfig) Normalize() (QuadConfig, error) {
+	if c.Threshold == 0 {
+		c.Threshold = 100
+	}
+	if c.Threshold < 2 {
+		return c, fmt.Errorf("core: quad threshold %d < 2", c.Threshold)
+	}
+	if c.Ratio == 0 {
+		c.Ratio = 1.0
+	}
+	if c.Ratio < 0 || c.Ratio > 1 {
+		return c, fmt.Errorf("core: matching ratio %v outside (0,1]", c.Ratio)
+	}
+	if c.CoarsestStarts == 0 {
+		c.CoarsestStarts = 1
+	}
+	if c.CoarsestStarts < 1 {
+		return c, fmt.Errorf("core: CoarsestStarts %d < 1", c.CoarsestStarts)
+	}
+	if c.MaxLevels == 0 {
+		c.MaxLevels = 64
+	}
+	if (c.Fixed == nil) != (c.Preassign == nil) {
+		return c, fmt.Errorf("core: Fixed and Preassign must be set together")
+	}
+	var err error
+	// kway.Config.Fixed is managed per level internally.
+	if c.Refine.Fixed != nil {
+		return c, fmt.Errorf("core: set QuadConfig.Fixed, not Refine.Fixed")
+	}
+	if c.Refine, err = c.Refine.Normalize(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// QuadResult reports what a multilevel k-way run did.
+type QuadResult struct {
+	// CutNets is the number of nets spanning >1 block of the final
+	// solution — the Table IX metric.
+	CutNets int
+	// SumDegrees is Σ_e (span−1) of the final solution.
+	SumDegrees int
+	// Levels, CoarsestCells, LevelCells as in Result.
+	Levels        int
+	CoarsestCells int
+	LevelCells    []int
+}
+
+// Quadrisect runs the multilevel k-way algorithm: Match-based
+// coarsening (fixed cells are never matched together with free
+// cells across blocks — they simply coarsen like any cell, but their
+// pre-assignment is honored by seeding and locking them at every
+// level), k-way partitioning of the coarsest netlist, then projection
+// with multi-way FM refinement per level.
+func Quadrisect(h *hypergraph.Hypergraph, cfg QuadConfig, rng *rand.Rand) (*hypergraph.Partition, QuadResult, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, QuadResult{}, err
+	}
+	if cfg.Fixed != nil {
+		if len(cfg.Fixed) != h.NumCells() || len(cfg.Preassign) != h.NumCells() {
+			return nil, QuadResult{}, fmt.Errorf("core: Fixed/Preassign length mismatch with %d cells", h.NumCells())
+		}
+		for v, fx := range cfg.Fixed {
+			if fx && (cfg.Preassign[v] < 0 || int(cfg.Preassign[v]) >= cfg.Refine.K) {
+				return nil, QuadResult{}, fmt.Errorf("core: preassigned block %d of cell %d out of range", cfg.Preassign[v], v)
+			}
+		}
+	}
+
+	res := QuadResult{}
+
+	// Coarsening phase; track fixed flags and pre-assignments
+	// through the hierarchy (a coarse cell is fixed to block b if any
+	// member is; conflicting pre-assignments pin the first seen).
+	type qlevel struct {
+		h     *hypergraph.Hypergraph
+		c     *hypergraph.Clustering
+		fixed []bool
+		pre   []int32
+	}
+	levels := []qlevel{{h: h, fixed: cfg.Fixed, pre: cfg.Preassign}}
+	res.LevelCells = append(res.LevelCells, h.NumCells())
+	// Fixed cells are never matched, so they can't shrink away; the
+	// coarsening threshold must therefore count movable cells only,
+	// or a terminal-heavy instance would coarsen its movable cells
+	// into a handful of giant clusters.
+	movable := func(l *qlevel) int {
+		if l.fixed == nil {
+			return l.h.NumCells()
+		}
+		n := 0
+		for _, fx := range l.fixed {
+			if !fx {
+				n++
+			}
+		}
+		return n
+	}
+	cur := &levels[0]
+	for movable(cur) > cfg.Threshold && len(levels) <= cfg.MaxLevels {
+		// Fixed cells are excluded from matching (always singleton
+		// clusters), so two pads pre-assigned to different blocks can
+		// never be merged.
+		matchCfg := coarsen.Config{Ratio: cfg.Ratio, Exclude: cur.fixed}
+		coarseH, c, err := coarsen.Coarsen(cur.h, matchCfg, rng)
+		if err != nil {
+			return nil, QuadResult{}, err
+		}
+		if coarseH.NumCells() >= cur.h.NumCells() {
+			break
+		}
+		cur.c = c
+		next := qlevel{h: coarseH}
+		if cur.fixed != nil {
+			next.fixed = make([]bool, coarseH.NumCells())
+			next.pre = make([]int32, coarseH.NumCells())
+			for i := range next.pre {
+				next.pre[i] = -1
+			}
+			for v, fx := range cur.fixed {
+				if !fx {
+					continue
+				}
+				k := c.CellToCluster[v]
+				next.fixed[k] = true
+				next.pre[k] = cur.pre[v]
+			}
+		}
+		levels = append(levels, next)
+		res.LevelCells = append(res.LevelCells, coarseH.NumCells())
+		cur = &levels[len(levels)-1]
+	}
+	res.Levels = len(levels) - 1
+	res.CoarsestCells = cur.h.NumCells()
+
+	// Partition the coarsest netlist.
+	refCfg := cfg.Refine
+	top := levels[len(levels)-1]
+	var best *hypergraph.Partition
+	bestCost := 0
+	for s := 0; s < cfg.CoarsestStarts; s++ {
+		var p *hypergraph.Partition
+		var r kway.Result
+		if top.fixed != nil {
+			init := seededRandomPartition(top.h, refCfg.K, top.fixed, top.pre, rng)
+			c2 := refCfg
+			c2.Fixed = top.fixed
+			p, r, err = kway.Partition(top.h, init, c2, rng)
+		} else {
+			p, r, err = kway.Partition(top.h, nil, refCfg, rng)
+		}
+		if err != nil {
+			return nil, QuadResult{}, err
+		}
+		cost := r.SumDegrees
+		if refCfg.Objective == kway.NetCut {
+			cost = r.CutNets
+		}
+		if best == nil || cost < bestCost {
+			best, bestCost = p, cost
+		}
+	}
+	p := best
+
+	// Uncoarsening with per-level refinement.
+	for i := len(levels) - 2; i >= 0; i-- {
+		p, err = hypergraph.Project(levels[i].c, p)
+		if err != nil {
+			return nil, QuadResult{}, err
+		}
+		lv := levels[i]
+		c2 := refCfg
+		c2.Fixed = lv.fixed
+		if lv.fixed != nil {
+			// Defensive re-pin: projection preserves pre-assignments
+			// by construction (fixed cells are singleton clusters),
+			// but enforce the invariant explicitly.
+			for v, fx := range lv.fixed {
+				if fx {
+					p.Part[v] = lv.pre[v]
+				}
+			}
+		}
+		if lv.fixed == nil {
+			bound := hypergraph.Balance(lv.h, refCfg.K, refCfg.Tolerance)
+			if !p.IsBalanced(lv.h, bound) {
+				p.Rebalance(lv.h, bound, rng)
+			}
+		}
+		if _, err = kway.Refine(lv.h, p, c2, rng); err != nil {
+			return nil, QuadResult{}, err
+		}
+	}
+	res.CutNets = p.Cut(h)
+	res.SumDegrees = p.SumOfDegrees(h)
+	return p, res, nil
+}
+
+// seededRandomPartition builds a random balanced k-way partition that
+// honors pre-assignments: fixed cells take their block, free cells
+// fill greedily in random order.
+func seededRandomPartition(h *hypergraph.Hypergraph, k int, fixed []bool, pre []int32, rng *rand.Rand) *hypergraph.Partition {
+	p := hypergraph.NewPartition(h.NumCells(), k)
+	areas := make([]int64, k)
+	for v := 0; v < h.NumCells(); v++ {
+		if fixed[v] {
+			p.Part[v] = pre[v]
+			areas[pre[v]] += h.Area(v)
+		}
+	}
+	perm := rng.Perm(h.NumCells())
+	for _, v := range perm {
+		if fixed[v] {
+			continue
+		}
+		bestB := 0
+		for b := 1; b < k; b++ {
+			if areas[b] < areas[bestB] {
+				bestB = b
+			}
+		}
+		p.Part[v] = int32(bestB)
+		areas[bestB] += h.Area(v)
+	}
+	return p
+}

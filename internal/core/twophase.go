@@ -1,0 +1,27 @@
+package core
+
+import (
+	"math/rand"
+
+	"mlpart/internal/hypergraph"
+)
+
+// TwoPhase runs the classical "two-phase FM" methodology of §II.C
+// that the multilevel approach generalizes: a single clustering of
+// H_0 induces H_1, FM partitions H_1 from a random start, the
+// solution is projected back to H_0 and refined with a second FM run.
+//
+// It is exactly the ML algorithm restricted to one level of
+// coarsening, and exists (a) as the historically important baseline
+// the paper contrasts against and (b) to measure how much the extra
+// levels of the multilevel hierarchy buy (the ablation-twophase
+// experiment).
+func TwoPhase(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*hypergraph.Partition, Result, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, Result{}, err
+	}
+	cfg.MaxLevels = 1
+	cfg.Threshold = 2 // always coarsen (once) when the instance allows
+	return Bipartition(h, cfg, rng)
+}

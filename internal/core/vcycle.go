@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+
+	"mlpart/internal/coarsen"
+	"mlpart/internal/fm"
+	"mlpart/internal/hypergraph"
+)
+
+// VCycle performs iterated multilevel refinement on an existing
+// bipartition: the netlist is re-coarsened with *restricted* matching
+// (only cell pairs in the same block may merge, so every coarse
+// solution is exactly representable), the current solution is pushed
+// to the coarsest level, and the uncoarsening sweep refines it at
+// every level. Cycles repeat while they improve, up to maxCycles.
+//
+// This is the "V-cycle" of the later multilevel literature (hMETIS);
+// the paper's §V idea of spending more effort at the top levels
+// composes naturally with it. Returns the refined partition (the
+// input is not modified) and the final cut.
+func VCycle(h *hypergraph.Hypergraph, p *hypergraph.Partition, maxCycles int, cfg Config, rng *rand.Rand) (*hypergraph.Partition, int, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := p.Validate(h.NumCells()); err != nil {
+		return nil, 0, err
+	}
+	if maxCycles < 1 {
+		maxCycles = 1
+	}
+	best := p.Clone()
+	bestCut := best.WeightedCut(h)
+	for cycle := 0; cycle < maxCycles; cycle++ {
+		cand, err := oneVCycle(h, best, cfg, rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		if cut := cand.WeightedCut(h); cut < bestCut {
+			best, bestCut = cand, cut
+		} else {
+			break
+		}
+	}
+	return best, bestCut, nil
+}
+
+// oneVCycle rebuilds a restricted hierarchy around p and refines.
+func oneVCycle(h *hypergraph.Hypergraph, p *hypergraph.Partition, cfg Config, rng *rand.Rand) (*hypergraph.Partition, error) {
+	type lv struct {
+		h *hypergraph.Hypergraph
+		c *hypergraph.Clustering
+	}
+	levels := []lv{{h: h}}
+	parts := []*hypergraph.Partition{p.Clone()}
+	cur := h
+	curP := p
+	for cur.NumCells() > cfg.Threshold && len(levels) <= cfg.MaxLevels {
+		mc := coarsen.Config{Ratio: cfg.Ratio, SameBlockOnly: curP}
+		c, err := coarsen.Match(cur, mc, rng)
+		if err != nil {
+			return nil, err
+		}
+		var coarse *hypergraph.Hypergraph
+		if cfg.MergeParallelNets {
+			coarse, err = hypergraph.InduceMerged(cur, c)
+		} else {
+			coarse, err = hypergraph.Induce(cur, c)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if coarse.NumCells() >= cur.NumCells() {
+			break
+		}
+		// Push the partition up: every cluster is block-pure by
+		// construction, so take any member's block.
+		cp := hypergraph.NewPartition(coarse.NumCells(), curP.K)
+		for v, k := range c.CellToCluster {
+			cp.Part[k] = curP.Part[v]
+		}
+		levels[len(levels)-1].c = c
+		levels = append(levels, lv{h: coarse})
+		parts = append(parts, cp)
+		cur, curP = coarse, cp
+	}
+	// Refine from the coarsest down, seeding each level with the
+	// pushed-up solution.
+	sol := parts[len(parts)-1]
+	var err error
+	if _, err = fm.Refine(levels[len(levels)-1].h, sol, cfg.Refine, rng); err != nil {
+		return nil, err
+	}
+	for i := len(levels) - 2; i >= 0; i-- {
+		sol, err = hypergraph.Project(levels[i].c, sol)
+		if err != nil {
+			return nil, err
+		}
+		var refined *hypergraph.Partition
+		refined, _, err = fm.Partition(levels[i].h, sol, cfg.Refine, rng)
+		if err != nil {
+			return nil, err
+		}
+		sol = refined
+	}
+	return sol, nil
+}

@@ -1,0 +1,228 @@
+package expt
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mlpart/internal/netgen"
+)
+
+// fastOpts keeps experiment tests quick: the two smallest tiny-scale
+// circuits, 2 runs.
+func fastOpts() Options {
+	return Options{
+		Scale:    netgen.ScaleTiny,
+		Runs:     2,
+		Seed:     42,
+		Circuits: []string{"balu", "bm1"},
+	}
+}
+
+func TestRunManyDeterministic(t *testing.T) {
+	algo := func(rng *rand.Rand) (int, error) { return rng.Intn(1000), nil }
+	a := RunMany(10, 4, 7, algo)
+	b := RunMany(10, 2, 7, algo) // different workers, same seeds
+	if a.Err != nil || b.Err != nil {
+		t.Fatal(a.Err, b.Err)
+	}
+	if a.Min() != b.Min() || a.Mean() != b.Mean() || a.N() != b.N() {
+		t.Errorf("parallelism changed results: %v vs %v", a.String(), b.String())
+	}
+}
+
+func TestRunManyPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	algo := func(rng *rand.Rand) (int, error) { return 0, boom }
+	r := RunMany(3, 2, 1, algo)
+	if !errors.Is(r.Err, boom) {
+		t.Errorf("err = %v, want boom", r.Err)
+	}
+}
+
+func TestRunSeedDecorrelated(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		s := RunSeed(1, i)
+		if seen[s] {
+			t.Fatalf("duplicate seed at run %d", i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o, err := Options{}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Scale != netgen.ScaleTiny || o.Runs != 5 || o.Seed != 1997 {
+		t.Errorf("defaults = %+v", o)
+	}
+	for _, bad := range []Options{
+		{Scale: "huge"}, {Runs: -1}, {Workers: -2}, {MaxCells: -1},
+	} {
+		if _, err := bad.Normalize(); err == nil {
+			t.Errorf("bad options accepted: %+v", bad)
+		}
+	}
+}
+
+func TestOptionsCircuitFilter(t *testing.T) {
+	o, _ := fastOpts().Normalize()
+	cs, err := o.circuits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("got %d circuits, want 2", len(cs))
+	}
+	o.Circuits = []string{"no-such-circuit"}
+	if _, err := o.circuits(); err == nil {
+		t.Error("empty selection must error")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 21 {
+		t.Errorf("registry has %d experiments, want 21", len(exps))
+	}
+	ids := map[string]bool{}
+	for _, e := range exps {
+		if ids[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+		if e.Run == nil {
+			t.Errorf("%s has no runner", e.ID)
+		}
+	}
+	if _, ok := Lookup("table4"); !ok {
+		t.Error("Lookup(table4) failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup(nope) should fail")
+	}
+}
+
+// TestAllExperimentsRunTiny smoke-runs every registered experiment at
+// the fastest settings and checks the rendered output.
+func TestAllExperimentsRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: runs every experiment")
+	}
+	opts := fastOpts()
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(opts)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			var buf bytes.Buffer
+			tbl.Format(&buf)
+			out := buf.String()
+			if !strings.Contains(out, tbl.ID) {
+				t.Errorf("%s output missing id header:\n%s", e.ID, out)
+			}
+			for _, col := range tbl.Columns {
+				if !strings.Contains(out, col) {
+					t.Errorf("%s output missing column %q", e.ID, col)
+				}
+			}
+		})
+	}
+}
+
+func TestTable2RowsPerCircuit(t *testing.T) {
+	tbl, err := Table2(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Errorf("rows = %d, want 2", len(tbl.Rows))
+	}
+	if len(tbl.Columns) != 10 {
+		t.Errorf("columns = %d, want 10", len(tbl.Columns))
+	}
+}
+
+func TestTable7IncludesReferences(t *testing.T) {
+	tbl, err := Table7(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tbl.Format(&buf)
+	if !strings.Contains(buf.String(), "ref:PB") {
+		t.Error("table7 missing literature reference columns")
+	}
+	// balu's PB reference is 27.
+	found := false
+	for _, row := range tbl.Rows {
+		if row[0] == "balu" {
+			found = true
+			if row[8] != "27" {
+				t.Errorf("balu ref:PB = %q, want 27", row[8])
+			}
+		}
+	}
+	if !found {
+		t.Error("balu row missing")
+	}
+}
+
+func TestPaperDataCoverage(t *testing.T) {
+	for _, s := range netgen.TableISpecs() {
+		if _, ok := PaperTable7[s.Name]; !ok {
+			t.Errorf("PaperTable7 missing %s", s.Name)
+		}
+		if _, ok := PaperTable8[s.Name]; !ok {
+			t.Errorf("PaperTable8 missing %s", s.Name)
+		}
+	}
+	if len(PaperTable9) != 9 {
+		t.Errorf("PaperTable9 has %d rows, want 9", len(PaperTable9))
+	}
+	if Table9RefEmpty("primary1") {
+		t.Error("primary1 should have Table IX data")
+	}
+	if !Table9RefEmpty("balu") {
+		t.Error("balu should have no Table IX data")
+	}
+}
+
+func TestTableAddRowPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tbl := &Table{ID: "x", Columns: []string{"a", "b"}}
+	tbl.AddRow("only-one")
+}
+
+func TestFormatCSV(t *testing.T) {
+	tbl := &Table{
+		ID: "x", Title: "demo",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}, {"3", "4"}},
+		Notes:   []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := tbl.FormatCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# x: demo", "a,b", "1,2", "3,4", "# a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}

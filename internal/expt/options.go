@@ -1,0 +1,100 @@
+// Package expt regenerates every table and figure of the paper's
+// evaluation section (§IV) on the synthetic benchmark suite, at four
+// size scales. Each experiment prints the same rows the paper
+// reports (min cut / average cut / standard deviation / CPU seconds
+// over N runs per circuit and algorithm).
+package expt
+
+import (
+	"fmt"
+	"runtime"
+
+	"mlpart/internal/netgen"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale selects the benchmark suite size (tiny/small/medium/full).
+	// Default tiny.
+	Scale netgen.SuiteScale
+	// Runs per algorithm per circuit. Default: the paper's 100 at
+	// full scale, fewer at smaller scales (20 small/medium, 5 tiny).
+	Runs int
+	// Seed drives all randomness; a fixed seed reproduces every run.
+	// Default 1997.
+	Seed int64
+	// Workers bounds run-level parallelism. Default NumCPU. CPU
+	// columns report the summed per-run wall time, so parallelism
+	// does not distort them.
+	Workers int
+	// Circuits optionally restricts the suite to the named circuits.
+	Circuits []string
+	// MaxCells skips circuits larger than this many cells (0 = no
+	// limit); a guard for quick runs at big scales.
+	MaxCells int
+}
+
+// Normalize fills defaults and validates.
+func (o Options) Normalize() (Options, error) {
+	if o.Scale == "" {
+		o.Scale = netgen.ScaleTiny
+	}
+	switch o.Scale {
+	case netgen.ScaleTiny, netgen.ScaleSmall, netgen.ScaleMedium, netgen.ScaleFull:
+	default:
+		return o, fmt.Errorf("expt: unknown scale %q", o.Scale)
+	}
+	if o.Runs == 0 {
+		switch o.Scale {
+		case netgen.ScaleFull:
+			o.Runs = 100
+		case netgen.ScaleTiny:
+			o.Runs = 5
+		default:
+			o.Runs = 20
+		}
+	}
+	if o.Runs < 1 {
+		return o, fmt.Errorf("expt: runs %d < 1", o.Runs)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1997
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.Workers < 1 {
+		return o, fmt.Errorf("expt: workers %d < 1", o.Workers)
+	}
+	if o.MaxCells < 0 {
+		return o, fmt.Errorf("expt: negative MaxCells")
+	}
+	return o, nil
+}
+
+// circuits generates the benchmark instances selected by the options.
+func (o Options) circuits() ([]*netgen.Circuit, error) {
+	specs := netgen.SuiteSpecs(o.Scale)
+	want := map[string]bool{}
+	for _, n := range o.Circuits {
+		want[n] = true
+	}
+	var out []*netgen.Circuit
+	for _, s := range specs {
+		if len(want) > 0 && !want[s.Name] {
+			continue
+		}
+		if o.MaxCells > 0 && s.Cells > o.MaxCells {
+			continue
+		}
+		c, err := netgen.Generate(s)
+		if err != nil {
+			return nil, fmt.Errorf("expt: generating %s: %w", s.Name, err)
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("expt: no circuits selected")
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package expt
+
+import (
+	"fmt"
+
+	"mlpart/internal/fm"
+	"mlpart/internal/gainbucket"
+	"mlpart/internal/hypergraph"
+	"mlpart/internal/netgen"
+)
+
+// ReproCheck programmatically tests the paper's five qualitative
+// claims on the selected suite and prints a PASS/FAIL scorecard —
+// the fastest way to confirm the reproduction still holds after a
+// code change. Each claim is evaluated over the circuits with more
+// than minCells cells (the paper's claims are explicitly about the
+// larger instances) by counting per-circuit wins on average cut.
+func ReproCheck(opts Options) (*Table, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	circuits, err := opts.circuits()
+	if err != nil {
+		return nil, err
+	}
+	// "Large" = upper half of the selected suite by cell count.
+	minCells := 0
+	{
+		sizes := make([]int, len(circuits))
+		for i, c := range circuits {
+			sizes[i] = c.H.NumCells()
+		}
+		for _, s := range sizes {
+			minCells += s
+		}
+		minCells /= len(sizes) // mean size as the largeness bar
+	}
+
+	t := &Table{
+		ID:      "repro-check",
+		Title:   fmt.Sprintf("paper shape claims, %d runs per engine (large = > %d cells)", opts.Runs, minCells),
+		Columns: []string{"claim", "wins", "of", "verdict"},
+		Notes: []string{
+			"Each claim counts per-circuit wins on average cut over the large circuits;",
+			"a claim passes when it wins a strict majority. Run at -scale medium or",
+			"larger: at tiny/small scales the LIFO-vs-FIFO and ML_C-vs-ML_F claims are",
+			"within noise (the paper makes them about its larger instances).",
+		},
+	}
+
+	type claim struct {
+		name string
+		a, b func(c circuitHandle) Algo // claim: mean(a) ≤ mean(b)
+	}
+	claims := []claim{
+		{"LIFO beats FIFO (Table II)",
+			func(c circuitHandle) Algo { return algoFMOrder(c.h(), gainbucket.LIFO) },
+			func(c circuitHandle) Algo { return algoFMOrder(c.h(), gainbucket.FIFO) }},
+		{"CLIP beats FM (Table III)",
+			func(c circuitHandle) Algo { return algoCLIP(c.h()) },
+			func(c circuitHandle) Algo { return algoFM(c.h(), fm.Config{}) }},
+		{"ML_C beats CLIP (Table IV)",
+			func(c circuitHandle) Algo { return algoML(c.h(), fm.EngineCLIP, 1.0) },
+			func(c circuitHandle) Algo { return algoCLIP(c.h()) }},
+		{"ML_C beats ML_F on avg (Table IV)",
+			func(c circuitHandle) Algo { return algoML(c.h(), fm.EngineCLIP, 1.0) },
+			func(c circuitHandle) Algo { return algoML(c.h(), fm.EngineFM, 1.0) }},
+		{"ML_F 4-way beats flat 4-way FM (Table IX)",
+			func(c circuitHandle) Algo { return algoMLQuad(c.h(), fm.EngineFM) },
+			func(c circuitHandle) Algo { return algoKway4(c.h(), fm.EngineFM) }},
+		{"ML_F 4-way beats GORDIAN (Table IX)",
+			func(c circuitHandle) Algo { return algoMLQuad(c.h(), fm.EngineFM) },
+			func(c circuitHandle) Algo { return algoGordian(c.c) }},
+	}
+
+	for _, cl := range claims {
+		wins, total := 0, 0
+		for _, c := range circuits {
+			if c.H.NumCells() <= minCells {
+				continue
+			}
+			total++
+			handle := circuitHandle{c: c}
+			ra := RunMany(opts.Runs, opts.Workers, opts.Seed, cl.a(handle))
+			rb := RunMany(opts.Runs, opts.Workers, opts.Seed, cl.b(handle))
+			if ra.Err != nil {
+				return nil, ra.Err
+			}
+			if rb.Err != nil {
+				return nil, rb.Err
+			}
+			if ra.Mean() <= rb.Mean() {
+				wins++
+			}
+		}
+		verdict := "FAIL"
+		if total == 0 {
+			verdict = "SKIP (no large circuits)"
+		} else if wins*2 > total {
+			verdict = "PASS"
+		}
+		t.AddRow(cl.name, fmtD(wins), fmtD(total), verdict)
+	}
+	return t, nil
+}
+
+// circuitHandle defers hypergraph access inside claim closures.
+type circuitHandle struct{ c *netgen.Circuit }
+
+func (h circuitHandle) h() *hypergraph.Hypergraph { return h.c.H }

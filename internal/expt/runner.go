@@ -1,0 +1,87 @@
+package expt
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"mlpart/internal/stats"
+)
+
+// Algo is one partitioning algorithm under test: it runs once with
+// the given RNG and returns the solution cost (cut).
+type Algo func(rng *rand.Rand) (int, error)
+
+// RunStats aggregates a multi-run experiment for one (circuit,
+// algorithm) pair.
+type RunStats struct {
+	stats.Acc
+	// CPU is the summed per-run wall time — the analogue of the
+	// paper's "total CPU time for 100 runs" columns, independent of
+	// the worker parallelism used to gather it.
+	CPU time.Duration
+	Err error
+}
+
+// splitmix64 derives decorrelated per-run seeds from a base seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RunSeed returns the deterministic RNG seed of run i under base.
+func RunSeed(base int64, i int) int64 {
+	return int64(splitmix64(uint64(base) + uint64(i)*0x9e3779b9))
+}
+
+// RunMany executes algo runs times with deterministic per-run seeds,
+// spreading runs over at most workers goroutines, and aggregates the
+// results. The first error aborts remaining runs (best effort) and is
+// reported in RunStats.Err.
+func RunMany(runs, workers int, baseSeed int64, algo Algo) RunStats {
+	if workers > runs {
+		workers = runs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type runResult struct {
+		cut int
+		dur time.Duration
+		err error
+	}
+	results := make([]runResult, runs)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rng := rand.New(rand.NewSource(RunSeed(baseSeed, i)))
+				start := time.Now()
+				cut, err := algo(rng)
+				results[i] = runResult{cut: cut, dur: time.Since(start), err: err}
+			}
+		}()
+	}
+	for i := 0; i < runs; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	var out RunStats
+	for _, r := range results {
+		if r.err != nil && out.Err == nil {
+			out.Err = r.err
+		}
+		if r.err == nil {
+			out.Add(r.cut)
+			out.CPU += r.dur
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package expt
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable experiment result in the layout of the paper's
+// tables: one row per circuit, column groups per algorithm/metric.
+type Table struct {
+	ID      string // experiment id, e.g. "table4"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row; it must match the column count.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("expt: row has %d cells, table %s has %d columns", len(cells), t.ID, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Format renders the table with aligned columns.
+func (t *Table) Format(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total-2))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// FormatCSV renders the table as RFC-4180 CSV (header row + data
+// rows; the title and notes become leading comment records prefixed
+// with '#').
+func (t *Table) FormatCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"# " + t.ID + ": " + t.Title}); err != nil {
+		return err
+	}
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if err := cw.Write([]string{"# " + n}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// fmtF renders a float with one decimal, "-" for NaN-ish sentinels.
+func fmtF(x float64) string { return fmt.Sprintf("%.1f", x) }
+
+// fmtD renders an int.
+func fmtD(x int) string { return fmt.Sprintf("%d", x) }
+
+// fmtSecs renders a duration column in seconds.
+func fmtSecs(s float64) string { return fmt.Sprintf("%.2f", s) }
+
+// fmtRef renders a literature reference value, "-" when the paper
+// left the entry blank.
+func fmtRef(x int) string {
+	if x < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", x)
+}

@@ -1,0 +1,389 @@
+package gainbucket
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertBestRemove(t *testing.T) {
+	s := New(10, 5, LIFO, nil)
+	s.Insert(3, 2)
+	s.Insert(7, -1)
+	s.Insert(1, 4)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	v, g, ok := s.Best()
+	if !ok || v != 1 || g != 4 {
+		t.Fatalf("Best = (%d,%d,%v), want (1,4,true)", v, g, ok)
+	}
+	s.Remove(1)
+	v, g, ok = s.Best()
+	if !ok || v != 3 || g != 2 {
+		t.Fatalf("Best after remove = (%d,%d,%v), want (3,2,true)", v, g, ok)
+	}
+	s.Remove(3)
+	s.Remove(7)
+	if _, _, ok := s.Best(); ok {
+		t.Fatal("Best on empty structure should report !ok")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLIFOOrderWithinBucket(t *testing.T) {
+	s := New(10, 3, LIFO, nil)
+	s.Insert(1, 0)
+	s.Insert(2, 0)
+	s.Insert(3, 0)
+	// LIFO: last inserted first.
+	v, _, _ := s.Best()
+	if v != 3 {
+		t.Errorf("LIFO Best = %d, want 3", v)
+	}
+	s.Remove(3)
+	v, _, _ = s.Best()
+	if v != 2 {
+		t.Errorf("LIFO Best = %d, want 2", v)
+	}
+}
+
+func TestFIFOOrderWithinBucket(t *testing.T) {
+	s := New(10, 3, FIFO, nil)
+	s.Insert(1, 0)
+	s.Insert(2, 0)
+	s.Insert(3, 0)
+	v, _, _ := s.Best()
+	if v != 1 {
+		t.Errorf("FIFO Best = %d, want 1", v)
+	}
+	s.Remove(1)
+	v, _, _ = s.Best()
+	if v != 2 {
+		t.Errorf("FIFO Best = %d, want 2", v)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFIFOInterleavedRemove(t *testing.T) {
+	s := New(10, 3, FIFO, nil)
+	s.Insert(1, 1)
+	s.Insert(2, 1)
+	s.Remove(1)
+	s.Insert(3, 1)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ := s.Best()
+	if v != 2 {
+		t.Errorf("Best = %d, want 2", v)
+	}
+	s.Remove(2)
+	v, _, _ = s.Best()
+	if v != 3 {
+		t.Errorf("Best = %d, want 3", v)
+	}
+}
+
+func TestRandomOrderCoversBucket(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	seen := map[int32]bool{}
+	for trial := 0; trial < 200; trial++ {
+		s := New(10, 3, Random, rng)
+		s.Insert(1, 0)
+		s.Insert(2, 0)
+		s.Insert(3, 0)
+		v, _, _ := s.Best()
+		seen[v] = true
+	}
+	for _, want := range []int32{1, 2, 3} {
+		if !seen[want] {
+			t.Errorf("random selection never chose cell %d", want)
+		}
+	}
+}
+
+func TestUpdateMovesBuckets(t *testing.T) {
+	s := New(5, 4, LIFO, nil)
+	s.Insert(0, 1)
+	s.Insert(1, 1)
+	s.Update(0, 3)
+	v, g, _ := s.Best()
+	if v != 0 || g != 3 {
+		t.Errorf("Best = (%d,%d), want (0,3)", v, g)
+	}
+	if s.Gain(1) != 1 {
+		t.Errorf("Gain(1) = %d, want 1", s.Gain(1))
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxCursorDescendsAndBumps(t *testing.T) {
+	s := New(5, 4, LIFO, nil)
+	s.Insert(0, 4)
+	s.Insert(1, -4)
+	s.Remove(0)
+	if _, g, _ := s.Best(); g != -4 {
+		t.Errorf("Best gain = %d, want -4", g)
+	}
+	s.Insert(2, 2)
+	if _, g, _ := s.Best(); g != 2 {
+		t.Errorf("Best gain = %d, want 2 after re-insert above cursor", g)
+	}
+}
+
+func TestIterateDecreasingGain(t *testing.T) {
+	s := New(10, 5, LIFO, nil)
+	s.Insert(0, -2)
+	s.Insert(1, 3)
+	s.Insert(2, 3)
+	s.Insert(3, 0)
+	var gains []int
+	s.Iterate(func(v int32, g int) bool {
+		gains = append(gains, g)
+		return true
+	})
+	want := []int{3, 3, 0, -2}
+	if len(gains) != len(want) {
+		t.Fatalf("iterated %d cells, want %d", len(gains), len(want))
+	}
+	for i := range want {
+		if gains[i] != want[i] {
+			t.Errorf("gain[%d] = %d, want %d", i, gains[i], want[i])
+		}
+	}
+}
+
+func TestIterateEarlyStop(t *testing.T) {
+	s := New(10, 5, LIFO, nil)
+	for i := int32(0); i < 6; i++ {
+		s.Insert(i, int(i%3))
+	}
+	n := 0
+	s.Iterate(func(v int32, g int) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Errorf("iterated %d cells, want 2", n)
+	}
+}
+
+func TestIterateRandomVisitsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := New(10, 5, Random, rng)
+	for i := int32(0); i < 6; i++ {
+		s.Insert(i, 1)
+	}
+	seen := map[int32]bool{}
+	s.Iterate(func(v int32, g int) bool {
+		seen[v] = true
+		return true
+	})
+	if len(seen) != 6 {
+		t.Errorf("random iterate saw %d cells, want 6", len(seen))
+	}
+}
+
+func TestConcatenateToZero(t *testing.T) {
+	s := New(10, 3, LIFO, nil)
+	// Cells with initial gains: 5→3, 6→3, 7→1, 8→-2.
+	s.Insert(5, 3)
+	s.Insert(6, 3)
+	s.Insert(7, 1)
+	s.Insert(8, -2)
+	s.ConcatenateToZero()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d after concat, want 4", s.Len())
+	}
+	// All cells now at gain 0; LIFO pops must come out in decreasing
+	// initial gain order: 6 or 5 first (LIFO within-bucket order is
+	// newest first: 6 then 5), then 7, then 8.
+	var order []int32
+	for s.Len() > 0 {
+		v, g, _ := s.Best()
+		if g != 0 {
+			t.Errorf("gain = %d after concat, want 0", g)
+		}
+		order = append(order, v)
+		s.Remove(v)
+	}
+	want := []int32{6, 5, 7, 8}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestConcatenateEmpty(t *testing.T) {
+	s := New(4, 2, LIFO, nil)
+	s.ConcatenateToZero()
+	if _, _, ok := s.Best(); ok {
+		t.Error("empty structure should stay empty after concat")
+	}
+}
+
+func TestConcatenateFIFO(t *testing.T) {
+	s := New(10, 3, FIFO, nil)
+	s.Insert(1, 2)
+	s.Insert(2, 2)
+	s.Insert(3, -1)
+	s.ConcatenateToZero()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// FIFO within bucket 2 was 1 then 2; concat preserves order.
+	var order []int32
+	for s.Len() > 0 {
+		v, _, _ := s.Best()
+		order = append(order, v)
+		s.Remove(v)
+	}
+	want := []int32{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := New(10, 3, LIFO, nil)
+	for i := int32(0); i < 5; i++ {
+		s.Insert(i, int(i%3)-1)
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after Clear", s.Len())
+	}
+	if s.Contains(2) {
+		t.Error("Contains(2) after Clear")
+	}
+	s.Insert(2, 1) // must not panic
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPanicOnDoubleInsert(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on double insert")
+		}
+	}()
+	s := New(4, 2, LIFO, nil)
+	s.Insert(1, 0)
+	s.Insert(1, 1)
+}
+
+func TestPanicOnGainOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-range gain")
+		}
+	}()
+	s := New(4, 2, LIFO, nil)
+	s.Insert(1, 5)
+}
+
+func TestPanicOnRemoveAbsent(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on removing absent cell")
+		}
+	}()
+	s := New(4, 2, LIFO, nil)
+	s.Remove(1)
+}
+
+func TestZeroMaxGain(t *testing.T) {
+	s := New(4, 0, LIFO, nil)
+	s.Insert(0, 0)
+	v, g, ok := s.Best()
+	if !ok || v != 0 || g != 0 {
+		t.Errorf("Best = (%d,%d,%v)", v, g, ok)
+	}
+}
+
+// TestPropertyRandomOps drives a random sequence of insert / remove /
+// update operations against all three orders and checks the linked
+// structure plus a reference map after every step.
+func TestPropertyRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, order := range []Order{LIFO, FIFO, Random} {
+			n := 20
+			maxG := 6
+			s := New(n, maxG, order, rng)
+			ref := map[int32]int{}
+			for step := 0; step < 300; step++ {
+				v := int32(rng.Intn(n))
+				switch rng.Intn(3) {
+				case 0:
+					if _, in := ref[v]; !in {
+						g := rng.Intn(2*maxG+1) - maxG
+						s.Insert(v, g)
+						ref[v] = g
+					}
+				case 1:
+					if _, in := ref[v]; in {
+						s.Remove(v)
+						delete(ref, v)
+					}
+				case 2:
+					if _, in := ref[v]; in {
+						g := rng.Intn(2*maxG+1) - maxG
+						s.Update(v, g)
+						ref[v] = g
+					}
+				}
+			}
+			if s.Len() != len(ref) {
+				return false
+			}
+			if err := s.CheckInvariants(); err != nil {
+				return false
+			}
+			for v, g := range ref {
+				if !s.Contains(v) || s.Gain(v) != g {
+					return false
+				}
+			}
+			// Best must return a max-gain cell.
+			if len(ref) > 0 {
+				best := -maxG - 1
+				for _, g := range ref {
+					if g > best {
+						best = g
+					}
+				}
+				if _, g, ok := s.Best(); !ok || g != best {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	if LIFO.String() != "LIFO" || FIFO.String() != "FIFO" || Random.String() != "RND" {
+		t.Error("Order String() labels wrong")
+	}
+	if Order(99).String() == "" {
+		t.Error("unknown order should still stringify")
+	}
+}

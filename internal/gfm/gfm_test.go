@@ -1,0 +1,116 @@
+package gfm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlpart/internal/fm"
+	"mlpart/internal/hypergraph"
+)
+
+func randomH(rng *rand.Rand, n, m, maxPins int) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder(n)
+	for e := 0; e < m; e++ {
+		size := 2 + rng.Intn(maxPins-1)
+		pins := make([]int, size)
+		for i := range pins {
+			pins[i] = rng.Intn(n)
+		}
+		b.AddNet(pins...)
+	}
+	return b.MustBuild()
+}
+
+func TestGFMValidBalanced(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomH(rng, 30+rng.Intn(80), 50+rng.Intn(100), 5)
+		p, res, err := Bipartition(h, Config{}, rng)
+		if err != nil {
+			return false
+		}
+		if res.Cut != p.Cut(h) {
+			return false
+		}
+		return p.IsBalanced(h, hypergraph.Balance(h, 2, 0.1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGFMAtLeastAsGoodAsSingleFM(t *testing.T) {
+	// GFM's first round IS an FM run; further rounds only keep
+	// improvements, so GFM ≤ FM for the same seed.
+	rng := rand.New(rand.NewSource(3))
+	h := randomH(rng, 150, 300, 5)
+	for seed := int64(0); seed < 5; seed++ {
+		_, fres, err := fm.Partition(h, nil, fm.Config{}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, gres, err := Bipartition(h, Config{}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gres.Cut > fres.Cut {
+			t.Errorf("seed %d: GFM %d worse than plain FM %d", seed, gres.Cut, fres.Cut)
+		}
+	}
+}
+
+func TestGFMFindsOptimumOnTwoCliques(t *testing.T) {
+	b := hypergraph.NewBuilder(16)
+	for g := 0; g < 2; g++ {
+		base := g * 8
+		for i := 0; i < 8; i++ {
+			for j := i + 1; j < 8; j++ {
+				b.AddNet(base+i, base+j)
+			}
+		}
+	}
+	b.AddNet(0, 8)
+	h := b.MustBuild()
+	found := false
+	for seed := int64(0); seed < 5; seed++ {
+		_, res, err := Bipartition(h, Config{}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cut == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("GFM never found the optimum")
+	}
+}
+
+func TestGFMRoundsBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := randomH(rng, 100, 200, 4)
+	_, res, err := Bipartition(h, Config{MaxRounds: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds > 3 {
+		t.Errorf("rounds = %d > 3", res.Rounds)
+	}
+}
+
+func TestGFMEmptyAndErrors(t *testing.T) {
+	h := hypergraph.NewBuilder(0).MustBuild()
+	if _, res, err := Bipartition(h, Config{}, rand.New(rand.NewSource(0))); err != nil || res.Cut != 0 {
+		t.Errorf("empty: %v %v", res, err)
+	}
+	h2 := randomH(rand.New(rand.NewSource(1)), 10, 15, 3)
+	for _, bad := range []Config{
+		{MaxRounds: -1}, {GradientSteps: -1}, {CliqueLimit: 1},
+		{Refine: fm.Config{Tolerance: 9}},
+	} {
+		if _, _, err := Bipartition(h2, bad, rand.New(rand.NewSource(0))); err == nil {
+			t.Errorf("bad config accepted: %+v", bad)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package hypergraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the file parsers: any input must either parse into
+// a hypergraph that passes Validate, or return an error — never panic
+// and never produce an invalid structure.
+
+func FuzzReadHGR(f *testing.F) {
+	f.Add("2 3\n1 2\n2 3\n")
+	f.Add("1 2 10\n1 2\n4\n7\n")
+	f.Add("% comment\n\n2 3\n1 2 3\n1 3\n")
+	f.Add("")
+	f.Add("0 0\n")
+	f.Add("1 2 11\n1 2\n")
+	f.Add("9999999 2\n1 2\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		h, err := ReadHGR(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("parsed invalid hypergraph from %q: %v", in, err)
+		}
+		// Valid parses must round-trip.
+		var buf bytes.Buffer
+		if err := WriteHGR(&buf, h); err != nil {
+			t.Fatalf("write after parse: %v", err)
+		}
+		h2, err := ReadHGR(&buf)
+		if err != nil {
+			t.Fatalf("reparse: %v", err)
+		}
+		if h2.NumCells() != h.NumCells() || h2.NumNets() != h.NumNets() || h2.NumPins() != h.NumPins() {
+			t.Fatal("round trip changed sizes")
+		}
+	})
+}
+
+func FuzzReadNetD(f *testing.F) {
+	f.Add("0\n5\n2\n4\n2\na0 s\na1 l\np1 l\na1 s\na2 l\n")
+	f.Add("0\n2\n1\n2\n0\na0 s\np1 l\n")
+	f.Add("")
+	f.Add("0\n0\n0\n1\n-1\n")
+	f.Add("0\n2\n1\n2\n0\na0 s I\np1 l O\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		c, err := ReadNetD(strings.NewReader(in), nil)
+		if err != nil {
+			return
+		}
+		if err := c.H.Validate(); err != nil {
+			t.Fatalf("parsed invalid hypergraph from %q: %v", in, err)
+		}
+		if len(c.Pads) != c.H.NumCells() {
+			t.Fatal("pads length mismatch")
+		}
+	})
+}
+
+func FuzzReadPartition(f *testing.F) {
+	f.Add("0\n1\n0\n", 3)
+	f.Add("", 0)
+	f.Add("2\n2\n1\n0\n", 4)
+	f.Fuzz(func(t *testing.T, in string, n int) {
+		if n < 0 || n > 1<<16 {
+			return
+		}
+		p, err := ReadPartition(strings.NewReader(in), n)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(n); err != nil {
+			t.Fatalf("parsed invalid partition from %q: %v", in, err)
+		}
+	})
+}

@@ -1,0 +1,204 @@
+package hypergraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The .hgr format is the hMETIS hypergraph format commonly used for
+// circuit partitioning benchmarks:
+//
+//	<numNets> <numCells> [fmt]
+//	<pin> <pin> ...        (one line per net, 1-based cell indices)
+//	[<area>]               (one line per cell, iff fmt contains the
+//	                        weight flag 10 or 11)
+//
+// Lines starting with '%' are comments. All four fmt values are
+// supported: "" (no weights), "1" (net weights lead each net line),
+// "10" (cell weights), "11" (both).
+
+// WriteHGR writes h in hMETIS .hgr format. Cell areas are emitted
+// (fmt 10) unless every cell has unit area.
+func WriteHGR(w io.Writer, h *Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	unit := true
+	for v := 0; v < h.NumCells(); v++ {
+		if h.Area(v) != 1 {
+			unit = false
+			break
+		}
+	}
+	weighted := h.Weighted()
+	switch {
+	case unit && !weighted:
+		fmt.Fprintf(bw, "%d %d\n", h.NumNets(), h.NumCells())
+	case unit && weighted:
+		fmt.Fprintf(bw, "%d %d 1\n", h.NumNets(), h.NumCells())
+	case !unit && !weighted:
+		fmt.Fprintf(bw, "%d %d 10\n", h.NumNets(), h.NumCells())
+	default:
+		fmt.Fprintf(bw, "%d %d 11\n", h.NumNets(), h.NumCells())
+	}
+	for e := 0; e < h.NumNets(); e++ {
+		if weighted {
+			bw.WriteString(strconv.Itoa(int(h.NetWeight(e))))
+			bw.WriteByte(' ')
+		}
+		pins := h.Pins(e)
+		for i, p := range pins {
+			if i > 0 {
+				bw.WriteByte(' ')
+			}
+			bw.WriteString(strconv.Itoa(int(p) + 1))
+		}
+		bw.WriteByte('\n')
+	}
+	if !unit {
+		for v := 0; v < h.NumCells(); v++ {
+			fmt.Fprintf(bw, "%d\n", h.Area(v))
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadHGR parses an hMETIS .hgr hypergraph.
+func ReadHGR(r io.Reader) (*Hypergraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line, err := nextLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("hgr: missing header: %w", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 || len(fields) > 3 {
+		return nil, fmt.Errorf("hgr: malformed header %q", line)
+	}
+	numNets, err := strconv.Atoi(fields[0])
+	if err != nil || numNets < 0 {
+		return nil, fmt.Errorf("hgr: bad net count %q", fields[0])
+	}
+	numCells, err := strconv.Atoi(fields[1])
+	if err != nil || numCells < 0 {
+		return nil, fmt.Errorf("hgr: bad cell count %q", fields[1])
+	}
+	cellWeights, netWeights := false, false
+	if len(fields) == 3 {
+		switch fields[2] {
+		case "0", "00":
+			// no weights
+		case "1", "01":
+			netWeights = true
+		case "10":
+			cellWeights = true
+		case "11":
+			cellWeights, netWeights = true, true
+		default:
+			return nil, fmt.Errorf("hgr: unsupported fmt %q", fields[2])
+		}
+	}
+	b := NewBuilder(numCells)
+	pins := make([]int32, 0, 16)
+	for e := 0; e < numNets; e++ {
+		line, err := nextLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("hgr: net %d: %w", e+1, err)
+		}
+		fs := strings.Fields(line)
+		weight := int32(1)
+		if netWeights {
+			if len(fs) == 0 {
+				return nil, fmt.Errorf("hgr: net %d: missing weight", e+1)
+			}
+			w, err := strconv.Atoi(fs[0])
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("hgr: net %d: bad weight %q", e+1, fs[0])
+			}
+			weight = int32(w)
+			fs = fs[1:]
+		}
+		pins = pins[:0]
+		for _, f := range fs {
+			p, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("hgr: net %d: bad pin %q", e+1, f)
+			}
+			if p < 1 || p > numCells {
+				return nil, fmt.Errorf("hgr: net %d: pin %d out of range [1,%d]", e+1, p, numCells)
+			}
+			pins = append(pins, int32(p-1))
+		}
+		b.AddWeightedNet32(weight, pins)
+	}
+	if cellWeights {
+		for v := 0; v < numCells; v++ {
+			line, err := nextLine(sc)
+			if err != nil {
+				return nil, fmt.Errorf("hgr: weight of cell %d: %w", v+1, err)
+			}
+			a, err := strconv.ParseInt(strings.TrimSpace(line), 10, 64)
+			if err != nil || a < 0 {
+				return nil, fmt.Errorf("hgr: bad weight %q for cell %d", line, v+1)
+			}
+			b.SetArea(v, a)
+		}
+	}
+	return b.Build()
+}
+
+func nextLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}
+
+// WritePartition writes a partition as one block index per line
+// (cell order), the format used by hMETIS and friends.
+func WritePartition(w io.Writer, p *Partition) error {
+	bw := bufio.NewWriter(w)
+	for _, k := range p.Part {
+		fmt.Fprintf(bw, "%d\n", k)
+	}
+	return bw.Flush()
+}
+
+// ReadPartition reads a one-block-index-per-line partition for a
+// hypergraph with numCells cells; K is inferred as max+1.
+func ReadPartition(r io.Reader, numCells int) (*Partition, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	p := &Partition{Part: make([]int32, 0, numCells)}
+	maxK := int32(0)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		k, err := strconv.Atoi(line)
+		if err != nil || k < 0 {
+			return nil, fmt.Errorf("partition: bad block index %q on line %d", line, len(p.Part)+1)
+		}
+		p.Part = append(p.Part, int32(k))
+		if int32(k) > maxK {
+			maxK = int32(k)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(p.Part) != numCells {
+		return nil, fmt.Errorf("partition: file has %d cells, expected %d", len(p.Part), numCells)
+	}
+	p.K = int(maxK) + 1
+	return p, nil
+}

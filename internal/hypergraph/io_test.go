@@ -1,0 +1,152 @@
+package hypergraph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHGRRoundTripUnitAreas(t *testing.T) {
+	h := tiny(t)
+	var buf bytes.Buffer
+	if err := WriteHGR(&buf, h); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadHGR(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.NumCells() != h.NumCells() || got.NumNets() != h.NumNets() || got.NumPins() != h.NumPins() {
+		t.Errorf("round trip mismatch: %v vs %v", got, h)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestHGRRoundTripWeighted(t *testing.T) {
+	h, err := NewBuilder(3).
+		SetArea(0, 5).SetArea(1, 2).SetArea(2, 9).
+		AddNet(0, 1).AddNet(1, 2).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteHGR(&buf, h); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if !strings.Contains(buf.String(), "10") {
+		t.Errorf("weighted hypergraph should emit fmt 10 header:\n%s", buf.String())
+	}
+	got, err := ReadHGR(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	for v := 0; v < 3; v++ {
+		if got.Area(v) != h.Area(v) {
+			t.Errorf("area(%d) = %d, want %d", v, got.Area(v), h.Area(v))
+		}
+	}
+}
+
+func TestReadHGRCommentsAndBlank(t *testing.T) {
+	in := "% a comment\n\n2 3\n% nets follow\n1 2\n\n2 3\n"
+	h, err := ReadHGR(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if h.NumCells() != 3 || h.NumNets() != 2 {
+		t.Errorf("got %v", h)
+	}
+}
+
+func TestReadHGRErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "x y\n",
+		"short header":   "5\n",
+		"bad fmt":        "1 2 7\n1 2\n",
+		"bad net weight": "1 2 1\n0 1 2\n",
+		"pin range":      "1 2\n1 9\n",
+		"pin zero":       "1 2\n0 1\n",
+		"missing net":    "2 3\n1 2\n",
+		"bad pin":        "1 2\nfoo bar\n",
+		"missing weight": "1 2 10\n1 2\n",
+		"bad weight":     "1 2 10\n1 2\nx\ny\n",
+		"neg nets":       "-1 2\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadHGR(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestPartitionRoundTrip(t *testing.T) {
+	p := &Partition{Part: []int32{0, 1, 2, 1, 0}, K: 3}
+	var buf bytes.Buffer
+	if err := WritePartition(&buf, p); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadPartition(&buf, 5)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.K != 3 {
+		t.Errorf("K = %d, want 3", got.K)
+	}
+	for v := range p.Part {
+		if got.Part[v] != p.Part[v] {
+			t.Errorf("cell %d: %d vs %d", v, got.Part[v], p.Part[v])
+		}
+	}
+}
+
+func TestReadPartitionErrors(t *testing.T) {
+	if _, err := ReadPartition(strings.NewReader("0\n1\n"), 3); err == nil {
+		t.Error("expected cell-count error")
+	}
+	if _, err := ReadPartition(strings.NewReader("0\n-1\n"), 2); err == nil {
+		t.Error("expected negative-index error")
+	}
+	if _, err := ReadPartition(strings.NewReader("0\nzebra\n"), 2); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestPropertyHGRRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomHypergraph(rng, 2+rng.Intn(30), rng.Intn(60))
+		var buf bytes.Buffer
+		if err := WriteHGR(&buf, h); err != nil {
+			return false
+		}
+		got, err := ReadHGR(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumCells() != h.NumCells() || got.NumNets() != h.NumNets() ||
+			got.NumPins() != h.NumPins() || got.TotalArea() != h.TotalArea() {
+			return false
+		}
+		for e := 0; e < h.NumNets(); e++ {
+			a, b := h.Pins(e), got.Pins(e)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,215 @@
+package hypergraph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadNetDBasic(t *testing.T) {
+	// 2 nets: {a0, a1, p1} and {a1, a2}. 3 cells + 1 pad.
+	netD := `0
+5
+2
+4
+2
+a0 s
+a1 l
+p1 l
+a1 s
+a2 l
+`
+	are := "a0 4\na1 2\na2 1\np1 1\n"
+	c, err := ReadNetD(strings.NewReader(netD), strings.NewReader(are))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.H
+	if h.NumCells() != 4 || h.NumNets() != 2 || h.NumPins() != 5 {
+		t.Fatalf("parsed %v", h)
+	}
+	if h.Area(0) != 4 || h.Area(1) != 2 || h.Area(3) != 1 {
+		t.Errorf("areas wrong: %d %d %d", h.Area(0), h.Area(1), h.Area(3))
+	}
+	if !c.Pads[3] || c.Pads[0] || c.Pads[1] || c.Pads[2] {
+		t.Errorf("pads = %v, want only p1 (index 3)", c.Pads)
+	}
+	if h.Name(3) != "p1" || h.Name(0) != "a0" {
+		t.Errorf("names: %q %q", h.Name(3), h.Name(0))
+	}
+	if err := h.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadNetDNoAreaFile(t *testing.T) {
+	netD := "0\n2\n1\n2\n0\na0 s\np1 l\n"
+	c, err := ReadNetD(strings.NewReader(netD), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.H.Area(0) != 1 || c.H.Area(1) != 1 {
+		t.Error("missing .are must mean unit areas")
+	}
+}
+
+func TestReadNetDWithDirections(t *testing.T) {
+	netD := "0\n2\n1\n2\n0\na0 s O\np1 l I\n"
+	c, err := ReadNetD(strings.NewReader(netD), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.H.NumNets() != 1 {
+		t.Errorf("nets = %d", c.H.NumNets())
+	}
+}
+
+func TestReadNetDErrors(t *testing.T) {
+	cases := map[string]struct{ netD, are string }{
+		"empty":            {"", ""},
+		"bad magic":        {"7\n1\n1\n1\n0\na0 s\n", ""},
+		"bad header":       {"0\nx\n1\n1\n0\n", ""},
+		"pin count":        {"0\n9\n1\n2\n0\na0 s\np1 l\n", ""},
+		"net count":        {"0\n4\n1\n2\n0\na0 s\np1 l\na0 s\np1 l\n", ""},
+		"l before s":       {"0\n2\n1\n2\n0\na0 l\np1 l\n", ""},
+		"bad marker":       {"0\n2\n1\n2\n0\na0 x\np1 l\n", ""},
+		"bad module":       {"0\n2\n1\n2\n0\nq0 s\np1 l\n", ""},
+		"cell range":       {"0\n2\n1\n2\n0\na5 s\np1 l\n", ""},
+		"pad range":        {"0\n2\n1\n2\n0\na0 s\np9 l\n", ""},
+		"pad offset range": {"0\n2\n1\n2\n7\na0 s\np1 l\n", ""},
+		"malformed pin":    {"0\n2\n1\n2\n0\na0\n", ""},
+		"bad are line":     {"0\n2\n1\n2\n0\na0 s\np1 l\n", "a0\n"},
+		"bad area value":   {"0\n2\n1\n2\n0\na0 s\np1 l\n", "a0 -3\n"},
+	}
+	for name, tc := range cases {
+		var areR *strings.Reader
+		if tc.are != "" {
+			areR = strings.NewReader(tc.are)
+		}
+		var err error
+		if areR != nil {
+			_, err = ReadNetD(strings.NewReader(tc.netD), areR)
+		} else {
+			_, err = ReadNetD(strings.NewReader(tc.netD), nil)
+		}
+		if err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteNetDRoundTripPadsLast(t *testing.T) {
+	// When pads already occupy the last indices, the canonical
+	// renaming preserves cell order, so the round trip is exact.
+	b := NewBuilder(5)
+	b.SetArea(0, 3).SetArea(4, 2)
+	b.AddNet(0, 1, 4)
+	b.AddNet(1, 2)
+	b.AddNet(2, 3, 4)
+	h := b.MustBuild()
+	pads := []bool{false, false, false, false, true}
+	var netBuf, areBuf bytes.Buffer
+	if err := WriteNetD(&netBuf, &areBuf, h, pads); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ReadNetD(bytes.NewReader(netBuf.Bytes()), bytes.NewReader(areBuf.Bytes()))
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, netBuf.String())
+	}
+	if c.H.NumCells() != 5 || c.H.NumNets() != 3 || c.H.NumPins() != h.NumPins() {
+		t.Fatalf("round trip mismatch: %v", c.H)
+	}
+	for e := 0; e < 3; e++ {
+		a, bp := h.Pins(e), c.H.Pins(e)
+		for i := range a {
+			if a[i] != bp[i] {
+				t.Fatalf("net %d pin %d: %d vs %d", e, i, a[i], bp[i])
+			}
+		}
+	}
+	if c.H.Area(0) != 3 || c.H.Area(4) != 2 {
+		t.Error("areas lost")
+	}
+	if !c.Pads[4] {
+		t.Error("pad flag lost")
+	}
+}
+
+func TestWriteNetDPermutedPadsIsomorphic(t *testing.T) {
+	// Pads in the middle get renamed to the end; the round trip is an
+	// isomorphic hypergraph (same sizes, net-size multiset, areas).
+	b := NewBuilder(4)
+	b.AddNet(0, 1).AddNet(1, 2).AddNet(2, 3)
+	h := b.MustBuild()
+	pads := []bool{false, true, false, false}
+	var netBuf bytes.Buffer
+	if err := WriteNetD(&netBuf, nil, h, pads); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ReadNetD(bytes.NewReader(netBuf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.H.NumCells() != 4 || c.H.NumNets() != 3 || c.H.NumPins() != 6 {
+		t.Fatalf("got %v", c.H)
+	}
+	nPads := 0
+	for _, p := range c.Pads {
+		if p {
+			nPads++
+		}
+	}
+	if nPads != 1 {
+		t.Errorf("pads = %d, want 1", nPads)
+	}
+}
+
+func TestWriteNetDErrors(t *testing.T) {
+	h := NewBuilder(2).AddNet(0, 1).MustBuild()
+	var buf bytes.Buffer
+	if err := WriteNetD(&buf, nil, h, make([]bool, 5)); err == nil {
+		t.Error("wrong pad length accepted")
+	}
+}
+
+func TestPropertyNetDRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		h := randomHypergraph(rng, n, 5+rng.Intn(40))
+		pads := make([]bool, n)
+		// pads-last layout for exact round trip
+		for v := n - 1 - rng.Intn(n/3+1); v < n; v++ {
+			pads[v] = true
+		}
+		var netBuf, areBuf bytes.Buffer
+		if err := WriteNetD(&netBuf, &areBuf, h, pads); err != nil {
+			return false
+		}
+		c, err := ReadNetD(bytes.NewReader(netBuf.Bytes()), bytes.NewReader(areBuf.Bytes()))
+		if err != nil {
+			return false
+		}
+		if c.H.NumCells() != h.NumCells() || c.H.NumNets() != h.NumNets() ||
+			c.H.NumPins() != h.NumPins() || c.H.TotalArea() != h.TotalArea() {
+			return false
+		}
+		for e := 0; e < h.NumNets(); e++ {
+			a, bp := h.Pins(e), c.H.Pins(e)
+			if len(a) != len(bp) {
+				return false
+			}
+			for i := range a {
+				if a[i] != bp[i] {
+					return false
+				}
+			}
+		}
+		return c.H.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,309 @@
+package hypergraph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Partition is a k-way partitioning of the cells of a hypergraph:
+// Part[v] is the block index in [0, K) of cell v. A bipartitioning is
+// the K = 2 case.
+type Partition struct {
+	Part []int32
+	K    int
+}
+
+// NewPartition returns an all-zeros partition of numCells cells into
+// k blocks.
+func NewPartition(numCells, k int) *Partition {
+	return &Partition{Part: make([]int32, numCells), K: k}
+}
+
+// Clone returns a deep copy of p.
+func (p *Partition) Clone() *Partition {
+	q := &Partition{Part: make([]int32, len(p.Part)), K: p.K}
+	copy(q.Part, p.Part)
+	return q
+}
+
+// Validate checks that p is a well-formed partition of a hypergraph
+// with numCells cells.
+func (p *Partition) Validate(numCells int) error {
+	if len(p.Part) != numCells {
+		return fmt.Errorf("partition: maps %d cells, hypergraph has %d", len(p.Part), numCells)
+	}
+	if p.K < 1 {
+		return fmt.Errorf("partition: K = %d < 1", p.K)
+	}
+	for v, k := range p.Part {
+		if k < 0 || int(k) >= p.K {
+			return fmt.Errorf("partition: cell %d in block %d out of range [0,%d)", v, k, p.K)
+		}
+	}
+	return nil
+}
+
+// BlockAreas returns the total cell area in each block.
+func (p *Partition) BlockAreas(h *Hypergraph) []int64 {
+	areas := make([]int64, p.K)
+	for v, k := range p.Part {
+		areas[k] += h.Area(v)
+	}
+	return areas
+}
+
+// Cut returns the number of nets of h that span more than one block
+// of p. For K = 2 this is the standard min-cut objective cut(P) of
+// the paper. All nets are counted, including any that a refinement
+// engine chose to ignore for speed.
+func (p *Partition) Cut(h *Hypergraph) int {
+	cut := 0
+	for e := 0; e < h.NumNets(); e++ {
+		pins := h.Pins(e)
+		first := p.Part[pins[0]]
+		for _, v := range pins[1:] {
+			if p.Part[v] != first {
+				cut++
+				break
+			}
+		}
+	}
+	return cut
+}
+
+// WeightedCut returns the total weight of nets spanning more than
+// one block; equal to Cut when the hypergraph is unweighted.
+func (p *Partition) WeightedCut(h *Hypergraph) int {
+	if !h.Weighted() {
+		return p.Cut(h)
+	}
+	cut := 0
+	for e := 0; e < h.NumNets(); e++ {
+		pins := h.Pins(e)
+		first := p.Part[pins[0]]
+		for _, v := range pins[1:] {
+			if p.Part[v] != first {
+				cut += int(h.NetWeight(e))
+				break
+			}
+		}
+	}
+	return cut
+}
+
+// SumOfDegrees returns the sum over all nets of (number of blocks the
+// net spans − 1). For K = 2 it equals Cut. This is the
+// "sum of cluster degrees" objective used for quadrisection in §III.C.
+func (p *Partition) SumOfDegrees(h *Hypergraph) int {
+	total := 0
+	seen := make([]int32, p.K)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for e := 0; e < h.NumNets(); e++ {
+		span := 0
+		for _, v := range h.Pins(e) {
+			k := p.Part[v]
+			if seen[k] != int32(e) {
+				seen[k] = int32(e)
+				span++
+			}
+		}
+		if span > 1 {
+			total += span - 1
+		}
+	}
+	return total
+}
+
+// WeightedSumOfDegrees returns Σ_e weight(e)·(span(e) − 1); equal to
+// SumOfDegrees when the hypergraph is unweighted.
+func (p *Partition) WeightedSumOfDegrees(h *Hypergraph) int {
+	if !h.Weighted() {
+		return p.SumOfDegrees(h)
+	}
+	total := 0
+	seen := make([]int32, p.K)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for e := 0; e < h.NumNets(); e++ {
+		span := 0
+		for _, v := range h.Pins(e) {
+			k := p.Part[v]
+			if seen[k] != int32(e) {
+				seen[k] = int32(e)
+				span++
+			}
+		}
+		if span > 1 {
+			total += int(h.NetWeight(e)) * (span - 1)
+		}
+	}
+	return total
+}
+
+// NetSpan returns the number of distinct blocks touched by net e.
+func (p *Partition) NetSpan(h *Hypergraph, e int) int {
+	span := 0
+	if p.K <= 64 {
+		var mask uint64
+		for _, c := range h.Pins(e) {
+			bit := uint64(1) << uint(p.Part[c])
+			if mask&bit == 0 {
+				mask |= bit
+				span++
+			}
+		}
+		return span
+	}
+	seen := make(map[int32]bool, 8)
+	for _, c := range h.Pins(e) {
+		k := p.Part[c]
+		if !seen[k] {
+			seen[k] = true
+			span++
+		}
+	}
+	return span
+}
+
+// BalanceBound gives the block-area bounds of §III.B for a k-way
+// partition of h with tolerance r: each block's area must lie in
+// [A(V)/k − slack, A(V)/k + slack] where
+// slack = max(A(v*), r·A(V)/k) and v* is the largest cell.
+type BalanceBound struct {
+	Lo, Hi int64
+}
+
+// Balance returns the §III.B balance bound for k blocks and
+// tolerance r. The max-cell-area term guarantees that any solution is
+// reachable by single-cell moves even when one cell dominates.
+func Balance(h *Hypergraph, k int, r float64) BalanceBound {
+	target := h.TotalArea() / int64(k)
+	slack := int64(r * float64(h.TotalArea()) / float64(k))
+	if m := h.MaxCellArea(); m > slack {
+		slack = m
+	}
+	lo := target - slack
+	if lo < 0 {
+		lo = 0
+	}
+	return BalanceBound{Lo: lo, Hi: target + slack}
+}
+
+// IsBalanced reports whether every block of p satisfies the bound.
+func (p *Partition) IsBalanced(h *Hypergraph, bound BalanceBound) bool {
+	for _, a := range p.BlockAreas(h) {
+		if a < bound.Lo || a > bound.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomPartition returns a random k-way partition of h that
+// satisfies the §III.B balance bound for tolerance r. Cells are
+// visited in a random order and greedily assigned to the block with
+// the smallest current area, which yields near-perfect balance and a
+// uniformly random block composition.
+func RandomPartition(h *Hypergraph, k int, r float64, rng *rand.Rand) *Partition {
+	p := NewPartition(h.NumCells(), k)
+	perm := rng.Perm(h.NumCells())
+	areas := make([]int64, k)
+	for _, v := range perm {
+		best := 0
+		for b := 1; b < k; b++ {
+			if areas[b] < areas[best] {
+				best = b
+			}
+		}
+		p.Part[v] = int32(best)
+		areas[best] += h.Area(v)
+	}
+	return p
+}
+
+// Project maps a partition of the coarse hypergraph induced by c back
+// onto the fine hypergraph, following Definition 2: a fine cell lands
+// in the block of its cluster.
+func Project(c *Clustering, coarse *Partition) (*Partition, error) {
+	if coarse.K < 1 {
+		return nil, fmt.Errorf("partition: project with K = %d", coarse.K)
+	}
+	if len(coarse.Part) != c.NumClusters {
+		return nil, fmt.Errorf("partition: project: coarse has %d cells, clustering has %d clusters",
+			len(coarse.Part), c.NumClusters)
+	}
+	fine := NewPartition(len(c.CellToCluster), coarse.K)
+	for v, k := range c.CellToCluster {
+		fine.Part[v] = coarse.Part[k]
+	}
+	return fine, nil
+}
+
+// Rebalance restores the balance bound on p (in place) by repeatedly
+// moving randomly chosen cells from the most overfull block to the
+// most underfull block, as described in §III.B for projected
+// solutions. It returns the number of cells moved. If the bound is
+// unsatisfiable (pathological areas) it gives up after moving each
+// cell at most once and returns the count so far.
+func (p *Partition) Rebalance(h *Hypergraph, bound BalanceBound, rng *rand.Rand) int {
+	areas := p.BlockAreas(h)
+	moved := 0
+	maxMoves := h.NumCells()
+	for moved < maxMoves {
+		over, under := -1, -1
+		for b := 0; b < p.K; b++ {
+			if areas[b] > bound.Hi && (over < 0 || areas[b] > areas[over]) {
+				over = b
+			}
+			if areas[b] < bound.Lo && (under < 0 || areas[b] < areas[under]) {
+				under = b
+			}
+		}
+		if over < 0 && under < 0 {
+			return moved
+		}
+		src := over
+		if src < 0 {
+			// No block overfull, but one is underfull: take from the largest.
+			for b := 0; b < p.K; b++ {
+				if src < 0 || areas[b] > areas[src] {
+					src = b
+				}
+			}
+		}
+		dst := under
+		if dst < 0 {
+			for b := 0; b < p.K; b++ {
+				if dst < 0 || areas[b] < areas[dst] {
+					dst = b
+				}
+			}
+		}
+		if src == dst {
+			return moved
+		}
+		// Pick a random cell of src. Reservoir over the partition
+		// array; acceptable because rebalancing moves are few.
+		pick := -1
+		n := 0
+		for v, k := range p.Part {
+			if int(k) == src {
+				n++
+				if rng.Intn(n) == 0 {
+					pick = v
+				}
+			}
+		}
+		if pick < 0 {
+			return moved
+		}
+		p.Part[pick] = int32(dst)
+		areas[src] -= h.Area(pick)
+		areas[dst] += h.Area(pick)
+		moved++
+	}
+	return moved
+}

@@ -1,0 +1,135 @@
+package lsmc
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlpart/internal/fm"
+	"mlpart/internal/hypergraph"
+	"mlpart/internal/kway"
+)
+
+func randomH(rng *rand.Rand, n, m, maxPins int) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder(n)
+	for e := 0; e < m; e++ {
+		size := 2 + rng.Intn(maxPins-1)
+		pins := make([]int, size)
+		for i := range pins {
+			pins[i] = rng.Intn(n)
+		}
+		b.AddNet(pins...)
+	}
+	return b.MustBuild()
+}
+
+func TestBipartitionImprovesOnSingleDescent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := randomH(rng, 100, 250, 5)
+	// Single FM descent.
+	_, single, err := fm.Partition(h, nil, fm.Config{}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 15-descent LSMC from the same seed family.
+	_, multi, err := Bipartition(h, Config{Descents: 15}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Cut > single.Cut {
+		t.Errorf("LSMC (%d) worse than its own first descent (%d)", multi.Cut, single.Cut)
+	}
+	if multi.Descents != 15 {
+		t.Errorf("Descents = %d, want 15", multi.Descents)
+	}
+}
+
+func TestBipartitionValidBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := randomH(rng, 80, 160, 4)
+	p, res, err := Bipartition(h, Config{Descents: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cut != p.Cut(h) {
+		t.Errorf("cut %d != measured %d", res.Cut, p.Cut(h))
+	}
+	if !p.IsBalanced(h, hypergraph.Balance(h, 2, 0.1)) {
+		t.Error("unbalanced result")
+	}
+}
+
+func TestCLIPEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	h := randomH(rng, 60, 120, 4)
+	p, res, err := Bipartition(h, Config{Descents: 4, Refine: fm.Config{Engine: fm.EngineCLIP}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cut != p.Cut(h) {
+		t.Error("cut mismatch")
+	}
+}
+
+func TestKway(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := randomH(rng, 120, 240, 4)
+	p, res, err := Kway(h, Config{Descents: 5}, kway.Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CutNets != p.Cut(h) || res.SumDegrees != p.SumOfDegrees(h) {
+		t.Error("metrics mismatch")
+	}
+	if !p.IsBalanced(h, hypergraph.Balance(h, 4, 0.1)) {
+		t.Error("unbalanced 4-way result")
+	}
+	if res.Descents != 5 {
+		t.Errorf("Descents = %d, want 5", res.Descents)
+	}
+}
+
+func TestKwayNetCutObjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	h := randomH(rng, 80, 160, 4)
+	p, res, err := Kway(h, Config{Descents: 3}, kway.Config{Objective: kway.NetCut}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CutNets != p.Cut(h) {
+		t.Error("cut mismatch")
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	for _, bad := range []Config{
+		{Descents: -1},
+		{KickFraction: -0.5},
+		{KickFraction: 1.5},
+		{Refine: fm.Config{Tolerance: 9}},
+	} {
+		if _, err := bad.Normalize(); err == nil {
+			t.Errorf("bad config accepted: %+v", bad)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	h := randomH(rng, 20, 30, 3)
+	if _, _, err := Bipartition(h, Config{Descents: -2}, rng); err == nil {
+		t.Error("Bipartition must propagate config error")
+	}
+	if _, _, err := Kway(h, Config{Descents: -2}, kway.Config{}, rng); err == nil {
+		t.Error("Kway must propagate config error")
+	}
+	if _, _, err := Kway(h, Config{}, kway.Config{K: 1}, rng); err == nil {
+		t.Error("Kway must propagate kway config error")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c, err := Config{}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Descents != 100 || c.KickFraction != 0.15 {
+		t.Errorf("defaults = %+v", c)
+	}
+}

@@ -1,0 +1,394 @@
+// Package netdb is the mutable netlist database of §III.C: the paper
+// describes "a database which can perform numerous netlist and
+// clustering functions and which handles the memory management of the
+// primary data structures". The immutable CSR hypergraph is ideal for
+// the partitioning inner loops but cannot be edited; this package
+// provides the editing layer — incremental cell/net/pin updates and
+// cluster contraction — and snapshots into the CSR form on demand.
+package netdb
+
+import (
+	"fmt"
+
+	"mlpart/internal/hypergraph"
+)
+
+// CellID identifies a cell in the database. IDs are stable across
+// edits and are recycled only after RemoveCell.
+type CellID int32
+
+// NetID identifies a net in the database.
+type NetID int32
+
+const invalid = int32(-1)
+
+// DB is a mutable netlist. The zero value is an empty database ready
+// to use.
+type DB struct {
+	cellArea  []int64
+	cellAlive []bool
+	cellNets  [][]NetID
+	freeCells []CellID
+
+	netPins  [][]CellID
+	netAlive []bool
+	freeNets []NetID
+
+	pins int // live pin count
+
+	// parent implements a union-find over contracted cells so that
+	// Find maps an original cell to the cluster currently containing
+	// it (the projection bookkeeping of Definitions 1–2).
+	parent []int32
+}
+
+// FromHypergraph loads an immutable hypergraph into a fresh database.
+func FromHypergraph(h *hypergraph.Hypergraph) *DB {
+	db := &DB{}
+	for v := 0; v < h.NumCells(); v++ {
+		db.AddCell(h.Area(v))
+	}
+	pins := make([]CellID, 0, 16)
+	for e := 0; e < h.NumNets(); e++ {
+		pins = pins[:0]
+		for _, p := range h.Pins(e) {
+			pins = append(pins, CellID(p))
+		}
+		if _, err := db.AddNet(pins...); err != nil {
+			panic(err) // cannot happen: source hypergraph is valid
+		}
+	}
+	return db
+}
+
+// NumCells returns the number of live cells.
+func (db *DB) NumCells() int {
+	n := 0
+	for _, a := range db.cellAlive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// NumNets returns the number of live nets.
+func (db *DB) NumNets() int {
+	n := 0
+	for _, a := range db.netAlive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// NumPins returns the number of live pins.
+func (db *DB) NumPins() int { return db.pins }
+
+// AddCell creates a cell with the given area and returns its id.
+func (db *DB) AddCell(area int64) CellID {
+	if area < 0 {
+		area = 0
+	}
+	if n := len(db.freeCells); n > 0 {
+		id := db.freeCells[n-1]
+		db.freeCells = db.freeCells[:n-1]
+		db.cellArea[id] = area
+		db.cellAlive[id] = true
+		db.cellNets[id] = db.cellNets[id][:0]
+		db.parent[id] = int32(id)
+		return id
+	}
+	id := CellID(len(db.cellArea))
+	db.cellArea = append(db.cellArea, area)
+	db.cellAlive = append(db.cellAlive, true)
+	db.cellNets = append(db.cellNets, nil)
+	db.parent = append(db.parent, int32(id))
+	return id
+}
+
+// CellOK reports whether id names a live cell.
+func (db *DB) CellOK(id CellID) bool {
+	return id >= 0 && int(id) < len(db.cellAlive) && db.cellAlive[id]
+}
+
+// NetOK reports whether id names a live net.
+func (db *DB) NetOK(id NetID) bool {
+	return id >= 0 && int(id) < len(db.netAlive) && db.netAlive[id]
+}
+
+// Area returns the area of a cell.
+func (db *DB) Area(id CellID) (int64, error) {
+	if !db.CellOK(id) {
+		return 0, fmt.Errorf("netdb: no cell %d", id)
+	}
+	return db.cellArea[id], nil
+}
+
+// SetArea updates a cell's area.
+func (db *DB) SetArea(id CellID, area int64) error {
+	if !db.CellOK(id) {
+		return fmt.Errorf("netdb: no cell %d", id)
+	}
+	if area < 0 {
+		return fmt.Errorf("netdb: negative area %d", area)
+	}
+	db.cellArea[id] = area
+	return nil
+}
+
+// Degree returns the number of nets on a cell.
+func (db *DB) Degree(id CellID) (int, error) {
+	if !db.CellOK(id) {
+		return 0, fmt.Errorf("netdb: no cell %d", id)
+	}
+	return len(db.cellNets[id]), nil
+}
+
+// Nets returns (a copy of) the nets incident to a cell.
+func (db *DB) Nets(id CellID) ([]NetID, error) {
+	if !db.CellOK(id) {
+		return nil, fmt.Errorf("netdb: no cell %d", id)
+	}
+	out := make([]NetID, len(db.cellNets[id]))
+	copy(out, db.cellNets[id])
+	return out, nil
+}
+
+// Pins returns (a copy of) the cells on a net.
+func (db *DB) Pins(id NetID) ([]CellID, error) {
+	if !db.NetOK(id) {
+		return nil, fmt.Errorf("netdb: no net %d", id)
+	}
+	out := make([]CellID, len(db.netPins[id]))
+	copy(out, db.netPins[id])
+	return out, nil
+}
+
+// AddNet creates a net over the given cells (duplicates merged) and
+// returns its id. Unlike the immutable builder, nets of any size —
+// including empty and singleton nets — are representable, because an
+// edit sequence may pass through such states; Snapshot drops them.
+func (db *DB) AddNet(pins ...CellID) (NetID, error) {
+	for _, p := range pins {
+		if !db.CellOK(p) {
+			return 0, fmt.Errorf("netdb: no cell %d", p)
+		}
+	}
+	var id NetID
+	if n := len(db.freeNets); n > 0 {
+		id = db.freeNets[n-1]
+		db.freeNets = db.freeNets[:n-1]
+		db.netPins[id] = db.netPins[id][:0]
+		db.netAlive[id] = true
+	} else {
+		id = NetID(len(db.netPins))
+		db.netPins = append(db.netPins, nil)
+		db.netAlive = append(db.netAlive, true)
+	}
+	for _, p := range pins {
+		// Connect ignores duplicate membership.
+		if err := db.Connect(id, p); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// Connect adds cell to net; a no-op if already connected.
+func (db *DB) Connect(net NetID, cell CellID) error {
+	if !db.NetOK(net) {
+		return fmt.Errorf("netdb: no net %d", net)
+	}
+	if !db.CellOK(cell) {
+		return fmt.Errorf("netdb: no cell %d", cell)
+	}
+	for _, p := range db.netPins[net] {
+		if p == cell {
+			return nil
+		}
+	}
+	db.netPins[net] = append(db.netPins[net], cell)
+	db.cellNets[cell] = append(db.cellNets[cell], net)
+	db.pins++
+	return nil
+}
+
+// Disconnect removes cell from net; a no-op if not connected.
+func (db *DB) Disconnect(net NetID, cell CellID) error {
+	if !db.NetOK(net) {
+		return fmt.Errorf("netdb: no net %d", net)
+	}
+	if !db.CellOK(cell) {
+		return fmt.Errorf("netdb: no cell %d", cell)
+	}
+	if removeID(&db.netPins[net], cell) {
+		removeNetID(&db.cellNets[cell], net)
+		db.pins--
+	}
+	return nil
+}
+
+// RemoveNet deletes a net and all its pins.
+func (db *DB) RemoveNet(net NetID) error {
+	if !db.NetOK(net) {
+		return fmt.Errorf("netdb: no net %d", net)
+	}
+	for _, p := range db.netPins[net] {
+		removeNetID(&db.cellNets[p], net)
+		db.pins--
+	}
+	db.netPins[net] = db.netPins[net][:0]
+	db.netAlive[net] = false
+	db.freeNets = append(db.freeNets, net)
+	return nil
+}
+
+// RemoveCell deletes a cell, disconnecting it from all nets.
+func (db *DB) RemoveCell(cell CellID) error {
+	if !db.CellOK(cell) {
+		return fmt.Errorf("netdb: no cell %d", cell)
+	}
+	for _, e := range append([]NetID(nil), db.cellNets[cell]...) {
+		if err := db.Disconnect(e, cell); err != nil {
+			return err
+		}
+	}
+	db.cellAlive[cell] = false
+	db.freeCells = append(db.freeCells, cell)
+	return nil
+}
+
+// Contract merges the given cells into a single new cluster cell (the
+// clustering function of §III.C): the cluster's area is the sum of
+// member areas, all member pins are rewired to the cluster, and nets
+// that collapse to fewer than two pins are removed. The union-find
+// mapping is updated so Find of any member returns the cluster.
+func (db *DB) Contract(cells ...CellID) (CellID, error) {
+	if len(cells) == 0 {
+		return 0, fmt.Errorf("netdb: contract of zero cells")
+	}
+	seen := map[CellID]bool{}
+	var total int64
+	for _, c := range cells {
+		if !db.CellOK(c) {
+			return 0, fmt.Errorf("netdb: no cell %d", c)
+		}
+		if seen[c] {
+			return 0, fmt.Errorf("netdb: duplicate cell %d in contraction", c)
+		}
+		seen[c] = true
+		total += db.cellArea[c]
+	}
+	cluster := db.AddCell(total)
+	// Collect the union of incident nets, then rewire.
+	netSet := map[NetID]bool{}
+	for _, c := range cells {
+		for _, e := range db.cellNets[c] {
+			netSet[e] = true
+		}
+	}
+	for e := range netSet {
+		for _, c := range cells {
+			if err := db.Disconnect(e, c); err != nil {
+				return 0, err
+			}
+		}
+		if err := db.Connect(e, cluster); err != nil {
+			return 0, err
+		}
+		if len(db.netPins[e]) < 2 {
+			if err := db.RemoveNet(e); err != nil {
+				return 0, err
+			}
+		}
+	}
+	for _, c := range cells {
+		db.cellAlive[c] = false
+		db.freeCells = append(db.freeCells, c)
+		db.parent[c] = int32(cluster)
+	}
+	return cluster, nil
+}
+
+// Find maps a (possibly contracted) cell to the live cluster that
+// currently contains it, with path compression. An error is returned
+// for ids that never existed or were removed outright.
+func (db *DB) Find(cell CellID) (CellID, error) {
+	if cell < 0 || int(cell) >= len(db.parent) {
+		return 0, fmt.Errorf("netdb: no cell %d", cell)
+	}
+	root := int32(cell)
+	for db.parent[root] != root {
+		root = db.parent[root]
+	}
+	if !db.cellAlive[root] {
+		return 0, fmt.Errorf("netdb: cell %d was removed", cell)
+	}
+	for c := int32(cell); db.parent[c] != root; {
+		next := db.parent[c]
+		db.parent[c] = root
+		c = next
+	}
+	return CellID(root), nil
+}
+
+// Snapshot compacts the live cells and nets into an immutable
+// hypergraph. It returns the hypergraph and the mapping from snapshot
+// index to database CellID. Nets with fewer than two pins are
+// dropped, as in the paper's net definition.
+func (db *DB) Snapshot() (*hypergraph.Hypergraph, []CellID, error) {
+	index := make(map[CellID]int32)
+	var ids []CellID
+	for i := range db.cellAlive {
+		if db.cellAlive[i] {
+			index[CellID(i)] = int32(len(ids))
+			ids = append(ids, CellID(i))
+		}
+	}
+	b := hypergraph.NewBuilder(len(ids))
+	for i, id := range ids {
+		b.SetArea(i, db.cellArea[id])
+	}
+	pins := make([]int32, 0, 16)
+	for e := range db.netAlive {
+		if !db.netAlive[e] {
+			continue
+		}
+		pins = pins[:0]
+		for _, p := range db.netPins[e] {
+			pins = append(pins, index[p])
+		}
+		if len(pins) >= 2 {
+			b.AddNet32(pins)
+		}
+	}
+	h, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, ids, nil
+}
+
+func removeID(s *[]CellID, x CellID) bool {
+	for i, v := range *s {
+		if v == x {
+			(*s)[i] = (*s)[len(*s)-1]
+			*s = (*s)[:len(*s)-1]
+			return true
+		}
+	}
+	return false
+}
+
+func removeNetID(s *[]NetID, x NetID) bool {
+	for i, v := range *s {
+		if v == x {
+			(*s)[i] = (*s)[len(*s)-1]
+			*s = (*s)[:len(*s)-1]
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,77 @@
+package netgen
+
+import (
+	"fmt"
+
+	"mlpart/internal/hypergraph"
+)
+
+// Mesh generators: 2-D grid circuits in the style of the
+// finite-element graphs that the multilevel partitioners the paper
+// builds on (Chaco [22], Metis [27]) were designed for. Meshes have
+// known near-optimal cuts (a straight cut across a W×H grid severs
+// min(W, H) edges), which makes them the repository's ground-truth
+// workload: tests can check how close each partitioner gets to the
+// geometric optimum, something the random hierarchical circuits
+// cannot offer.
+
+// MeshSpec describes a rectangular grid circuit.
+type MeshSpec struct {
+	// Width and Height of the grid; cells sit at the lattice points.
+	Width, Height int
+	// FourPin, when true, additionally emits a 4-pin net per unit
+	// square (a crude model of local hyperedges); otherwise the mesh
+	// has only the 2-pin horizontal/vertical edges.
+	FourPin bool
+}
+
+// Validate checks the spec.
+func (s MeshSpec) Validate() error {
+	if s.Width < 2 || s.Height < 2 {
+		return fmt.Errorf("netgen: mesh needs width, height ≥ 2, got %d×%d", s.Width, s.Height)
+	}
+	if s.Width*s.Height > 1<<24 {
+		return fmt.Errorf("netgen: mesh %d×%d too large", s.Width, s.Height)
+	}
+	return nil
+}
+
+// GenerateMesh builds the grid hypergraph. Cell (x, y) has index
+// y·Width + x.
+func GenerateMesh(s MeshSpec) (*hypergraph.Hypergraph, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	b := hypergraph.NewBuilder(s.Width * s.Height)
+	id := func(x, y int) int { return y*s.Width + x }
+	for y := 0; y < s.Height; y++ {
+		for x := 0; x < s.Width; x++ {
+			if x+1 < s.Width {
+				b.AddNet(id(x, y), id(x+1, y))
+			}
+			if y+1 < s.Height {
+				b.AddNet(id(x, y), id(x, y+1))
+			}
+			if s.FourPin && x+1 < s.Width && y+1 < s.Height {
+				b.AddNet(id(x, y), id(x+1, y), id(x, y+1), id(x+1, y+1))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// MeshOptimalBisectionCut returns the cut of the straight-line
+// bisection of the grid: cutting a W×H mesh (2-pin edges only) along
+// its shorter dimension severs min(W, H) edges. For FourPin meshes
+// each severed column/row additionally cuts min(W,H)−1 four-pin nets.
+func MeshOptimalBisectionCut(s MeshSpec) int {
+	m := s.Width
+	if s.Height < m {
+		m = s.Height
+	}
+	cut := m
+	if s.FourPin {
+		cut += m - 1
+	}
+	return cut
+}

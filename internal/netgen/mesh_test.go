@@ -1,0 +1,115 @@
+package netgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlpart/internal/core"
+	"mlpart/internal/fm"
+)
+
+func TestGenerateMeshStructure(t *testing.T) {
+	h, err := GenerateMesh(MeshSpec{Width: 5, Height: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumCells() != 20 {
+		t.Errorf("cells = %d, want 20", h.NumCells())
+	}
+	// Edges: 4·4 horizontal rows? horizontal: (W−1)·H = 16;
+	// vertical: W·(H−1) = 15. Total 31.
+	if h.NumNets() != 31 {
+		t.Errorf("nets = %d, want 31", h.NumNets())
+	}
+	if err := h.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateMeshFourPin(t *testing.T) {
+	h, err := GenerateMesh(MeshSpec{Width: 3, Height: 3, FourPin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2-pin: 2·3 + 3·2 = 12; 4-pin: 2·2 = 4. Total 16.
+	if h.NumNets() != 16 {
+		t.Errorf("nets = %d, want 16", h.NumNets())
+	}
+}
+
+func TestGenerateMeshErrors(t *testing.T) {
+	for _, bad := range []MeshSpec{{Width: 1, Height: 5}, {Width: 5, Height: 0}, {Width: 1 << 13, Height: 1 << 13}} {
+		if _, err := GenerateMesh(bad); err == nil {
+			t.Errorf("bad spec accepted: %+v", bad)
+		}
+	}
+}
+
+func TestMeshOptimalBisectionCut(t *testing.T) {
+	if got := MeshOptimalBisectionCut(MeshSpec{Width: 10, Height: 6}); got != 6 {
+		t.Errorf("optimal = %d, want 6", got)
+	}
+	if got := MeshOptimalBisectionCut(MeshSpec{Width: 10, Height: 6, FourPin: true}); got != 11 {
+		t.Errorf("optimal = %d, want 11", got)
+	}
+}
+
+// TestMLNearOptimalOnMesh is the ground-truth quality check: on a
+// 24×24 mesh the straight bisection cuts 24 edges; ML_C best-of-5
+// must land within 1.5× of that geometric optimum.
+func TestMLNearOptimalOnMesh(t *testing.T) {
+	h, err := GenerateMesh(MeshSpec{Width: 24, Height: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := MeshOptimalBisectionCut(MeshSpec{Width: 24, Height: 24})
+	best := 1 << 30
+	for seed := int64(0); seed < 5; seed++ {
+		_, res, err := core.Bipartition(h, core.Config{Refine: fm.Config{Engine: fm.EngineCLIP}},
+			rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cut < best {
+			best = res.Cut
+		}
+	}
+	if best > opt+opt/2 {
+		t.Errorf("ML best mesh cut %d, geometric optimum %d (allowed 1.5x)", best, opt)
+	}
+	t.Logf("mesh 24×24: ML best %d vs optimal %d", best, opt)
+}
+
+// TestFlatFMFarFromOptimalOnLargeMesh documents the motivation for
+// multilevel methods: on a large mesh, flat FM from a random start is
+// much further from the geometric optimum than ML (the §II.C
+// "performance degrades as problem sizes grow" observation, with a
+// ground-truth yardstick).
+func TestFlatFMFarFromOptimalOnLargeMesh(t *testing.T) {
+	h, err := GenerateMesh(MeshSpec{Width: 40, Height: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestFM, bestML := 1<<30, 1<<30
+	for seed := int64(0); seed < 3; seed++ {
+		_, fres, err := fm.Partition(h, nil, fm.Config{}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fres.Cut < bestFM {
+			bestFM = fres.Cut
+		}
+		_, mres, err := core.Bipartition(h, core.Config{}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mres.Cut < bestML {
+			bestML = mres.Cut
+		}
+	}
+	t.Logf("mesh 40×40: flat FM best %d, ML best %d, optimal %d", bestFM, bestML,
+		MeshOptimalBisectionCut(MeshSpec{Width: 40, Height: 40}))
+	if bestML > bestFM {
+		t.Errorf("ML (%d) worse than flat FM (%d) on a mesh", bestML, bestFM)
+	}
+}

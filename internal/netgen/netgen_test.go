@@ -1,0 +1,220 @@
+package netgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlpart/internal/core"
+	"mlpart/internal/fm"
+)
+
+func TestGenerateMatchesTargets(t *testing.T) {
+	spec := Spec{Name: "t", Cells: 2000, Nets: 2200, Pins: 7000, Seed: 1}
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.H
+	if h.NumCells() != 2000 {
+		t.Errorf("cells = %d, want 2000", h.NumCells())
+	}
+	// A few nets may be dropped (degenerate); tolerate 2%.
+	if h.NumNets() < 2156 || h.NumNets() > 2200 {
+		t.Errorf("nets = %d, want ≈ 2200", h.NumNets())
+	}
+	// Pins within 12% of target.
+	if ratio := float64(h.NumPins()) / 7000; math.Abs(ratio-1) > 0.12 {
+		t.Errorf("pins = %d, want ≈ 7000 (ratio %.3f)", h.NumPins(), ratio)
+	}
+	if err := h.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Name: "d", Cells: 500, Nets: 600, Pins: 1900, Seed: 9}
+	a := MustGenerate(spec)
+	b := MustGenerate(spec)
+	if a.H.NumNets() != b.H.NumNets() || a.H.NumPins() != b.H.NumPins() {
+		t.Fatal("same spec produced different hypergraphs")
+	}
+	for e := 0; e < a.H.NumNets(); e++ {
+		pa, pb := a.H.Pins(e), b.H.Pins(e)
+		if len(pa) != len(pb) {
+			t.Fatal("net size differs")
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatal("pin differs")
+			}
+		}
+	}
+	for v := range a.Pads {
+		if a.Pads[v] != b.Pads[v] {
+			t.Fatal("pads differ")
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := MustGenerate(Spec{Name: "x", Cells: 500, Nets: 600, Pins: 1900, Seed: 1})
+	b := MustGenerate(Spec{Name: "x", Cells: 500, Nets: 600, Pins: 1900, Seed: 2})
+	same := true
+	for e := 0; e < a.H.NumNets() && e < b.H.NumNets() && same; e++ {
+		pa, pb := a.H.Pins(e), b.H.Pins(e)
+		if len(pa) != len(pb) {
+			same = false
+			break
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical circuits")
+	}
+}
+
+func TestPadsFraction(t *testing.T) {
+	c := MustGenerate(Spec{Name: "p", Cells: 1000, Nets: 1000, Pins: 3200, Seed: 3, PadFraction: 0.05})
+	n := 0
+	for _, p := range c.Pads {
+		if p {
+			n++
+		}
+	}
+	if n != 50 {
+		t.Errorf("pads = %d, want 50", n)
+	}
+}
+
+func TestLocalityCreatesClusterStructure(t *testing.T) {
+	// A high-locality circuit must have a much better min cut than a
+	// low-locality one of the same size: ML should find a small cut.
+	hi := MustGenerate(Spec{Name: "hi", Cells: 800, Nets: 1200, Pins: 3600, Seed: 4, Locality: 0.9})
+	lo := MustGenerate(Spec{Name: "lo", Cells: 800, Nets: 1200, Pins: 3600, Seed: 4, Locality: 0.05})
+	cut := func(c *Circuit) int {
+		best := 1 << 30
+		for seed := int64(0); seed < 3; seed++ {
+			_, res, err := core.Bipartition(c.H, core.Config{}, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cut < best {
+				best = res.Cut
+			}
+		}
+		return best
+	}
+	ch, cl := cut(hi), cut(lo)
+	if ch >= cl {
+		t.Errorf("high-locality cut %d not smaller than low-locality cut %d", ch, cl)
+	}
+}
+
+func TestMultilevelBeatsFlatOnGeneratedCircuit(t *testing.T) {
+	// The headline sanity check: on a synthetic Table-I-style
+	// circuit, ML average cut ≤ flat FM average cut.
+	c := MustGenerate(Spec{Name: "bench", Cells: 1200, Nets: 1500, Pins: 4800, Seed: 5})
+	var flatSum, mlSum int
+	runs := 4
+	for seed := int64(0); seed < int64(runs); seed++ {
+		_, fres, err := fm.Partition(c.H, nil, fm.Config{}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		flatSum += fres.Cut
+		_, mres, err := core.Bipartition(c.H, core.Config{}, rand.New(rand.NewSource(seed+50)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mlSum += mres.Cut
+	}
+	if mlSum > flatSum {
+		t.Errorf("ML total cut %d > flat FM total %d over %d runs", mlSum, flatSum, runs)
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	bad := []Spec{
+		{Cells: 1, Nets: 5},
+		{Cells: 10, Nets: -1},
+		{Cells: 10, Nets: 10, Pins: 5},
+		{Cells: 10, Nets: 10, Pins: 30, Locality: 2},
+		{Cells: 10, Nets: 10, Pins: 30, PadFraction: 0.9},
+	}
+	for i, s := range bad {
+		if _, err := Generate(s); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestTableISpecs(t *testing.T) {
+	specs := TableISpecs()
+	if len(specs) != 23 {
+		t.Fatalf("suite has %d specs, want 23", len(specs))
+	}
+	if specs[0].Name != "balu" || specs[22].Name != "golem3" {
+		t.Error("suite order wrong")
+	}
+	if specs[22].Cells != 103048 || specs[22].Pins != 338419 {
+		t.Error("golem3 sizes wrong")
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Errorf("duplicate name %s", s.Name)
+		}
+		seen[s.Name] = true
+		if _, err := s.Normalize(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := Spec{Name: "x", Cells: 1600, Nets: 1700, Pins: 5100, Seed: 1}
+	q := Scale(s, 4)
+	if q.Cells != 400 || q.Nets != 425 {
+		t.Errorf("scaled = %+v", q)
+	}
+	if q.Pins < 2*q.Nets {
+		t.Error("scaled pins below 2·nets")
+	}
+	if got := Scale(s, 1); got != s {
+		t.Error("div=1 must be identity")
+	}
+	tinyAll := Scale(Spec{Name: "t", Cells: 40, Nets: 30, Pins: 90}, 100)
+	if tinyAll.Cells < 16 || tinyAll.Nets < 16 {
+		t.Error("scale floor violated")
+	}
+}
+
+func TestSuiteSpecs(t *testing.T) {
+	if n := len(SuiteSpecs(ScaleFull)); n != 23 {
+		t.Errorf("full = %d", n)
+	}
+	if n := len(SuiteSpecs(ScaleMedium)); n != 22 {
+		t.Errorf("medium = %d (golem3 dropped)", n)
+	}
+	if n := len(SuiteSpecs(ScaleSmall)); n != 12 {
+		t.Errorf("small = %d", n)
+	}
+	if n := len(SuiteSpecs(ScaleTiny)); n != 6 {
+		t.Errorf("tiny = %d", n)
+	}
+	for _, s := range SuiteSpecs(ScaleTiny) {
+		c, err := Generate(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if err := c.H.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}

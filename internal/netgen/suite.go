@@ -1,0 +1,97 @@
+package netgen
+
+// The 23 benchmark circuits of Table I, with module, net and pin
+// counts exactly as published. Generate(TableISpecs()[i]) yields the
+// synthetic stand-in for each.
+
+// TableISpecs returns the full-size suite in Table-I order.
+func TableISpecs() []Spec {
+	return []Spec{
+		{Name: "balu", Cells: 801, Nets: 735, Pins: 2697, Seed: 101},
+		{Name: "bm1", Cells: 882, Nets: 903, Pins: 2910, Seed: 102},
+		{Name: "primary1", Cells: 833, Nets: 902, Pins: 2908, Seed: 103},
+		{Name: "test04", Cells: 1515, Nets: 1658, Pins: 5975, Seed: 104},
+		{Name: "test03", Cells: 1607, Nets: 1618, Pins: 5807, Seed: 105},
+		{Name: "test02", Cells: 1663, Nets: 1720, Pins: 6134, Seed: 106},
+		{Name: "test06", Cells: 1752, Nets: 1541, Pins: 6638, Seed: 107},
+		{Name: "struct", Cells: 1952, Nets: 1920, Pins: 5471, Seed: 108},
+		{Name: "test05", Cells: 2595, Nets: 2750, Pins: 10076, Seed: 109},
+		{Name: "19ks", Cells: 2844, Nets: 3282, Pins: 10547, Seed: 110},
+		{Name: "primary2", Cells: 3014, Nets: 3029, Pins: 11219, Seed: 111},
+		{Name: "s9234", Cells: 5866, Nets: 5844, Pins: 14065, Seed: 112},
+		{Name: "biomed", Cells: 6514, Nets: 5742, Pins: 21040, Seed: 113},
+		{Name: "s13207", Cells: 8772, Nets: 8651, Pins: 20606, Seed: 114},
+		{Name: "s15850", Cells: 10470, Nets: 10383, Pins: 24712, Seed: 115},
+		{Name: "industry2", Cells: 12637, Nets: 13419, Pins: 48404, Seed: 116},
+		{Name: "industry3", Cells: 15406, Nets: 21923, Pins: 65792, Seed: 117},
+		{Name: "s35932", Cells: 18148, Nets: 17828, Pins: 48145, Seed: 118},
+		{Name: "s38584", Cells: 20995, Nets: 20717, Pins: 55203, Seed: 119},
+		{Name: "avqsmall", Cells: 21918, Nets: 22124, Pins: 76231, Seed: 120},
+		{Name: "s38417", Cells: 23849, Nets: 23843, Pins: 57613, Seed: 121},
+		{Name: "avqlarge", Cells: 25178, Nets: 25384, Pins: 82751, Seed: 122},
+		{Name: "golem3", Cells: 103048, Nets: 144949, Pins: 338419, Seed: 123},
+	}
+}
+
+// Scale shrinks a spec by the given divisor (≥1), preserving the
+// pins-per-net and nets-per-cell ratios, for fast experiment scales.
+func Scale(s Spec, div int) Spec {
+	if div <= 1 {
+		return s
+	}
+	out := s
+	out.Cells = max2(s.Cells/div, 16)
+	out.Nets = max2(s.Nets/div, 16)
+	out.Pins = max2(s.Pins/div, 2*out.Nets)
+	return out
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SuiteScale names a preset experiment scale.
+type SuiteScale string
+
+const (
+	// ScaleFull is Table-I sized (golem3 included); hours of CPU for
+	// the 100-run tables.
+	ScaleFull SuiteScale = "full"
+	// ScaleMedium divides sizes by 4 and drops golem3.
+	ScaleMedium SuiteScale = "medium"
+	// ScaleSmall divides sizes by 16 and keeps the 12 smallest.
+	ScaleSmall SuiteScale = "small"
+	// ScaleTiny divides sizes by 64 and keeps the 6 smallest; used by
+	// unit tests and testing.B benchmarks.
+	ScaleTiny SuiteScale = "tiny"
+)
+
+// SuiteSpecs returns the benchmark specs for a preset scale.
+func SuiteSpecs(scale SuiteScale) []Spec {
+	all := TableISpecs()
+	switch scale {
+	case ScaleFull:
+		return all
+	case ScaleMedium:
+		out := make([]Spec, 0, len(all)-1)
+		for _, s := range all[:len(all)-1] { // drop golem3
+			out = append(out, Scale(s, 4))
+		}
+		return out
+	case ScaleSmall:
+		out := make([]Spec, 0, 12)
+		for _, s := range all[:12] {
+			out = append(out, Scale(s, 16))
+		}
+		return out
+	default: // ScaleTiny
+		out := make([]Spec, 0, 6)
+		for _, s := range all[:6] {
+			out = append(out, Scale(s, 64))
+		}
+		return out
+	}
+}

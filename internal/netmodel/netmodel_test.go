@@ -1,0 +1,123 @@
+package netmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlpart/internal/hypergraph"
+)
+
+func TestCliqueExpansion(t *testing.T) {
+	h := hypergraph.NewBuilder(4).AddNet(0, 1, 2, 3).MustBuild()
+	g := Build(h, 16)
+	if g.NumEdges() != 6 {
+		t.Errorf("edges = %d, want 6 (K4)", g.NumEdges())
+	}
+	// w = 1/3 per edge; degree = 3·(1/3) = 1.
+	for v := 0; v < 4; v++ {
+		if math.Abs(g.Degree(v)-1) > 1e-12 {
+			t.Errorf("deg %d = %v", v, g.Degree(v))
+		}
+	}
+}
+
+func TestChainFallback(t *testing.T) {
+	b := hypergraph.NewBuilder(30)
+	pins := make([]int, 30)
+	for i := range pins {
+		pins[i] = i
+	}
+	b.AddNet(pins...)
+	g := Build(b.MustBuild(), 10)
+	if g.NumEdges() != 29 {
+		t.Errorf("edges = %d, want 29", g.NumEdges())
+	}
+}
+
+func TestBuildDefaultCliqueLimit(t *testing.T) {
+	h := hypergraph.NewBuilder(3).AddNet(0, 1, 2).MustBuild()
+	g := Build(h, 0) // defaults to 16
+	if g.NumEdges() != 3 {
+		t.Errorf("edges = %d, want 3", g.NumEdges())
+	}
+}
+
+func TestLaplacianProperties(t *testing.T) {
+	// L·1 = 0 and x^T L x ≥ 0 for random x.
+	rng := rand.New(rand.NewSource(1))
+	b := hypergraph.NewBuilder(20)
+	for e := 0; e < 40; e++ {
+		b.AddNet(rng.Intn(20), rng.Intn(20), rng.Intn(20))
+	}
+	g := Build(b.MustBuild(), 16)
+	ones := make([]float64, 20)
+	y := make([]float64, 20)
+	for i := range ones {
+		ones[i] = 1
+	}
+	g.LaplacianMulAdd(ones, y)
+	for v, yv := range y {
+		if math.Abs(yv) > 1e-9 {
+			t.Errorf("(L·1)[%d] = %v, want 0", v, yv)
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		x := make([]float64, 20)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		if q := g.QuadraticCost(x); q < -1e-9 {
+			t.Errorf("x^T L x = %v < 0", q)
+		}
+	}
+}
+
+func TestQuadraticCostMatchesLaplacian(t *testing.T) {
+	// x^T (L x) computed via LaplacianMulAdd must equal QuadraticCost.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		b := hypergraph.NewBuilder(n)
+		for e := 0; e < n*2; e++ {
+			b.AddNet(rng.Intn(n), rng.Intn(n))
+		}
+		g := Build(b.MustBuild(), 16)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		y := make([]float64, n)
+		g.LaplacianMulAdd(x, y)
+		var xly float64
+		for i := range x {
+			xly += x[i] * y[i]
+		}
+		return math.Abs(xly-g.QuadraticCost(x)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	h := hypergraph.NewBuilder(3).AddNet(0, 1).AddNet(0, 2).MustBuild()
+	g := Build(h, 16)
+	if g.MaxDegree() != 2 {
+		t.Errorf("MaxDegree = %v, want 2", g.MaxDegree())
+	}
+	if g.NumCells() != 3 {
+		t.Errorf("NumCells = %d", g.NumCells())
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	h := hypergraph.NewBuilder(3).AddNet(0, 1).AddNet(0, 2).MustBuild()
+	g := Build(h, 16)
+	seen := map[int32]float64{}
+	g.Neighbors(0, func(u int32, w float64) { seen[u] = w })
+	if len(seen) != 2 || seen[1] != 1 || seen[2] != 1 {
+		t.Errorf("neighbors of 0 = %v", seen)
+	}
+}

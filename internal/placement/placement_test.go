@@ -1,0 +1,221 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlpart/internal/hypergraph"
+	"mlpart/internal/netmodel"
+)
+
+func randomH(rng *rand.Rand, n, m, maxPins int) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder(n)
+	for e := 0; e < m; e++ {
+		size := 2 + rng.Intn(maxPins-1)
+		pins := make([]int, size)
+		for i := range pins {
+			pins[i] = rng.Intn(n)
+		}
+		b.AddNet(pins...)
+	}
+	return b.MustBuild()
+}
+
+func TestCGChainInterpolates(t *testing.T) {
+	// Path 0-1-2-3-4 with ends fixed at 0 and 1: the quadratic
+	// optimum places interior cells at 0.25, 0.5, 0.75.
+	h := hypergraph.NewBuilder(5).
+		AddNet(0, 1).AddNet(1, 2).AddNet(2, 3).AddNet(3, 4).
+		MustBuild()
+	g := netmodel.Build(h, 16)
+	fixed := []bool{true, false, false, false, true}
+	fixedPos := []float64{0, 0, 0, 0, 1}
+	cfg, _ := Config{Anchor: 1e-9}.Normalize()
+	cfg.Anchor = 1e-9
+	pos, iters := solve1D(h, g, fixed, fixedPos, cfg)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for v, w := range want {
+		if math.Abs(pos[v]-w) > 1e-3 {
+			t.Errorf("pos[%d] = %v, want %v (iters %d)", v, pos[v], w, iters)
+		}
+	}
+}
+
+func TestCGStarCenters(t *testing.T) {
+	// Star: center 0 connected to 4 pads at corners of [0,1]; center
+	// lands at the mean.
+	h := hypergraph.NewBuilder(5).
+		AddNet(0, 1).AddNet(0, 2).AddNet(0, 3).AddNet(0, 4).
+		MustBuild()
+	g := netmodel.Build(h, 16)
+	fixed := []bool{false, true, true, true, true}
+	xs := []float64{0, 0, 1, 0, 1}
+	cfg, _ := Config{}.Normalize()
+	cfg.Anchor = 1e-9
+	pos, _ := solve1D(h, g, fixed, xs, cfg)
+	if math.Abs(pos[0]-0.5) > 1e-3 {
+		t.Errorf("center x = %v, want 0.5", pos[0])
+	}
+}
+
+func TestCliqueModelWeights(t *testing.T) {
+	// One 3-pin net → clique of 3 edges with w = 1/2; each cell has
+	// weighted degree 1.
+	h := hypergraph.NewBuilder(3).AddNet(0, 1, 2).MustBuild()
+	g := netmodel.Build(h, 16)
+	for v := 0; v < 3; v++ {
+		if math.Abs(g.Degree(v)-1.0) > 1e-12 {
+			t.Errorf("deg[%d] = %v, want 1.0", v, g.Degree(v))
+		}
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("edges = %d, want 3", g.NumEdges())
+	}
+}
+
+func TestChainModelForLargeNets(t *testing.T) {
+	b := hypergraph.NewBuilder(20)
+	pins := make([]int, 20)
+	for i := range pins {
+		pins[i] = i
+	}
+	b.AddNet(pins...)
+	h := b.MustBuild()
+	g := netmodel.Build(h, 16) // 20 > 16 → chain with 19 edges
+	if g.NumEdges() != 19 {
+		t.Errorf("edges = %d, want 19 (chain)", g.NumEdges())
+	}
+}
+
+func TestQuadrisectBalancedAreas(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := randomH(rng, 400, 800, 4)
+	p, res, err := Quadrisect(h, nil, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(400); err != nil {
+		t.Fatal(err)
+	}
+	if res.CutNets != p.Cut(h) || res.SumDegrees != p.SumOfDegrees(h) {
+		t.Error("metric mismatch")
+	}
+	// Each of the four quadrants holds roughly a quarter of the area
+	// (median splits guarantee halves exactly; quadrant skew comes
+	// only from the correlation of x and y splits).
+	areas := p.BlockAreas(h)
+	// The two x-halves are exact (up to one cell).
+	left := areas[0] + areas[2]
+	right := areas[1] + areas[3]
+	if d := left - right; d < -20 || d > 20 {
+		t.Errorf("x halves unbalanced: %d vs %d", left, right)
+	}
+	bottom := areas[0] + areas[1]
+	top := areas[2] + areas[3]
+	if d := bottom - top; d < -20 || d > 20 {
+		t.Errorf("y halves unbalanced: %d vs %d", bottom, top)
+	}
+}
+
+func TestQuadrisectSeparatesPlantedGeometry(t *testing.T) {
+	// Four planted groups, each densely intra-connected, with pads
+	// pre-assigned to the four corners: the placer must put each
+	// group mostly in the quadrant of its pads, giving a far lower
+	// cut than random quadrants would.
+	rng := rand.New(rand.NewSource(2))
+	const k = 50
+	b := hypergraph.NewBuilder(4 * k)
+	for g := 0; g < 4; g++ {
+		base := g * k
+		for i := 0; i < 4*k; i++ {
+			b.AddNet(base+rng.Intn(k), base+rng.Intn(k))
+		}
+	}
+	// sparse inter-group nets
+	for i := 0; i < 8; i++ {
+		b.AddNet(rng.Intn(k), k+rng.Intn(k))
+		b.AddNet(2*k+rng.Intn(k), 3*k+rng.Intn(k))
+	}
+	h := b.MustBuild()
+	// Pads: cell g*k..g*k+2 of each group, all from that group.
+	pads := make([]bool, 4*k)
+	for g := 0; g < 4; g++ {
+		for i := 0; i < 3; i++ {
+			pads[g*k+i] = true
+		}
+	}
+	p, res, err := Quadrisect(h, pads, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p
+	// A random 4-way partition of this instance cuts the vast
+	// majority of the ~800 intra-group nets; the placer should cut
+	// far fewer than half.
+	if res.CutNets > h.NumNets()/2 {
+		t.Errorf("placement cut %d of %d nets; expected strong geometric separation",
+			res.CutNets, h.NumNets())
+	}
+}
+
+func TestQuadrisectDeterministicPerSeed(t *testing.T) {
+	h := randomH(rand.New(rand.NewSource(3)), 200, 400, 4)
+	p1, _, err := Quadrisect(h, nil, Config{}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := Quadrisect(h, nil, Config{}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range p1.Part {
+		if p1.Part[v] != p2.Part[v] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestQuadrisectErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	h := randomH(rng, 10, 15, 3)
+	if _, _, err := Quadrisect(h, make([]bool, 3), Config{}, rng); err == nil {
+		t.Error("pad length mismatch must error")
+	}
+	for _, bad := range []Config{
+		{CliqueLimit: 1}, {CGTol: 2}, {CGMaxIter: -1}, {Anchor: -1},
+	} {
+		if _, _, err := Quadrisect(h, nil, bad, rng); err == nil {
+			t.Errorf("bad config accepted: %+v", bad)
+		}
+	}
+}
+
+func TestQuadrisectEmptyHypergraph(t *testing.T) {
+	h := hypergraph.NewBuilder(0).MustBuild()
+	p, res, err := Quadrisect(h, nil, Config{}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CutNets != 0 || len(p.Part) != 0 {
+		t.Error("empty hypergraph mishandled")
+	}
+}
+
+func TestIsolatedCellsAnchored(t *testing.T) {
+	// Cells with no nets must still get coordinates (anchor term) and
+	// not break the solver.
+	b := hypergraph.NewBuilder(50)
+	b.AddNet(0, 1)
+	h := b.MustBuild()
+	rng := rand.New(rand.NewSource(6))
+	_, res, err := Quadrisect(h, nil, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, x := range res.X {
+		if math.IsNaN(x) || math.IsNaN(res.Y[v]) {
+			t.Fatalf("cell %d has NaN coordinates", v)
+		}
+	}
+}

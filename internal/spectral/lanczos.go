@@ -1,0 +1,222 @@
+package spectral
+
+// Lanczos computation of the Fiedler pair, the method Barnard & Simon
+// used inside their multilevel spectral bisection [6] (the work that
+// inspired Hendrickson & Leland's multilevel partitioner [22]). The
+// Laplacian is projected onto a Krylov subspace built with full
+// reorthogonalization (cheap at the m ≤ 80 dimensions we need and
+// immune to the ghost-eigenvalue problem); the tridiagonal
+// projection's smallest eigenpair — the subspace being orthogonal to
+// the all-ones kernel vector — is extracted with bisection on Sturm
+// sequences and inverse iteration, then mapped back.
+
+import (
+	"math"
+	"math/rand"
+
+	"mlpart/internal/netmodel"
+)
+
+// lanczosSteps bounds the Krylov dimension.
+const lanczosSteps = 80
+
+// FiedlerLanczos computes the Fiedler vector of g's Laplacian with a
+// Lanczos iteration. Returns the vector (unit norm, ⊥ 1), the
+// eigenvalue estimate and the Krylov dimension used. It is more
+// accurate per matvec than the deflated power iteration in Fiedler
+// and is used by Config.Lanczos.
+func FiedlerLanczos(g *netmodel.Graph, rng *rand.Rand) ([]float64, float64, int) {
+	n := g.NumCells()
+	if n == 0 {
+		return nil, 0, 0
+	}
+	m := lanczosSteps
+	if m > n-1 {
+		m = n - 1
+	}
+	if m < 1 {
+		m = 1
+	}
+	// Krylov basis, kept fully (n ≤ the sizes we call this at are
+	// fine: m·n floats).
+	basis := make([][]float64, 0, m)
+	alpha := make([]float64, 0, m)
+	beta := make([]float64, 0, m) // beta[j] couples basis[j] and basis[j+1]
+
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	deflate(v)
+	if normalize(v) == 0 {
+		v[0] = 1
+		deflate(v)
+		normalize(v)
+	}
+	w := make([]float64, n)
+	for j := 0; j < m; j++ {
+		basis = append(basis, append([]float64(nil), v...))
+		g.LaplacianMulAdd(v, w)
+		a := dot(v, w)
+		alpha = append(alpha, a)
+		// w ← w − a·v − beta[j−1]·basis[j−1]
+		for i := range w {
+			w[i] -= a * v[i]
+		}
+		if j > 0 {
+			b := beta[j-1]
+			prev := basis[j-1]
+			for i := range w {
+				w[i] -= b * prev[i]
+			}
+		}
+		// Full reorthogonalization (against 1 and the whole basis).
+		deflate(w)
+		for _, q := range basis {
+			d := dot(w, q)
+			for i := range w {
+				w[i] -= d * q[i]
+			}
+		}
+		b := normalize(w)
+		if b < 1e-12 {
+			break
+		}
+		beta = append(beta, b)
+		copy(v, w)
+	}
+	k := len(alpha)
+	// Smallest eigenpair of the tridiagonal T.
+	lambda := smallestTridiagEigenvalue(alpha, beta[:max0(k-1)])
+	y := tridiagInverseIteration(alpha, beta[:max0(k-1)], lambda)
+	// Map back: x = Σ y_j basis_j.
+	x := make([]float64, n)
+	for j := 0; j < k; j++ {
+		for i := range x {
+			x[i] += y[j] * basis[j][i]
+		}
+	}
+	deflate(x)
+	normalize(x)
+	// Rayleigh quotient for the reported eigenvalue.
+	g.LaplacianMulAdd(x, w)
+	return x, dot(x, w), k
+}
+
+func max0(x int) int {
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// sturmCount returns the number of eigenvalues of the symmetric
+// tridiagonal (alpha, beta) strictly below x.
+func sturmCount(alpha, beta []float64, x float64) int {
+	count := 0
+	d := 1.0
+	for i := range alpha {
+		var b2 float64
+		if i > 0 {
+			b2 = beta[i-1] * beta[i-1]
+		}
+		if d == 0 {
+			d = 1e-300
+		}
+		d = alpha[i] - x - b2/d
+		if d < 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// smallestTridiagEigenvalue finds the smallest eigenvalue of the
+// symmetric tridiagonal matrix by bisection on the Sturm count.
+func smallestTridiagEigenvalue(alpha, beta []float64) float64 {
+	// Gershgorin bounds.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range alpha {
+		r := 0.0
+		if i > 0 {
+			r += math.Abs(beta[i-1])
+		}
+		if i < len(beta) {
+			r += math.Abs(beta[i])
+		}
+		if alpha[i]-r < lo {
+			lo = alpha[i] - r
+		}
+		if alpha[i]+r > hi {
+			hi = alpha[i] + r
+		}
+	}
+	for iter := 0; iter < 200 && hi-lo > 1e-12*(1+math.Abs(hi)); iter++ {
+		mid := (lo + hi) / 2
+		if sturmCount(alpha, beta, mid) >= 1 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// tridiagInverseIteration solves (T − λI) y ≈ 0 by one pass of
+// inverse iteration with a random right-hand side, via the Thomas
+// algorithm with a small diagonal shift for stability.
+func tridiagInverseIteration(alpha, beta []float64, lambda float64) []float64 {
+	k := len(alpha)
+	y := make([]float64, k)
+	for i := range y {
+		y[i] = 1 / math.Sqrt(float64(k))
+	}
+	const shift = 1e-10
+	for iter := 0; iter < 3; iter++ {
+		// Solve (T − (λ−shift) I) z = y with the Thomas algorithm.
+		diag := make([]float64, k)
+		rhs := make([]float64, k)
+		for i := range diag {
+			diag[i] = alpha[i] - lambda + shift
+			rhs[i] = y[i]
+		}
+		sub := make([]float64, k) // modified superdiagonal store
+		for i := 1; i < k; i++ {
+			if diag[i-1] == 0 {
+				diag[i-1] = shift
+			}
+			mfac := beta[i-1] / diag[i-1]
+			diag[i] -= mfac * beta[i-1]
+			rhs[i] -= mfac * rhs[i-1]
+			sub[i-1] = beta[i-1]
+		}
+		if diag[k-1] == 0 {
+			diag[k-1] = shift
+		}
+		y[k-1] = rhs[k-1] / diag[k-1]
+		for i := k - 2; i >= 0; i-- {
+			y[i] = (rhs[i] - sub[i]*y[i+1]) / diag[i]
+		}
+		// Normalize.
+		var nrm float64
+		for _, v := range y {
+			nrm += v * v
+		}
+		nrm = math.Sqrt(nrm)
+		if nrm == 0 {
+			break
+		}
+		for i := range y {
+			y[i] /= nrm
+		}
+	}
+	return y
+}

@@ -1,0 +1,97 @@
+// Package stats provides the min / average / standard-deviation
+// accumulators used to report multi-run partitioning experiments in
+// the format of the paper's tables (MIN, AVG, STD columns over 100
+// runs).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Acc accumulates integer observations with Welford's online
+// algorithm, so a million-run sweep needs O(1) memory and stays
+// numerically stable.
+type Acc struct {
+	n    int
+	min  int
+	max  int
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (a *Acc) Add(x int) {
+	if a.n == 0 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+	d := float64(x) - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (float64(x) - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Acc) N() int { return a.n }
+
+// Min returns the smallest observation (0 if none).
+func (a *Acc) Min() int {
+	if a.n == 0 {
+		return 0
+	}
+	return a.min
+}
+
+// Max returns the largest observation (0 if none).
+func (a *Acc) Max() int {
+	if a.n == 0 {
+		return 0
+	}
+	return a.max
+}
+
+// Mean returns the arithmetic mean (0 if none).
+func (a *Acc) Mean() float64 { return a.mean }
+
+// Std returns the population standard deviation, matching the STD
+// columns of the paper's tables (0 for fewer than 2 observations).
+func (a *Acc) Std() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return math.Sqrt(a.m2 / float64(a.n))
+}
+
+// Merge folds another accumulator into a (parallel runs).
+func (a *Acc) Merge(b *Acc) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	n := a.n + b.n
+	d := b.mean - a.mean
+	a.m2 += b.m2 + d*d*float64(a.n)*float64(b.n)/float64(n)
+	a.mean += d * float64(b.n) / float64(n)
+	a.n = n
+}
+
+// String renders "min/avg±std (n)" for logs.
+func (a *Acc) String() string {
+	return fmt.Sprintf("min %d avg %.1f ±%.1f (n=%d)", a.Min(), a.Mean(), a.Std(), a.n)
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var a Acc
+	if a.N() != 0 || a.Min() != 0 || a.Max() != 0 || a.Mean() != 0 || a.Std() != 0 {
+		t.Errorf("empty accumulator not zero: %v", a.String())
+	}
+}
+
+func TestSingle(t *testing.T) {
+	var a Acc
+	a.Add(7)
+	if a.Min() != 7 || a.Max() != 7 || a.Mean() != 7 || a.Std() != 0 {
+		t.Errorf("single: %v", a.String())
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	var a Acc
+	for _, x := range []int{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.Mean() != 5 {
+		t.Errorf("mean = %v, want 5", a.Mean())
+	}
+	if math.Abs(a.Std()-2) > 1e-12 {
+		t.Errorf("std = %v, want 2", a.Std())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("range = [%d,%d], want [2,9]", a.Min(), a.Max())
+	}
+}
+
+func TestNegativeValues(t *testing.T) {
+	var a Acc
+	a.Add(-5)
+	a.Add(5)
+	if a.Mean() != 0 || a.Min() != -5 || a.Max() != 5 {
+		t.Errorf("got %v", a.String())
+	}
+}
+
+func TestPropertyAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		xs := make([]int, n)
+		var a Acc
+		for i := range xs {
+			xs[i] = rng.Intn(2000) - 1000
+			a.Add(xs[i])
+		}
+		var sum float64
+		mn, mx := xs[0], xs[0]
+		for _, x := range xs {
+			sum += float64(x)
+			if x < mn {
+				mn = x
+			}
+			if x > mx {
+				mx = x
+			}
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (float64(x) - mean) * (float64(x) - mean)
+		}
+		std := math.Sqrt(ss / float64(n))
+		return a.Min() == mn && a.Max() == mx &&
+			math.Abs(a.Mean()-mean) < 1e-9 && math.Abs(a.Std()-std) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMergeEqualsSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n1, n2 := rng.Intn(50), rng.Intn(50)
+		var whole, p1, p2 Acc
+		for i := 0; i < n1; i++ {
+			x := rng.Intn(100)
+			whole.Add(x)
+			p1.Add(x)
+		}
+		for i := 0; i < n2; i++ {
+			x := rng.Intn(100)
+			whole.Add(x)
+			p2.Add(x)
+		}
+		p1.Merge(&p2)
+		return p1.N() == whole.N() && p1.Min() == whole.Min() && p1.Max() == whole.Max() &&
+			math.Abs(p1.Mean()-whole.Mean()) < 1e-9 && math.Abs(p1.Std()-whole.Std()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeEmptyCases(t *testing.T) {
+	var a, b Acc
+	a.Add(3)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Error("merge with empty changed state")
+	}
+	var c Acc
+	c.Merge(&a) // merging into empty copies
+	if c.N() != 1 || c.Mean() != 3 {
+		t.Error("merge into empty failed")
+	}
+}

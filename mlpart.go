@@ -1,0 +1,347 @@
+package mlpart
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"mlpart/internal/core"
+	"mlpart/internal/fm"
+	"mlpart/internal/gainbucket"
+	"mlpart/internal/gfm"
+	"mlpart/internal/hypergraph"
+	"mlpart/internal/kway"
+	"mlpart/internal/lsmc"
+	"mlpart/internal/netgen"
+	"mlpart/internal/placement"
+	"mlpart/internal/placer"
+	"mlpart/internal/spectral"
+)
+
+// Re-exported data types. Aliases keep the internal packages private
+// while making their types fully usable through this package.
+type (
+	// Hypergraph is a netlist hypergraph H(V, E).
+	Hypergraph = hypergraph.Hypergraph
+	// Builder incrementally constructs a Hypergraph.
+	Builder = hypergraph.Builder
+	// Partition is a K-way assignment of cells to blocks.
+	Partition = hypergraph.Partition
+	// Clustering is a k-way clustering P^k of the cells.
+	Clustering = hypergraph.Clustering
+	// BalanceBound is the block-area bound of §III.B.
+	BalanceBound = hypergraph.BalanceBound
+
+	// FMConfig configures the FM/CLIP refinement engine.
+	FMConfig = fm.Config
+	// FMResult summarizes a refinement run.
+	FMResult = fm.Result
+	// MLConfig configures the multilevel bipartitioner (Fig. 2).
+	MLConfig = core.Config
+	// MLResult summarizes a multilevel run.
+	MLResult = core.Result
+	// QuadConfig configures multilevel quadrisection.
+	QuadConfig = core.QuadConfig
+	// QuadResult summarizes a multilevel quadrisection run.
+	QuadResult = core.QuadResult
+	// KwayConfig configures the Sanchis-style multi-way engine.
+	KwayConfig = kway.Config
+	// LSMCConfig configures the Large-Step Markov Chain baseline.
+	LSMCConfig = lsmc.Config
+	// PlacementConfig configures the GORDIAN-style quadratic placer.
+	PlacementConfig = placement.Config
+	// SpectralConfig configures spectral (EIG) bipartitioning.
+	SpectralConfig = spectral.Config
+	// GFMConfig configures the Gradient-FM baseline [32].
+	GFMConfig = gfm.Config
+	// PlacerConfig configures the top-down quadrisection placer.
+	PlacerConfig = placer.Config
+	// Placement is a global cell placement with its HPWL.
+	Placement = placer.Placement
+	// CircuitSpec describes a synthetic benchmark circuit.
+	CircuitSpec = netgen.Spec
+	// Circuit is a generated synthetic benchmark instance.
+	Circuit = netgen.Circuit
+	// MeshSpec describes a 2-D grid circuit with a known near-optimal
+	// bisection (ground-truth workload).
+	MeshSpec = netgen.MeshSpec
+)
+
+// Engine and bucket-order constants.
+const (
+	EngineFM       = fm.EngineFM
+	EngineCLIP     = fm.EngineCLIP
+	EnginePROP     = fm.EnginePROP
+	EngineCLIPPROP = fm.EngineCLIPPROP
+
+	OrderLIFO   = gainbucket.LIFO
+	OrderFIFO   = gainbucket.FIFO
+	OrderRandom = gainbucket.Random
+
+	ObjectiveSumOfDegrees = kway.SumOfDegrees
+	ObjectiveNetCut       = kway.NetCut
+)
+
+// NewBuilder returns a Builder for a hypergraph with n unit-area
+// cells.
+func NewBuilder(n int) *Builder { return hypergraph.NewBuilder(n) }
+
+// Balance returns the §III.B balance bound for k blocks with
+// tolerance r.
+func Balance(h *Hypergraph, k int, r float64) BalanceBound { return hypergraph.Balance(h, k, r) }
+
+// Options is the convenience configuration for the one-call API.
+// The zero value reproduces the paper's best bipartitioning setup:
+// CLIP engine, LIFO buckets, R = 0.5, T = 35, r = 0.1.
+type Options struct {
+	// Engine: EngineFM or EngineCLIP. Default EngineCLIP (ML_C).
+	Engine fm.Engine
+	// MatchingRatio R ∈ (0,1]. Default 0.5.
+	MatchingRatio float64
+	// Threshold T. Default 35 for bipartitioning, 100 for
+	// quadrisection.
+	Threshold int
+	// Tolerance r. Default 0.1.
+	Tolerance float64
+	// Seed for all randomness. Runs with equal seeds are identical.
+	Seed int64
+	// Starts > 1 repeats the whole algorithm and keeps the best
+	// solution. Default 1.
+	Starts int
+}
+
+func (o Options) normalize() (Options, error) {
+	if o.MatchingRatio == 0 {
+		o.MatchingRatio = 0.5
+	}
+	if o.Starts == 0 {
+		o.Starts = 1
+	}
+	if o.Starts < 1 {
+		return o, fmt.Errorf("mlpart: starts %d < 1", o.Starts)
+	}
+	return o, nil
+}
+
+// Info reports the outcome of a one-call partitioning run.
+type Info struct {
+	// Cut is the number of nets spanning more than one block.
+	Cut int
+	// SumDegrees is Σ_e (span−1); equals Cut for bipartitioning.
+	SumDegrees int
+	// Levels is the number of coarsening levels of the best run.
+	Levels int
+	// Starts is the number of independent runs performed.
+	Starts int
+}
+
+// Bipartition runs the ML algorithm (Fig. 2) on h and returns the
+// best bipartitioning over opt.Starts independent runs.
+func Bipartition(h *Hypergraph, opt Options) (*Partition, Info, error) {
+	opt, err := opt.normalize()
+	if err != nil {
+		return nil, Info{}, err
+	}
+	cfg := core.Config{
+		Threshold: opt.Threshold,
+		Ratio:     opt.MatchingRatio,
+		Refine:    fm.Config{Engine: opt.Engine, Tolerance: opt.Tolerance},
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var best *Partition
+	info := Info{Starts: opt.Starts}
+	for s := 0; s < opt.Starts; s++ {
+		p, res, err := core.Bipartition(h, cfg, rng)
+		if err != nil {
+			return nil, Info{}, err
+		}
+		if best == nil || res.Cut < info.Cut {
+			best = p
+			info.Cut = res.Cut
+			info.Levels = res.Levels
+		}
+	}
+	info.SumDegrees = info.Cut
+	return best, info, nil
+}
+
+// Quadrisect runs multilevel 4-way partitioning on h (sum-of-degrees
+// gain, as in §IV.D) and returns the best solution over opt.Starts
+// runs.
+func Quadrisect(h *Hypergraph, opt Options) (*Partition, Info, error) {
+	opt, err := opt.normalize()
+	if err != nil {
+		return nil, Info{}, err
+	}
+	if opt.MatchingRatio == 0.5 && opt.Threshold == 0 {
+		// The paper's quadrisection setup: R = 1.0, T = 100.
+		opt.MatchingRatio = 1.0
+	}
+	cfg := core.QuadConfig{
+		Threshold: opt.Threshold,
+		Ratio:     opt.MatchingRatio,
+		Refine: kway.Config{
+			K:         4,
+			Engine:    opt.Engine,
+			Objective: kway.SumOfDegrees,
+			Tolerance: opt.Tolerance,
+		},
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var best *Partition
+	info := Info{Starts: opt.Starts}
+	bestCost := 0
+	for s := 0; s < opt.Starts; s++ {
+		p, res, err := core.Quadrisect(h, cfg, rng)
+		if err != nil {
+			return nil, Info{}, err
+		}
+		if best == nil || res.SumDegrees < bestCost {
+			best = p
+			bestCost = res.SumDegrees
+			info.Cut = res.CutNets
+			info.SumDegrees = res.SumDegrees
+			info.Levels = res.Levels
+		}
+	}
+	return best, info, nil
+}
+
+// FMBipartition runs a single flat FM/CLIP descent from a random
+// start — the paper's baseline engines, usable standalone.
+func FMBipartition(h *Hypergraph, cfg FMConfig, seed int64) (*Partition, FMResult, error) {
+	return fm.Partition(h, nil, cfg, rand.New(rand.NewSource(seed)))
+}
+
+// LSMCBipartition runs the Large-Step Markov Chain baseline (§II.C).
+func LSMCBipartition(h *Hypergraph, cfg LSMCConfig, seed int64) (*Partition, int, error) {
+	p, res, err := lsmc.Bipartition(h, cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, res.Cut, nil
+}
+
+// GordianQuadrisect runs the GORDIAN-style quadratic-placement
+// quadrisection baseline of §IV.D. pads may be nil (a deterministic
+// pseudo-random pad set is chosen).
+func GordianQuadrisect(h *Hypergraph, pads []bool, seed int64) (*Partition, int, error) {
+	p, res, err := placement.Quadrisect(h, pads, placement.Config{}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, res.CutNets, nil
+}
+
+// SpectralBipartition runs spectral (EIG) bipartitioning: the
+// Fiedler vector of the clique-model Laplacian split at the area
+// median, optionally FM-refined (cfg.RefineFM).
+func SpectralBipartition(h *Hypergraph, cfg SpectralConfig, seed int64) (*Partition, int, error) {
+	p, res, err := spectral.Bipartition(h, cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, res.Cut, nil
+}
+
+// GFMBipartition runs the Gradient Fiduccia–Mattheyses baseline of
+// [32]: FM refinement alternating with gradient descent on the
+// quadratic-wirelength relaxation.
+func GFMBipartition(h *Hypergraph, cfg GFMConfig, seed int64) (*Partition, int, error) {
+	p, res, err := gfm.Bipartition(h, cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, res.Cut, nil
+}
+
+// RecursiveBisect produces a k-way (power-of-two) partition by
+// recursive ML bipartitioning — the classical alternative to the
+// paper's direct quadrisection.
+func RecursiveBisect(h *Hypergraph, k int, cfg MLConfig, seed int64) (*Partition, error) {
+	return core.RecursiveBisect(h, k, cfg, rand.New(rand.NewSource(seed)))
+}
+
+// VCycle performs iterated multilevel refinement of an existing
+// bipartition via restricted coarsening (clusters never span blocks),
+// repeating cycles while they improve.
+func VCycle(h *Hypergraph, p *Partition, maxCycles int, cfg MLConfig, seed int64) (*Partition, int, error) {
+	return core.VCycle(h, p, maxCycles, cfg, rand.New(rand.NewSource(seed)))
+}
+
+// TwoPhaseBipartition runs the classical two-phase FM of §II.C: one
+// level of Match clustering, then FM on the coarse and fine netlists.
+func TwoPhaseBipartition(h *Hypergraph, cfg MLConfig, seed int64) (*Partition, MLResult, error) {
+	return core.TwoPhase(h, cfg, rand.New(rand.NewSource(seed)))
+}
+
+// Place runs the quadrisection-driven top-down global placer of
+// [24]: recursive ML quadrisection with terminal propagation. pads
+// (with padX/padY coordinates) may be nil.
+func Place(h *Hypergraph, pads []bool, padX, padY []float64, cfg PlacerConfig, seed int64) (*Placement, error) {
+	return placer.Place(h, pads, padX, padY, cfg, rand.New(rand.NewSource(seed)))
+}
+
+// PlacementHPWL returns the half-perimeter wirelength of coordinates
+// x, y for h.
+func PlacementHPWL(h *Hypergraph, x, y []float64) float64 { return placer.HPWL(h, x, y) }
+
+// KwayPartition runs flat Sanchis-style multi-way FM from a random
+// start (initial may be nil).
+func KwayPartition(h *Hypergraph, initial *Partition, cfg KwayConfig, seed int64) (*Partition, int, error) {
+	p, res, err := kway.Partition(h, initial, cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, res.CutNets, nil
+}
+
+// ReadHGR parses an hMETIS-format hypergraph.
+func ReadHGR(r io.Reader) (*Hypergraph, error) { return hypergraph.ReadHGR(r) }
+
+// WriteHGR writes h in hMETIS format.
+func WriteHGR(w io.Writer, h *Hypergraph) error { return hypergraph.WriteHGR(w, h) }
+
+// NetDCircuit is a parsed ACM/SIGDA .netD netlist (hypergraph plus
+// pad flags).
+type NetDCircuit = hypergraph.NetDCircuit
+
+// ReadNetD parses the ACM/SIGDA .netD benchmark format with an
+// optional .are area file (nil for unit areas).
+func ReadNetD(netR, areR io.Reader) (*NetDCircuit, error) { return hypergraph.ReadNetD(netR, areR) }
+
+// WriteNetD writes h in .netD format (areW may be nil to skip the
+// .are file; pads may be nil).
+func WriteNetD(netW, areW io.Writer, h *Hypergraph, pads []bool) error {
+	return hypergraph.WriteNetD(netW, areW, h, pads)
+}
+
+// ReadPartition reads a one-block-per-line partition file.
+func ReadPartition(r io.Reader, numCells int) (*Partition, error) {
+	return hypergraph.ReadPartition(r, numCells)
+}
+
+// WritePartition writes p one block index per line.
+func WritePartition(w io.Writer, p *Partition) error { return hypergraph.WritePartition(w, p) }
+
+// GenerateCircuit builds a deterministic synthetic benchmark circuit.
+func GenerateCircuit(spec CircuitSpec) (*Circuit, error) { return netgen.Generate(spec) }
+
+// BenchmarkSpecs returns the Table-I benchmark suite specs.
+func BenchmarkSpecs() []CircuitSpec { return netgen.TableISpecs() }
+
+// GenerateMesh builds a 2-D grid circuit; its straight-line bisection
+// cut (MeshOptimalCut) is a geometric ground truth for quality tests.
+func GenerateMesh(spec MeshSpec) (*Hypergraph, error) { return netgen.GenerateMesh(spec) }
+
+// MeshOptimalCut returns the straight-line bisection cut of a mesh.
+func MeshOptimalCut(spec MeshSpec) int { return netgen.MeshOptimalBisectionCut(spec) }
+
+// NewPartitionForTest returns an all-zeros 2-way partition of n
+// cells; exported for the CLI end-to-end tests (an intentionally
+// unbalanced partition for cutverify's failure path).
+func NewPartitionForTest(n int) *Partition {
+	p := hypergraph.NewPartition(n, 2)
+	p.Part[0] = 1 // two blocks present, grossly unbalanced
+	return p
+}
