@@ -1,0 +1,30 @@
+# Developer entry points. The repo is stdlib-only Go; everything here
+# is plain toolchain invocations.
+
+GO ?= go
+
+.PHONY: all build vet test race fuzz-smoke check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The refiners' Stop hooks and the cancellation plumbing are shared
+# mutable state; the race detector must stay clean.
+race:
+	$(GO) test -race ./...
+
+# Short fuzz run over the parser hardening (resource limits, overflow
+# checks). The checked-in corpus under
+# internal/hypergraph/testdata/fuzz seeds it.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzReadHGR -fuzztime=10s ./internal/hypergraph
+
+check: build vet test race fuzz-smoke

@@ -7,17 +7,28 @@
 //	mlpart -in circuit.hgr|circuit.netD [-out circuit.part] [-k 2|4]
 //	       [-engine clip|fm] [-ratio 0.5] [-threshold 35]
 //	       [-tolerance 0.1] [-starts 1] [-seed 1997] [-stats]
+//	       [-timeout 30s] [-audit]
 //
 // With -k 2 it bipartitions (the paper's ML_F / ML_C); with -k 4 it
 // quadrisects with the sum-of-degrees gain (§IV.D).
+//
+// A -timeout deadline or a SIGINT/SIGTERM cancels the run
+// cooperatively: the best feasible partition found so far is still
+// written and the command exits 0 with an "interrupted" note on
+// stderr. The exit code is non-zero only when no feasible solution
+// exists yet.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"mlpart"
@@ -42,6 +53,8 @@ func run() error {
 		starts    = flag.Int("starts", 1, "independent runs; best kept")
 		seed      = flag.Int64("seed", 1997, "random seed")
 		stats     = flag.Bool("stats", false, "print circuit statistics before partitioning")
+		timeout   = flag.Duration("timeout", 0, "cancel after this duration, writing the best-so-far partition (0 = no limit)")
+		audit     = flag.Bool("audit", false, "run invariant audits at every level transition")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -84,6 +97,7 @@ func run() error {
 		Tolerance:     *tolerance,
 		Seed:          *seed,
 		Starts:        *starts,
+		Audit:         *audit,
 	}
 	switch *engine {
 	case "clip":
@@ -98,19 +112,37 @@ func run() error {
 		return fmt.Errorf("unknown engine %q (want clip, fm, prop, or clprop)", *engine)
 	}
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, *timeout)
+		defer tcancel()
+	}
+
 	start := time.Now()
 	var p *mlpart.Partition
 	var info mlpart.Info
 	switch *k {
 	case 2:
-		p, info, err = mlpart.Bipartition(h, opt)
+		p, info, err = mlpart.BipartitionCtx(ctx, h, opt)
 	case 4:
-		p, info, err = mlpart.Quadrisect(h, opt)
+		p, info, err = mlpart.QuadrisectCtx(ctx, h, opt)
 	default:
 		return fmt.Errorf("-k must be 2 or 4, got %d", *k)
 	}
 	if err != nil {
-		return err
+		var ierr *mlpart.InternalError
+		if errors.As(err, &ierr) && p != nil {
+			// Recovered internal panic with a feasible solution: warn
+			// and write the last good partition.
+			fmt.Fprintf(os.Stderr, "mlpart: recovered internal error (%v); writing last good solution\n", ierr)
+		} else {
+			return err
+		}
+	}
+	if info.Interrupted {
+		fmt.Fprintln(os.Stderr, "mlpart: interrupted; writing best-so-far partition")
 	}
 	elapsed := time.Since(start)
 

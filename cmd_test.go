@@ -134,6 +134,59 @@ func TestCmdBenchgenAndMlpart(t *testing.T) {
 	}
 }
 
+// TestCmdMlpartTimeout: a -timeout that expires immediately must
+// still write a feasible best-so-far partition, report "interrupted"
+// on stderr, and exit 0 — interruption is graceful degradation, not
+// failure.
+func TestCmdMlpartTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t)
+	dir := t.TempDir()
+	if out, err := exec.Command(filepath.Join(bins, "benchgen"),
+		"-scale", "tiny", "-dir", dir, "-only", "balu").CombinedOutput(); err != nil {
+		t.Fatalf("benchgen: %v\n%s", err, out)
+	}
+	hgr := filepath.Join(dir, "balu.hgr")
+	part := filepath.Join(dir, "balu.part")
+	out, err := exec.Command(filepath.Join(bins, "mlpart"),
+		"-in", hgr, "-out", part, "-timeout", "1ns", "-starts", "4").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mlpart -timeout 1ns should still exit 0: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "interrupted") {
+		t.Errorf("no interruption note on stderr:\n%s", out)
+	}
+	hf, err := os.Open(hgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hf.Close()
+	h, err := ReadHGR(hf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := os.Open(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	p, err := ReadPartition(pf, h.NumCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsBalanced(h, Balance(h, 2, 0.1)) {
+		t.Error("best-so-far partition violates the balance bound")
+	}
+
+	// -audit composes with the normal flow.
+	if out, err := exec.Command(filepath.Join(bins, "mlpart"),
+		"-in", hgr, "-audit").CombinedOutput(); err != nil {
+		t.Fatalf("mlpart -audit: %v\n%s", err, out)
+	}
+}
+
 func TestCmdCutverify(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries")

@@ -1,0 +1,155 @@
+// Package audit provides from-scratch invariant checks for the
+// multilevel pipeline: hypergraph CSR consistency, clustering
+// well-formedness with area conservation across Induce, and partition
+// feasibility with an incremental-vs-recomputed cut cross-check. The
+// checks are opt-in (Options.Audit / -audit) because they are
+// O(pins) per level transition; they are always on in the
+// integration tests.
+package audit
+
+import (
+	"fmt"
+
+	"mlpart/internal/hypergraph"
+)
+
+// Skip is the sentinel for PartitionChecks fields that should not be
+// verified.
+const Skip = -1
+
+// CheckHypergraph verifies CSR consistency in both directions, pin
+// ranges and duplicates, area non-negativity, and the cached
+// total/max area of h.
+func CheckHypergraph(h *hypergraph.Hypergraph) error {
+	if h == nil {
+		return fmt.Errorf("audit: nil hypergraph")
+	}
+	if err := h.Validate(); err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	return nil
+}
+
+// CheckClustering verifies that c is a well-formed clustering of fine
+// (surjective onto contiguous cluster ids, every cluster non-empty)
+// and that the coarse hypergraph induced from it conserves area:
+// every cluster's area in coarse equals the sum of its members' areas
+// in fine, and the totals agree.
+func CheckClustering(fine *hypergraph.Hypergraph, c *hypergraph.Clustering, coarse *hypergraph.Hypergraph) error {
+	if fine == nil || c == nil {
+		return fmt.Errorf("audit: nil clustering inputs")
+	}
+	if err := c.Validate(fine.NumCells()); err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	if coarse == nil {
+		return nil
+	}
+	if coarse.NumCells() != c.NumClusters {
+		return fmt.Errorf("audit: coarse hypergraph has %d cells, clustering has %d clusters",
+			coarse.NumCells(), c.NumClusters)
+	}
+	sums := make([]int64, c.NumClusters)
+	for v := 0; v < fine.NumCells(); v++ {
+		sums[c.CellToCluster[v]] += fine.Area(v)
+	}
+	for k, want := range sums {
+		if got := coarse.Area(k); got != want {
+			return fmt.Errorf("audit: cluster %d area %d != member sum %d (area not conserved)", k, got, want)
+		}
+	}
+	if fine.TotalArea() != coarse.TotalArea() {
+		return fmt.Errorf("audit: total area %d != coarse total %d", fine.TotalArea(), coarse.TotalArea())
+	}
+	return nil
+}
+
+// PartitionChecks selects which partition invariants CheckPartition
+// verifies beyond basic well-formedness. Set int fields to Skip (and
+// pointer fields to nil) to skip a check.
+type PartitionChecks struct {
+	// K, when not Skip, is the expected number of blocks.
+	K int
+	// Bound, when non-nil, is the balance bound every block must meet.
+	Bound *hypergraph.BalanceBound
+	// WeightedCut, when not Skip, is cross-checked against a
+	// from-scratch weighted cut over all nets.
+	WeightedCut int
+	// ActiveCut, when not Skip, is an incrementally maintained cut that
+	// counts only nets with at most MaxNetSize pins; it is cross-checked
+	// against a from-scratch recount with the same net filter.
+	ActiveCut int
+	// MaxNetSize is the refiner's net-size cutoff for ActiveCut
+	// (nets larger than this are ignored); <= 0 means no cutoff.
+	MaxNetSize int
+	// SumDegrees, when not Skip, is cross-checked against the
+	// from-scratch weighted sum of degrees (the K > 2 objective).
+	SumDegrees int
+}
+
+// NoChecks returns a PartitionChecks with every optional check off.
+func NoChecks() PartitionChecks {
+	return PartitionChecks{K: Skip, WeightedCut: Skip, ActiveCut: Skip, MaxNetSize: Skip, SumDegrees: Skip}
+}
+
+// CheckPartition verifies that p is a well-formed partition of h and
+// then applies the selected checks: expected K, balance bound, and
+// the incremental-vs-from-scratch cut cross-checks that catch gain
+// bucket and delta-cut bookkeeping bugs.
+func CheckPartition(h *hypergraph.Hypergraph, p *hypergraph.Partition, chk PartitionChecks) error {
+	if h == nil || p == nil {
+		return fmt.Errorf("audit: nil partition inputs")
+	}
+	if err := p.Validate(h.NumCells()); err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	if chk.K != Skip && p.K != chk.K {
+		return fmt.Errorf("audit: partition has K=%d, expected %d", p.K, chk.K)
+	}
+	if chk.Bound != nil {
+		for b, a := range p.BlockAreas(h) {
+			if a < chk.Bound.Lo || a > chk.Bound.Hi {
+				return fmt.Errorf("audit: block %d area %d outside balance bound [%d,%d]",
+					b, a, chk.Bound.Lo, chk.Bound.Hi)
+			}
+		}
+	}
+	if chk.WeightedCut != Skip {
+		if got := p.WeightedCut(h); got != chk.WeightedCut {
+			return fmt.Errorf("audit: reported cut %d != from-scratch cut %d", chk.WeightedCut, got)
+		}
+	}
+	if chk.ActiveCut != Skip {
+		if got := activeCut(h, p, chk.MaxNetSize); got != chk.ActiveCut {
+			return fmt.Errorf("audit: incremental cut %d != from-scratch active cut %d (net-size cutoff %d)",
+				chk.ActiveCut, got, chk.MaxNetSize)
+		}
+	}
+	if chk.SumDegrees != Skip {
+		if got := p.WeightedSumOfDegrees(h); got != chk.SumDegrees {
+			return fmt.Errorf("audit: reported sum-of-degrees %d != from-scratch %d", chk.SumDegrees, got)
+		}
+	}
+	return nil
+}
+
+// activeCut recomputes the weighted cut counting only nets with at
+// most maxNetSize pins (<= 0 means all nets), matching the refiners'
+// incremental counter semantics.
+func activeCut(h *hypergraph.Hypergraph, p *hypergraph.Partition, maxNetSize int) int {
+	cut := 0
+	for e := 0; e < h.NumNets(); e++ {
+		if maxNetSize > 0 && h.NetSize(e) > maxNetSize {
+			continue
+		}
+		pins := h.Pins(e)
+		first := p.Part[pins[0]]
+		for _, v := range pins[1:] {
+			if p.Part[v] != first {
+				cut += int(h.NetWeight(e))
+				break
+			}
+		}
+	}
+	return cut
+}

@@ -7,6 +7,7 @@ package coarsen
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"mlpart/internal/hypergraph"
@@ -35,6 +36,11 @@ type Config struct {
 	// lets a hierarchy be rebuilt around an existing solution without
 	// destroying it.
 	SameBlockOnly *hypergraph.Partition
+	// Stop, when non-nil, is polled periodically during the matching
+	// sweep; returning true stops matching early. Every module not yet
+	// matched becomes a singleton cluster (exactly the Fig. 3 handling
+	// of leftover modules), so the clustering is always well-formed.
+	Stop func() bool
 }
 
 // Normalize fills defaults and validates.
@@ -42,7 +48,7 @@ func (c Config) Normalize() (Config, error) {
 	if c.Ratio == 0 {
 		c.Ratio = 1.0
 	}
-	if c.Ratio < 0 || c.Ratio > 1 {
+	if math.IsNaN(c.Ratio) || c.Ratio <= 0 || c.Ratio > 1 {
 		return c, fmt.Errorf("coarsen: matching ratio %v outside (0,1]", c.Ratio)
 	}
 	if c.MaxNetSize == 0 {
@@ -121,6 +127,9 @@ func Match(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*hypergraph.Cl
 	nMatch := 0
 	j := 0
 	for float64(nMatch)/float64(n) < cfg.Ratio && j < n {
+		if j&255 == 0 && cfg.Stop != nil && cfg.Stop() {
+			break
+		}
 		v := perm[j]
 		j++
 		if c.CellToCluster[v] >= 0 || excluded(v) {

@@ -7,9 +7,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"math/rand"
 
+	"mlpart/internal/audit"
 	"mlpart/internal/coarsen"
 	"mlpart/internal/fm"
 	"mlpart/internal/hypergraph"
@@ -41,6 +44,12 @@ type Config struct {
 	// which speeds refinement — the hMETIS-era optimization that the
 	// paper's Definition 1 forgoes (ablation-mergenets measures it).
 	MergeParallelNets bool
+	// Audit enables from-scratch invariant checks (package audit) at
+	// every level transition: clustering well-formedness and area
+	// conservation after each coarsening step, and partition validity,
+	// balance, and incremental-vs-recomputed cut agreement after each
+	// refinement. O(pins) per transition; off by default.
+	Audit bool
 }
 
 // Normalize fills defaults and validates.
@@ -54,7 +63,7 @@ func (c Config) Normalize() (Config, error) {
 	if c.Ratio == 0 {
 		c.Ratio = 1.0
 	}
-	if c.Ratio < 0 || c.Ratio > 1 {
+	if math.IsNaN(c.Ratio) || c.Ratio <= 0 || c.Ratio > 1 {
 		return c, fmt.Errorf("core: matching ratio %v outside (0,1]", c.Ratio)
 	}
 	if c.CoarsestStarts == 0 {
@@ -89,6 +98,11 @@ type Result struct {
 	// RefineResults holds the per-level refinement summaries, index
 	// 0 = coarsest ... last = H_0.
 	RefineResults []fm.Result
+	// Interrupted reports that cancellation (context or a Stop hook)
+	// cut the run short. The returned partition is still feasible: the
+	// remaining levels were projected and rebalanced without engine
+	// passes.
+	Interrupted bool
 }
 
 // level is one rung of the hierarchy: the hypergraph plus the
@@ -101,68 +115,204 @@ type level struct {
 // Bipartition runs the ML algorithm of Fig. 2 on h and returns the
 // final bipartitioning P_0 = {X_0, Y_0}.
 func Bipartition(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*hypergraph.Partition, Result, error) {
+	return BipartitionCtx(context.Background(), h, cfg, rng)
+}
+
+// BipartitionCtx is Bipartition with cooperative cancellation. The
+// context is polled at level transitions and at FM pass boundaries;
+// once it is done, at most one FM pass of extra work happens before
+// the run winds down: the current solution is projected to H_0 and
+// rebalanced (no engine passes), so the returned partition is always
+// feasible, with Result.Interrupted set. Cancellation is not an
+// error.
+//
+// Internal invariant panics at any stage are recovered at the stage
+// boundary and returned as a *PanicError together with the best
+// feasible partition assembled from the work that completed.
+func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*hypergraph.Partition, Result, error) {
 	cfg, err := cfg.Normalize()
 	if err != nil {
 		return nil, Result{}, err
 	}
-	levels, res, err := buildHierarchy(h, cfg, rng)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg.Refine.Stop = mergeStop(cfg.Refine.Stop, ctx)
+
+	levels, res, err := buildHierarchy(ctx, h, cfg, rng)
+	var firstErr *PanicError
 	if err != nil {
-		return nil, Result{}, err
+		pe, ok := AsPanicError(err)
+		if !ok {
+			return nil, res, err
+		}
+		// A coarsening panic leaves a valid hierarchy prefix; continue
+		// the run on it and report the panic at the end.
+		firstErr = pe
 	}
 
 	// Step 6: partition the coarsest netlist from a random start.
 	coarsest := levels[len(levels)-1].h
-	p, rres, err := partitionCoarsest(coarsest, cfg, rng)
-	if err != nil {
-		return nil, Result{}, err
+	var p *hypergraph.Partition
+	var rres fm.Result
+	engineOK := true
+	gerr := Guard("coarsest-partition", len(levels)-1, func() error {
+		var err error
+		p, rres, err = partitionCoarsest(coarsest, cfg, rng)
+		return err
+	})
+	if gerr != nil {
+		pe, ok := AsPanicError(gerr)
+		if !ok {
+			return nil, res, gerr
+		}
+		if firstErr == nil {
+			firstErr = pe
+		}
+		// Degraded fallback: a random balanced partition of the
+		// coarsest netlist, refined by projection/rebalance only.
+		p = hypergraph.RandomPartition(coarsest, 2, cfg.Refine.Tolerance, rng)
+		rres = fm.Result{Cut: p.WeightedCut(coarsest), InitialCut: p.WeightedCut(coarsest), ActiveCut: -1}
+		engineOK = false
+	}
+	if rres.Interrupted {
+		res.Interrupted = true
 	}
 	res.RefineResults = append(res.RefineResults, rres)
+	if cfg.Audit {
+		if err := auditRefined(coarsest, p, cfg, rres, engineOK); err != nil {
+			return p, res, fmt.Errorf("core: level %d: %w", len(levels)-1, err)
+		}
+	}
 
-	// Steps 7–9: project and refine down to H_0.
+	// Steps 7–9: project and refine down to H_0. After a recovered
+	// engine panic the remaining levels are projected and rebalanced
+	// without engine passes (the engine state is no longer trusted).
 	for i := len(levels) - 2; i >= 0; i-- {
 		p, err = hypergraph.Project(levels[i].c, p)
 		if err != nil {
-			return nil, Result{}, err
+			return nil, res, err
 		}
 		fineH := levels[i].h
-		// The projected solution may violate the balance bound for
-		// H_i (A(v*) can decrease during uncoarsening, §III.B);
-		// FMPartition rebalances before refining.
-		p, rres, err = fm.Partition(fineH, p, cfg.Refine, rng)
-		if err != nil {
-			return nil, Result{}, err
+		if engineOK {
+			// The projected solution may violate the balance bound for
+			// H_i (A(v*) can decrease during uncoarsening, §III.B);
+			// FMPartition rebalances before refining.
+			var p2 *hypergraph.Partition
+			gerr := Guard("refine", i, func() error {
+				var err error
+				p2, rres, err = fm.Partition(fineH, p, cfg.Refine, rng)
+				return err
+			})
+			if gerr != nil {
+				pe, ok := AsPanicError(gerr)
+				if !ok {
+					return nil, res, gerr
+				}
+				if firstErr == nil {
+					firstErr = pe
+				}
+				engineOK = false
+			} else {
+				p = p2
+				if rres.Interrupted {
+					res.Interrupted = true
+				}
+				res.RefineResults = append(res.RefineResults, rres)
+			}
 		}
-		res.RefineResults = append(res.RefineResults, rres)
+		if !engineOK {
+			bound := hypergraph.Balance(fineH, 2, cfg.Refine.Tolerance)
+			if !p.IsBalanced(fineH, bound) {
+				p.Rebalance(fineH, bound, rng)
+			}
+			rres = fm.Result{Cut: p.WeightedCut(fineH), InitialCut: p.WeightedCut(fineH), ActiveCut: -1}
+		}
+		if cfg.Audit {
+			if err := auditRefined(fineH, p, cfg, rres, engineOK); err != nil {
+				return p, res, fmt.Errorf("core: level %d: %w", i, err)
+			}
+		}
 	}
 	res.Cut = p.Cut(h)
+	if firstErr != nil {
+		return p, res, firstErr
+	}
 	return p, res, nil
 }
 
+// auditRefined cross-checks a refined level solution: validity,
+// balance, the reported cut against a from-scratch recount, and (when
+// the engine ran and maintains one) the incremental active cut.
+func auditRefined(h *hypergraph.Hypergraph, p *hypergraph.Partition, cfg Config, rres fm.Result, engineOK bool) error {
+	bound := hypergraph.Balance(h, 2, cfg.Refine.Tolerance)
+	chk := audit.NoChecks()
+	chk.K = 2
+	chk.Bound = &bound
+	if engineOK {
+		chk.WeightedCut = rres.Cut
+		if rres.ActiveCut >= 0 {
+			chk.ActiveCut = rres.ActiveCut
+			chk.MaxNetSize = cfg.Refine.MaxNetSize
+			if chk.MaxNetSize < 0 {
+				chk.MaxNetSize = 0 // audit convention: <=0 means no cutoff
+			}
+		}
+	}
+	return audit.CheckPartition(h, p, chk)
+}
+
 // buildHierarchy performs the coarsening phase (Steps 1–5 of Fig. 2).
-func buildHierarchy(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) ([]level, Result, error) {
+// Cancellation stops coarsening early (marking Result.Interrupted);
+// a panic inside Match/Induce is recovered and returned as a
+// *PanicError alongside the valid hierarchy prefix built so far.
+func buildHierarchy(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) ([]level, Result, error) {
 	res := Result{}
-	matchCfg := coarsen.Config{Ratio: cfg.Ratio}
+	matchCfg := coarsen.Config{Ratio: cfg.Ratio, Stop: mergeStop(nil, ctx)}
 	levels := []level{{h: h}}
 	res.LevelCells = append(res.LevelCells, h.NumCells())
 	cur := h
 	for cur.NumCells() > cfg.Threshold && len(levels) <= cfg.MaxLevels {
-		c, err := coarsen.Match(cur, matchCfg, rng)
-		if err != nil {
-			return nil, res, err
+		if ctx.Err() != nil {
+			res.Interrupted = true
+			break
 		}
+		var c *hypergraph.Clustering
 		var coarseH *hypergraph.Hypergraph
-		if cfg.MergeParallelNets {
-			coarseH, err = hypergraph.InduceMerged(cur, c)
-		} else {
-			coarseH, err = hypergraph.Induce(cur, c)
-		}
-		if err != nil {
-			return nil, res, err
+		gerr := Guard("coarsen", len(levels)-1, func() error {
+			var err error
+			c, err = coarsen.Match(cur, matchCfg, rng)
+			if err != nil {
+				return err
+			}
+			if cfg.MergeParallelNets {
+				coarseH, err = hypergraph.InduceMerged(cur, c)
+			} else {
+				coarseH, err = hypergraph.Induce(cur, c)
+			}
+			return err
+		})
+		if gerr != nil {
+			res.Levels = len(levels) - 1
+			res.CoarsestCells = cur.NumCells()
+			return levels, res, gerr
 		}
 		if coarseH.NumCells() >= cur.NumCells() {
 			// Match made no progress (e.g. netless instance with
 			// R ≈ 0); stop coarsening rather than loop forever.
 			break
+		}
+		if cfg.Audit {
+			if err := audit.CheckClustering(cur, c, coarseH); err != nil {
+				res.Levels = len(levels) - 1
+				res.CoarsestCells = cur.NumCells()
+				return levels, res, fmt.Errorf("core: level %d: %w", len(levels)-1, err)
+			}
+			if err := audit.CheckHypergraph(coarseH); err != nil {
+				res.Levels = len(levels) - 1
+				res.CoarsestCells = cur.NumCells()
+				return levels, res, fmt.Errorf("core: level %d: %w", len(levels)-1, err)
+			}
 		}
 		levels[len(levels)-1].c = c
 		levels = append(levels, level{h: coarseH})
@@ -187,6 +337,10 @@ func partitionCoarsest(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*h
 		if best == nil || r.Cut < bestRes.Cut {
 			best, bestRes = p, r
 		}
+		if r.Interrupted {
+			bestRes.Interrupted = true
+			break
+		}
 	}
 	return best, bestRes, nil
 }
@@ -200,7 +354,7 @@ func Hierarchy(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) ([]*hypergr
 	if err != nil {
 		return nil, nil, err
 	}
-	levels, _, err := buildHierarchy(h, cfg, rng)
+	levels, _, err := buildHierarchy(context.Background(), h, cfg, rng)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"math/rand"
 
+	"mlpart/internal/audit"
 	"mlpart/internal/coarsen"
 	"mlpart/internal/hypergraph"
 	"mlpart/internal/kway"
@@ -30,6 +33,8 @@ type QuadConfig struct {
 	// Preassign gives the block of each fixed cell (only entries
 	// with Fixed[v] true are read). Required iff Fixed is non-nil.
 	Preassign []int32
+	// Audit enables per-level invariant checks, as in Config.Audit.
+	Audit bool
 }
 
 // Normalize fills defaults and validates.
@@ -43,7 +48,7 @@ func (c QuadConfig) Normalize() (QuadConfig, error) {
 	if c.Ratio == 0 {
 		c.Ratio = 1.0
 	}
-	if c.Ratio < 0 || c.Ratio > 1 {
+	if math.IsNaN(c.Ratio) || c.Ratio <= 0 || c.Ratio > 1 {
 		return c, fmt.Errorf("core: matching ratio %v outside (0,1]", c.Ratio)
 	}
 	if c.CoarsestStarts == 0 {
@@ -80,6 +85,9 @@ type QuadResult struct {
 	Levels        int
 	CoarsestCells int
 	LevelCells    []int
+	// Interrupted reports that cancellation cut the run short; the
+	// returned partition is still feasible.
+	Interrupted bool
 }
 
 // Quadrisect runs the multilevel k-way algorithm: Match-based
@@ -89,10 +97,26 @@ type QuadResult struct {
 // level), k-way partitioning of the coarsest netlist, then projection
 // with multi-way FM refinement per level.
 func Quadrisect(h *hypergraph.Hypergraph, cfg QuadConfig, rng *rand.Rand) (*hypergraph.Partition, QuadResult, error) {
+	return QuadrisectCtx(context.Background(), h, cfg, rng)
+}
+
+// QuadrisectCtx is Quadrisect with cooperative cancellation and panic
+// recovery, under the same contract as BipartitionCtx: once the
+// context is done, at most one refinement pass of extra work happens,
+// the remaining levels are projected and rebalanced without engine
+// passes, and the returned partition is feasible with
+// QuadResult.Interrupted set. Internal panics are recovered at stage
+// boundaries and returned as a *PanicError with the best feasible
+// partition.
+func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig, rng *rand.Rand) (*hypergraph.Partition, QuadResult, error) {
 	cfg, err := cfg.Normalize()
 	if err != nil {
 		return nil, QuadResult{}, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg.Refine.Stop = mergeStop(cfg.Refine.Stop, ctx)
 	if cfg.Fixed != nil {
 		if len(cfg.Fixed) != h.NumCells() || len(cfg.Preassign) != h.NumCells() {
 			return nil, QuadResult{}, fmt.Errorf("core: Fixed/Preassign length mismatch with %d cells", h.NumCells())
@@ -133,18 +157,43 @@ func Quadrisect(h *hypergraph.Hypergraph, cfg QuadConfig, rng *rand.Rand) (*hype
 		}
 		return n
 	}
+	var firstErr *PanicError
 	cur := &levels[0]
 	for movable(cur) > cfg.Threshold && len(levels) <= cfg.MaxLevels {
+		if ctx.Err() != nil {
+			res.Interrupted = true
+			break
+		}
 		// Fixed cells are excluded from matching (always singleton
 		// clusters), so two pads pre-assigned to different blocks can
 		// never be merged.
-		matchCfg := coarsen.Config{Ratio: cfg.Ratio, Exclude: cur.fixed}
-		coarseH, c, err := coarsen.Coarsen(cur.h, matchCfg, rng)
-		if err != nil {
-			return nil, QuadResult{}, err
+		matchCfg := coarsen.Config{Ratio: cfg.Ratio, Exclude: cur.fixed, Stop: mergeStop(nil, ctx)}
+		var coarseH *hypergraph.Hypergraph
+		var c *hypergraph.Clustering
+		gerr := Guard("coarsen", len(levels)-1, func() error {
+			var err error
+			coarseH, c, err = coarsen.Coarsen(cur.h, matchCfg, rng)
+			return err
+		})
+		if gerr != nil {
+			pe, ok := AsPanicError(gerr)
+			if !ok {
+				return nil, QuadResult{}, gerr
+			}
+			// Keep the valid hierarchy prefix and continue the run.
+			firstErr = pe
+			break
 		}
 		if coarseH.NumCells() >= cur.h.NumCells() {
 			break
+		}
+		if cfg.Audit {
+			if err := audit.CheckClustering(cur.h, c, coarseH); err != nil {
+				return nil, res, fmt.Errorf("core: level %d: %w", len(levels)-1, err)
+			}
+			if err := audit.CheckHypergraph(coarseH); err != nil {
+				return nil, res, fmt.Errorf("core: level %d: %w", len(levels)-1, err)
+			}
 		}
 		cur.c = c
 		next := qlevel{h: coarseH}
@@ -173,37 +222,71 @@ func Quadrisect(h *hypergraph.Hypergraph, cfg QuadConfig, rng *rand.Rand) (*hype
 	// Partition the coarsest netlist.
 	refCfg := cfg.Refine
 	top := levels[len(levels)-1]
+	engineOK := true
 	var best *hypergraph.Partition
 	bestCost := 0
-	for s := 0; s < cfg.CoarsestStarts; s++ {
-		var p *hypergraph.Partition
-		var r kway.Result
+	gerr := Guard("coarsest-partition", len(levels)-1, func() error {
+		for s := 0; s < cfg.CoarsestStarts; s++ {
+			var p *hypergraph.Partition
+			var r kway.Result
+			var err error
+			if top.fixed != nil {
+				init := seededRandomPartition(top.h, refCfg.K, top.fixed, top.pre, rng)
+				c2 := refCfg
+				c2.Fixed = top.fixed
+				p, r, err = kway.Partition(top.h, init, c2, rng)
+			} else {
+				p, r, err = kway.Partition(top.h, nil, refCfg, rng)
+			}
+			if err != nil {
+				return err
+			}
+			cost := r.SumDegrees
+			if refCfg.Objective == kway.NetCut {
+				cost = r.CutNets
+			}
+			if best == nil || cost < bestCost {
+				best, bestCost = p, cost
+			}
+			if r.Interrupted {
+				res.Interrupted = true
+				break
+			}
+		}
+		return nil
+	})
+	if gerr != nil {
+		pe, ok := AsPanicError(gerr)
+		if !ok {
+			return nil, res, gerr
+		}
+		if firstErr == nil {
+			firstErr = pe
+		}
+		engineOK = false
+	}
+	if best == nil {
+		// Degraded fallback after a panic before any start finished.
 		if top.fixed != nil {
-			init := seededRandomPartition(top.h, refCfg.K, top.fixed, top.pre, rng)
-			c2 := refCfg
-			c2.Fixed = top.fixed
-			p, r, err = kway.Partition(top.h, init, c2, rng)
+			best = seededRandomPartition(top.h, refCfg.K, top.fixed, top.pre, rng)
 		} else {
-			p, r, err = kway.Partition(top.h, nil, refCfg, rng)
-		}
-		if err != nil {
-			return nil, QuadResult{}, err
-		}
-		cost := r.SumDegrees
-		if refCfg.Objective == kway.NetCut {
-			cost = r.CutNets
-		}
-		if best == nil || cost < bestCost {
-			best, bestCost = p, cost
+			best = hypergraph.RandomPartition(top.h, refCfg.K, refCfg.Tolerance, rng)
 		}
 	}
 	p := best
+	if cfg.Audit {
+		if err := auditQuadLevel(top.h, p, refCfg, top.fixed != nil); err != nil {
+			return p, res, fmt.Errorf("core: level %d: %w", len(levels)-1, err)
+		}
+	}
 
-	// Uncoarsening with per-level refinement.
+	// Uncoarsening with per-level refinement. After a recovered engine
+	// panic the remaining levels are projected and rebalanced without
+	// engine passes.
 	for i := len(levels) - 2; i >= 0; i-- {
 		p, err = hypergraph.Project(levels[i].c, p)
 		if err != nil {
-			return nil, QuadResult{}, err
+			return nil, res, err
 		}
 		lv := levels[i]
 		c2 := refCfg
@@ -224,13 +307,59 @@ func Quadrisect(h *hypergraph.Hypergraph, cfg QuadConfig, rng *rand.Rand) (*hype
 				p.Rebalance(lv.h, bound, rng)
 			}
 		}
-		if _, err = kway.Refine(lv.h, p, c2, rng); err != nil {
-			return nil, QuadResult{}, err
+		if engineOK {
+			gerr := Guard("refine", i, func() error {
+				r, err := kway.Refine(lv.h, p, c2, rng)
+				if r.Interrupted {
+					res.Interrupted = true
+				}
+				return err
+			})
+			if gerr != nil {
+				pe, ok := AsPanicError(gerr)
+				if !ok {
+					return nil, res, gerr
+				}
+				if firstErr == nil {
+					firstErr = pe
+				}
+				engineOK = false
+				// kway.Refine mutates p in place; a mid-pass panic can
+				// leave it unbalanced, so restore the bound before
+				// projecting further (fixed cells keep their pins).
+				if lv.fixed == nil {
+					bound := hypergraph.Balance(lv.h, refCfg.K, refCfg.Tolerance)
+					if !p.IsBalanced(lv.h, bound) {
+						p.Rebalance(lv.h, bound, rng)
+					}
+				}
+			}
+		}
+		if cfg.Audit {
+			if err := auditQuadLevel(lv.h, p, refCfg, lv.fixed != nil); err != nil {
+				return p, res, fmt.Errorf("core: level %d: %w", i, err)
+			}
 		}
 	}
 	res.CutNets = p.Cut(h)
 	res.SumDegrees = p.SumOfDegrees(h)
+	if firstErr != nil {
+		return p, res, firstErr
+	}
 	return p, res, nil
+}
+
+// auditQuadLevel checks a k-way level solution: validity, expected K,
+// and (when no cells are fixed — pre-assignments can make the §III.B
+// bound unsatisfiable) the balance bound.
+func auditQuadLevel(h *hypergraph.Hypergraph, p *hypergraph.Partition, refCfg kway.Config, hasFixed bool) error {
+	chk := audit.NoChecks()
+	chk.K = refCfg.K
+	if !hasFixed {
+		bound := hypergraph.Balance(h, refCfg.K, refCfg.Tolerance)
+		chk.Bound = &bound
+	}
+	return audit.CheckPartition(h, p, chk)
 }
 
 // seededRandomPartition builds a random balanced k-way partition that

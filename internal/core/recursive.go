@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -16,6 +17,15 @@ import (
 // quadrisection avoids; the ablation-recursive experiment quantifies
 // the difference.
 func RecursiveBisect(h *hypergraph.Hypergraph, k int, cfg Config, rng *rand.Rand) (*hypergraph.Partition, error) {
+	return RecursiveBisectCtx(context.Background(), h, k, cfg, rng)
+}
+
+// RecursiveBisectCtx is RecursiveBisect with cooperative cancellation:
+// the context threads into every subcircuit bipartitioning. Once it
+// is done, each remaining bipartition degrades to its projected-and-
+// rebalanced form (see BipartitionCtx), so the k-way result is always
+// a complete, valid partition.
+func RecursiveBisectCtx(ctx context.Context, h *hypergraph.Hypergraph, k int, cfg Config, rng *rand.Rand) (*hypergraph.Partition, error) {
 	if k < 2 || k&(k-1) != 0 {
 		return nil, fmt.Errorf("core: recursive bisection needs a power-of-two k, got %d", k)
 	}
@@ -23,12 +33,21 @@ func RecursiveBisect(h *hypergraph.Hypergraph, k int, cfg Config, rng *rand.Rand
 	if err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := hypergraph.NewPartition(h.NumCells(), k)
 	cells := make([]int32, h.NumCells())
 	for v := range cells {
 		cells[v] = int32(v)
 	}
-	if err := recurse(h, cells, 0, k, cfg, rng, out); err != nil {
+	if err := recurse(ctx, h, cells, 0, k, cfg, rng, out); err != nil {
+		if _, ok := AsPanicError(err); ok {
+			// Every subcircuit still produced a feasible bipartition
+			// (degraded where needed), so out is complete; surface the
+			// recovered panic alongside it.
+			return out, err
+		}
 		return nil, err
 	}
 	return out, nil
@@ -36,7 +55,7 @@ func RecursiveBisect(h *hypergraph.Hypergraph, k int, cfg Config, rng *rand.Rand
 
 // recurse bipartitions the subcircuit over the given cells and
 // assigns blocks [base, base+width) to the result.
-func recurse(h *hypergraph.Hypergraph, cells []int32, base, width int, cfg Config, rng *rand.Rand, out *hypergraph.Partition) error {
+func recurse(ctx context.Context, h *hypergraph.Hypergraph, cells []int32, base, width int, cfg Config, rng *rand.Rand, out *hypergraph.Partition) error {
 	if width == 1 || len(cells) == 0 {
 		for _, v := range cells {
 			out.Part[v] = int32(base)
@@ -80,9 +99,15 @@ func recurse(h *hypergraph.Hypergraph, cells []int32, base, width int, cfg Confi
 	if err != nil {
 		return err
 	}
-	p, _, err := Bipartition(sub, cfg, rng)
+	p, _, err := BipartitionCtx(ctx, sub, cfg, rng)
+	var deferred error
 	if err != nil {
-		return err
+		if _, ok := AsPanicError(err); !ok || p == nil {
+			return err
+		}
+		// Recovered panic with a feasible degraded partition: finish
+		// the recursion and report the first such error at the end.
+		deferred = err
 	}
 	var left, right []int32
 	for i, v := range cells {
@@ -92,8 +117,21 @@ func recurse(h *hypergraph.Hypergraph, cells []int32, base, width int, cfg Confi
 			right = append(right, v)
 		}
 	}
-	if err := recurse(h, left, base, width/2, cfg, rng, out); err != nil {
-		return err
+	if err := recurse(ctx, h, left, base, width/2, cfg, rng, out); err != nil {
+		if _, ok := AsPanicError(err); !ok {
+			return err
+		}
+		if deferred == nil {
+			deferred = err
+		}
 	}
-	return recurse(h, right, base+width/2, width/2, cfg, rng, out)
+	if err := recurse(ctx, h, right, base+width/2, width/2, cfg, rng, out); err != nil {
+		if _, ok := AsPanicError(err); !ok {
+			return err
+		}
+		if deferred == nil {
+			deferred = err
+		}
+	}
+	return deferred
 }

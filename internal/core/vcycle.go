@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"mlpart/internal/coarsen"
@@ -20,10 +21,23 @@ import (
 // composes naturally with it. Returns the refined partition (the
 // input is not modified) and the final cut.
 func VCycle(h *hypergraph.Hypergraph, p *hypergraph.Partition, maxCycles int, cfg Config, rng *rand.Rand) (*hypergraph.Partition, int, error) {
+	return VCycleCtx(context.Background(), h, p, maxCycles, cfg, rng)
+}
+
+// VCycleCtx is VCycle with cooperative cancellation: the context is
+// polled between cycles and threaded into each cycle's matching and
+// refinement. Since every cycle starts from (a clone of) the incoming
+// solution, cancellation simply stops iterating and returns the best
+// solution seen — which is never worse than the input.
+func VCycleCtx(ctx context.Context, h *hypergraph.Hypergraph, p *hypergraph.Partition, maxCycles int, cfg Config, rng *rand.Rand) (*hypergraph.Partition, int, error) {
 	cfg, err := cfg.Normalize()
 	if err != nil {
 		return nil, 0, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg.Refine.Stop = mergeStop(cfg.Refine.Stop, ctx)
 	if err := p.Validate(h.NumCells()); err != nil {
 		return nil, 0, err
 	}
@@ -33,7 +47,10 @@ func VCycle(h *hypergraph.Hypergraph, p *hypergraph.Partition, maxCycles int, cf
 	best := p.Clone()
 	bestCut := best.WeightedCut(h)
 	for cycle := 0; cycle < maxCycles; cycle++ {
-		cand, err := oneVCycle(h, best, cfg, rng)
+		if ctx.Err() != nil {
+			break
+		}
+		cand, err := oneVCycle(ctx, h, best, cfg, rng)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -47,7 +64,7 @@ func VCycle(h *hypergraph.Hypergraph, p *hypergraph.Partition, maxCycles int, cf
 }
 
 // oneVCycle rebuilds a restricted hierarchy around p and refines.
-func oneVCycle(h *hypergraph.Hypergraph, p *hypergraph.Partition, cfg Config, rng *rand.Rand) (*hypergraph.Partition, error) {
+func oneVCycle(ctx context.Context, h *hypergraph.Hypergraph, p *hypergraph.Partition, cfg Config, rng *rand.Rand) (*hypergraph.Partition, error) {
 	type lv struct {
 		h *hypergraph.Hypergraph
 		c *hypergraph.Clustering
@@ -57,7 +74,10 @@ func oneVCycle(h *hypergraph.Hypergraph, p *hypergraph.Partition, cfg Config, rn
 	cur := h
 	curP := p
 	for cur.NumCells() > cfg.Threshold && len(levels) <= cfg.MaxLevels {
-		mc := coarsen.Config{Ratio: cfg.Ratio, SameBlockOnly: curP}
+		if ctx.Err() != nil {
+			break
+		}
+		mc := coarsen.Config{Ratio: cfg.Ratio, SameBlockOnly: curP, Stop: mergeStop(nil, ctx)}
 		c, err := coarsen.Match(cur, mc, rng)
 		if err != nil {
 			return nil, err

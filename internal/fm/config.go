@@ -14,6 +14,7 @@ package fm
 
 import (
 	"fmt"
+	"math"
 
 	"mlpart/internal/gainbucket"
 )
@@ -101,6 +102,11 @@ type Config struct {
 	// with CLIP and lookahead (the paper's CD-LA3 configuration).
 	// Not supported by the PROP engines.
 	Backtrack bool
+	// Stop, when non-nil, is polled at pass boundaries; returning true
+	// aborts refinement cooperatively. The partition is left in its
+	// best-prefix state (rollback always completes), so an interrupted
+	// run still yields a feasible solution with Result.Interrupted set.
+	Stop func() bool
 }
 
 // Normalize fills in defaults and validates ranges.
@@ -108,7 +114,7 @@ func (c Config) Normalize() (Config, error) {
 	if c.Tolerance == 0 {
 		c.Tolerance = 0.1
 	}
-	if c.Tolerance < 0 || c.Tolerance >= 1 {
+	if math.IsNaN(c.Tolerance) || c.Tolerance < 0 || c.Tolerance >= 1 {
 		return c, fmt.Errorf("fm: tolerance %v outside [0,1)", c.Tolerance)
 	}
 	if c.MaxNetSize == 0 {
@@ -128,7 +134,7 @@ func (c Config) Normalize() (Config, error) {
 	if c.InitialProb == 0 {
 		c.InitialProb = DefaultInitialProb
 	}
-	if c.InitialProb < 0 || c.InitialProb >= 1 {
+	if math.IsNaN(c.InitialProb) || c.InitialProb < 0 || c.InitialProb >= 1 {
 		return c, fmt.Errorf("fm: initial probability %v outside [0,1)", c.InitialProb)
 	}
 	if c.Engine == EnginePROP || c.Engine == EngineCLIPPROP {
@@ -165,4 +171,12 @@ type Result struct {
 	// MovesTried is the total number of moves attempted across all
 	// passes, including rolled-back ones.
 	MovesTried int
+	// Interrupted reports that Config.Stop ended the run before the
+	// engine converged. The returned partition is still feasible.
+	Interrupted bool
+	// ActiveCut is the engine's incrementally maintained cut over
+	// active nets (those within MaxNetSize) at the end of the run; -1
+	// for the PROP engines, which do not keep an incremental counter.
+	// Audits cross-check it against a from-scratch recount.
+	ActiveCut int
 }

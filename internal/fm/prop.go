@@ -125,6 +125,10 @@ func (r *propRefiner) run() Result {
 		maxPasses = 1 << 30
 	}
 	for pass := 0; pass < maxPasses; pass++ {
+		if r.cfg.Stop != nil && r.cfg.Stop() {
+			res.Interrupted = true
+			break
+		}
 		improved, applied, tried := r.runPass()
 		res.Passes++
 		res.Moves += applied
@@ -134,6 +138,7 @@ func (r *propRefiner) run() Result {
 		}
 	}
 	res.Cut = r.p.WeightedCut(r.h)
+	res.ActiveCut = -1 // PROP keeps no incremental cut counter
 	return res
 }
 

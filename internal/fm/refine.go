@@ -126,6 +126,10 @@ func (r *refiner) run() Result {
 		maxPasses = 1 << 30
 	}
 	for pass := 0; pass < maxPasses; pass++ {
+		if r.cfg.Stop != nil && r.cfg.Stop() {
+			res.Interrupted = true
+			break
+		}
 		improved, applied, tried := r.runPass()
 		res.Passes++
 		res.Moves += applied
@@ -135,6 +139,7 @@ func (r *refiner) run() Result {
 		}
 	}
 	res.Cut = r.p.WeightedCut(r.h)
+	res.ActiveCut = r.activeCut
 	return res
 }
 

@@ -211,7 +211,11 @@ func (b *Builder) Build() (*Hypergraph, error) {
 		}
 	}
 	for _, a := range b.area {
-		h.totalArea += a
+		total, err := addArea(h.totalArea, a)
+		if err != nil {
+			return nil, err
+		}
+		h.totalArea = total
 		if a > h.maxArea {
 			h.maxArea = a
 		}

@@ -18,6 +18,15 @@ func FuzzReadHGR(f *testing.F) {
 	f.Add("0 0\n")
 	f.Add("1 2 11\n1 2\n")
 	f.Add("9999999 2\n1 2\n")
+	// Resource-limit and overflow probes: headers claiming absurd
+	// sizes, int64 area overflow, out-of-range net weights. All must
+	// fail cleanly before proportional allocation.
+	f.Add("99999999999999999999 2\n")
+	f.Add("2 99999999999999999999\n")
+	f.Add("1000000000 1000000000\n1 2\n")
+	f.Add("1 2 10\n1 2\n9223372036854775807\n9223372036854775807\n")
+	f.Add("1 2 1\n99999999999 1 2\n")
+	f.Add("1 2 1\n0 1 2\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		h, err := ReadHGR(strings.NewReader(in))
 		if err != nil {
@@ -47,6 +56,11 @@ func FuzzReadNetD(f *testing.F) {
 	f.Add("")
 	f.Add("0\n0\n0\n1\n-1\n")
 	f.Add("0\n2\n1\n2\n0\na0 s I\np1 l O\n")
+	// Headers claiming more pins/cells than any sane netlist, or more
+	// pins than the file provides.
+	f.Add("0\n99999999999999999999\n1\n2\n0\na0 s\np1 l\n")
+	f.Add("0\n2\n1\n99999999999999999999\n0\na0 s\np1 l\n")
+	f.Add("0\n2\n1\n2\n0\na0 s\np1 l\na1 l\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		c, err := ReadNetD(strings.NewReader(in), nil)
 		if err != nil {
@@ -65,6 +79,11 @@ func FuzzReadPartition(f *testing.F) {
 	f.Add("0\n1\n0\n", 3)
 	f.Add("", 0)
 	f.Add("2\n2\n1\n0\n", 4)
+	// Non-contiguous block indices (block 1 empty below max 2), an
+	// index beyond int32, and more lines than cells.
+	f.Add("0\n2\n0\n", 3)
+	f.Add("4294967296\n", 1)
+	f.Add("0\n0\n0\n0\n", 2)
 	f.Fuzz(func(t *testing.T, in string, n int) {
 		if n < 0 || n > 1<<16 {
 			return

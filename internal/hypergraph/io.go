@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -64,8 +65,16 @@ func WriteHGR(w io.Writer, h *Hypergraph) error {
 	return bw.Flush()
 }
 
-// ReadHGR parses an hMETIS .hgr hypergraph.
+// ReadHGR parses an hMETIS .hgr hypergraph under DefaultLimits.
 func ReadHGR(r io.Reader) (*Hypergraph, error) {
+	return ReadHGRLimits(r, Limits{})
+}
+
+// ReadHGRLimits parses an hMETIS .hgr hypergraph, rejecting inputs
+// that exceed lim (zero fields of lim select the defaults). Headers
+// over the limits fail before any proportional allocation.
+func ReadHGRLimits(r io.Reader, lim Limits) (*Hypergraph, error) {
+	lim = lim.normalize()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	line, err := nextLine(sc)
@@ -84,6 +93,12 @@ func ReadHGR(r io.Reader) (*Hypergraph, error) {
 	if err != nil || numCells < 0 {
 		return nil, fmt.Errorf("hgr: bad cell count %q", fields[1])
 	}
+	if err := lim.checkNets(numNets); err != nil {
+		return nil, fmt.Errorf("hgr: %w", err)
+	}
+	if err := lim.checkCells(numCells); err != nil {
+		return nil, fmt.Errorf("hgr: %w", err)
+	}
 	cellWeights, netWeights := false, false
 	if len(fields) == 3 {
 		switch fields[2] {
@@ -101,6 +116,7 @@ func ReadHGR(r io.Reader) (*Hypergraph, error) {
 	}
 	b := NewBuilder(numCells)
 	pins := make([]int32, 0, 16)
+	totalPins := 0
 	for e := 0; e < numNets; e++ {
 		line, err := nextLine(sc)
 		if err != nil {
@@ -113,11 +129,15 @@ func ReadHGR(r io.Reader) (*Hypergraph, error) {
 				return nil, fmt.Errorf("hgr: net %d: missing weight", e+1)
 			}
 			w, err := strconv.Atoi(fs[0])
-			if err != nil || w < 1 {
+			if err != nil || w < 1 || w > math.MaxInt32 {
 				return nil, fmt.Errorf("hgr: net %d: bad weight %q", e+1, fs[0])
 			}
 			weight = int32(w)
 			fs = fs[1:]
+		}
+		totalPins += len(fs)
+		if err := lim.checkPins(totalPins); err != nil {
+			return nil, fmt.Errorf("hgr: net %d: %w", e+1, err)
 		}
 		pins = pins[:0]
 		for _, f := range fs {
@@ -173,7 +193,12 @@ func WritePartition(w io.Writer, p *Partition) error {
 }
 
 // ReadPartition reads a one-block-index-per-line partition for a
-// hypergraph with numCells cells; K is inferred as max+1.
+// hypergraph with numCells cells; K is inferred as max+1. The block
+// indices must be contiguous: every block in [0, max] must be
+// non-empty, so that the inferred K matches the number of blocks
+// actually present (a gap almost always means a corrupt or mismatched
+// file). Reading stops with an error as soon as the file exceeds
+// numCells entries.
 func ReadPartition(r io.Reader, numCells int) (*Partition, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
@@ -184,8 +209,11 @@ func ReadPartition(r io.Reader, numCells int) (*Partition, error) {
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
 		}
+		if len(p.Part) >= numCells {
+			return nil, fmt.Errorf("partition: file has more than the expected %d cells", numCells)
+		}
 		k, err := strconv.Atoi(line)
-		if err != nil || k < 0 {
+		if err != nil || k < 0 || k > math.MaxInt32-1 {
 			return nil, fmt.Errorf("partition: bad block index %q on line %d", line, len(p.Part)+1)
 		}
 		p.Part = append(p.Part, int32(k))
@@ -198,6 +226,25 @@ func ReadPartition(r io.Reader, numCells int) (*Partition, error) {
 	}
 	if len(p.Part) != numCells {
 		return nil, fmt.Errorf("partition: file has %d cells, expected %d", len(p.Part), numCells)
+	}
+	if numCells == 0 {
+		p.K = 1
+		return p, nil
+	}
+	// Contiguity: with numCells entries at most numCells distinct
+	// blocks can be non-empty, so maxK ≥ numCells proves a gap without
+	// allocating a count array sized by a hostile index.
+	if int(maxK) >= numCells {
+		return nil, fmt.Errorf("partition: block index %d with only %d cells leaves empty blocks below it", maxK, numCells)
+	}
+	count := make([]int32, int(maxK)+1)
+	for _, k := range p.Part {
+		count[k]++
+	}
+	for b, c := range count {
+		if c == 0 {
+			return nil, fmt.Errorf("partition: block %d is empty; block indices must be contiguous in [0,%d]", b, maxK)
+		}
 	}
 	p.K = int(maxK) + 1
 	return p, nil

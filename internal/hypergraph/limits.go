@@ -1,0 +1,82 @@
+package hypergraph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Limits bounds the resources the file parsers will allocate for a
+// single input. The parsers reject any file whose header or contents
+// exceed a limit before allocating proportional memory, so an
+// adversarial or corrupt input cannot exhaust the process. The zero
+// value of any field selects the corresponding default; to lift a
+// bound explicitly, set the field to math.MaxInt.
+type Limits struct {
+	// MaxCells caps the number of modules. Default 8Mi.
+	MaxCells int
+	// MaxNets caps the number of nets. Default 16Mi.
+	MaxNets int
+	// MaxPins caps the total pin count. Default 256Mi.
+	MaxPins int
+}
+
+// DefaultLimits returns the production defaults: generous enough for
+// every published benchmark (golem3 is ~10^5 cells) with two orders
+// of magnitude of headroom, small enough that a hostile header cannot
+// force a multi-gigabyte allocation.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxCells: 8 << 20,
+		MaxNets:  16 << 20,
+		MaxPins:  256 << 20,
+	}
+}
+
+// normalize fills zero fields with the defaults.
+func (l Limits) normalize() Limits {
+	d := DefaultLimits()
+	if l.MaxCells <= 0 {
+		l.MaxCells = d.MaxCells
+	}
+	if l.MaxNets <= 0 {
+		l.MaxNets = d.MaxNets
+	}
+	if l.MaxPins <= 0 {
+		l.MaxPins = d.MaxPins
+	}
+	return l
+}
+
+func (l Limits) checkCells(n int) error {
+	if n > l.MaxCells {
+		return fmt.Errorf("hypergraph: %d cells exceeds limit %d", n, l.MaxCells)
+	}
+	return nil
+}
+
+func (l Limits) checkNets(n int) error {
+	if n > l.MaxNets {
+		return fmt.Errorf("hypergraph: %d nets exceeds limit %d", n, l.MaxNets)
+	}
+	return nil
+}
+
+func (l Limits) checkPins(n int) error {
+	if n > l.MaxPins {
+		return fmt.Errorf("hypergraph: %d pins exceeds limit %d", n, l.MaxPins)
+	}
+	return nil
+}
+
+// addArea accumulates cell areas with an explicit overflow check, so
+// that a file carrying near-MaxInt64 areas cannot wrap TotalArea into
+// a negative (and thence corrupt every balance bound downstream).
+func addArea(total, a int64) (int64, error) {
+	if a < 0 {
+		return 0, fmt.Errorf("hypergraph: negative area %d", a)
+	}
+	if total > math.MaxInt64-a {
+		return 0, fmt.Errorf("hypergraph: total cell area overflows int64")
+	}
+	return total + a, nil
+}

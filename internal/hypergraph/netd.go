@@ -34,8 +34,17 @@ type NetDCircuit struct {
 }
 
 // ReadNetD parses a .netD netlist and an optional .are area file
-// (pass nil for unit areas).
+// (pass nil for unit areas) under DefaultLimits.
 func ReadNetD(netR io.Reader, areR io.Reader) (*NetDCircuit, error) {
+	return ReadNetDLimits(netR, areR, Limits{})
+}
+
+// ReadNetDLimits is ReadNetD with explicit resource limits (zero
+// fields of lim select the defaults). Headers over the limits fail
+// before any proportional allocation, and a pin section longer than
+// the header's pin count aborts early.
+func ReadNetDLimits(netR io.Reader, areR io.Reader, lim Limits) (*NetDCircuit, error) {
+	lim = lim.normalize()
 	sc := bufio.NewScanner(netR)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	header := make([]int, 0, 5)
@@ -59,6 +68,15 @@ func ReadNetD(netR io.Reader, areR io.Reader) (*NetDCircuit, error) {
 	}
 	if padOffset < -1 || padOffset >= numModules {
 		return nil, fmt.Errorf("netD: pad offset %d outside [-1,%d)", padOffset, numModules)
+	}
+	if err := lim.checkCells(numModules); err != nil {
+		return nil, fmt.Errorf("netD: %w", err)
+	}
+	if err := lim.checkNets(numNets); err != nil {
+		return nil, fmt.Errorf("netD: %w", err)
+	}
+	if err := lim.checkPins(numPins); err != nil {
+		return nil, fmt.Errorf("netD: %w", err)
 	}
 
 	names := make(map[string]int, numModules)
@@ -117,6 +135,9 @@ func ReadNetD(netR io.Reader, areR io.Reader) (*NetDCircuit, error) {
 			return nil, fmt.Errorf("netD: pin line %q must be marked s or l", line)
 		}
 		pinCount++
+		if pinCount > numPins {
+			return nil, fmt.Errorf("netD: header claims %d pins, file has more", numPins)
+		}
 	}
 	flush()
 	if pinCount != numPins {

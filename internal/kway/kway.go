@@ -9,6 +9,7 @@ package kway
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"mlpart/internal/fm"
@@ -62,6 +63,10 @@ type Config struct {
 	// Fixed marks pre-assigned cells (e.g. I/O pads) that keep their
 	// initial block. Optional; length must be NumCells if non-nil.
 	Fixed []bool
+	// Stop, when non-nil, is polled at pass boundaries; returning true
+	// aborts refinement cooperatively, leaving the partition in its
+	// best-prefix state and setting Result.Interrupted.
+	Stop func() bool
 }
 
 // Normalize fills defaults and validates.
@@ -85,7 +90,7 @@ func (c Config) Normalize() (Config, error) {
 	if c.Tolerance == 0 {
 		c.Tolerance = 0.1
 	}
-	if c.Tolerance < 0 || c.Tolerance >= 1 {
+	if math.IsNaN(c.Tolerance) || c.Tolerance < 0 || c.Tolerance >= 1 {
 		return c, fmt.Errorf("kway: tolerance %v outside [0,1)", c.Tolerance)
 	}
 	if c.MaxNetSize == 0 {
@@ -116,6 +121,9 @@ type Result struct {
 	// Passes and Moves as in package fm.
 	Passes int
 	Moves  int
+	// Interrupted reports that Config.Stop ended the run early; the
+	// partition is still feasible.
+	Interrupted bool
 }
 
 // Partition returns a refined K-way partition of h. If initial is

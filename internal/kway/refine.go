@@ -88,6 +88,10 @@ func (r *refiner) run() Result {
 		maxPasses = 1 << 30
 	}
 	for pass := 0; pass < maxPasses; pass++ {
+		if r.cfg.Stop != nil && r.cfg.Stop() {
+			res.Interrupted = true
+			break
+		}
 		improved, applied := r.runPass()
 		res.Passes++
 		res.Moves += applied

@@ -1,6 +1,7 @@
 package mlpart
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -31,6 +32,16 @@ type (
 	Clustering = hypergraph.Clustering
 	// BalanceBound is the block-area bound of §III.B.
 	BalanceBound = hypergraph.BalanceBound
+	// Limits bounds the resources the file parsers will allocate; see
+	// DefaultLimits.
+	Limits = hypergraph.Limits
+
+	// InternalError is a recovered internal invariant panic (gain
+	// buckets, builders, refiners) converted into a typed error at the
+	// public API boundary. It records the pipeline stage and hierarchy
+	// level where the panic fired; when returned alongside a non-nil
+	// partition, that partition is the last good (feasible) solution.
+	InternalError = core.PanicError
 
 	// FMConfig configures the FM/CLIP refinement engine.
 	FMConfig = fm.Config
@@ -108,6 +119,12 @@ type Options struct {
 	// Starts > 1 repeats the whole algorithm and keeps the best
 	// solution. Default 1.
 	Starts int
+	// Audit enables from-scratch invariant checks at every level
+	// transition (package audit): clustering well-formedness, area
+	// conservation, partition validity/balance, and incremental-vs-
+	// recomputed cut agreement. O(pins) per transition; off by
+	// default.
+	Audit bool
 }
 
 func (o Options) normalize() (Options, error) {
@@ -133,45 +150,92 @@ type Info struct {
 	Levels int
 	// Starts is the number of independent runs performed.
 	Starts int
+	// Interrupted reports that cancellation cut the run short. The
+	// returned partition is the best feasible solution found so far.
+	Interrupted bool
 }
 
 // Bipartition runs the ML algorithm (Fig. 2) on h and returns the
 // best bipartitioning over opt.Starts independent runs.
 func Bipartition(h *Hypergraph, opt Options) (*Partition, Info, error) {
+	return BipartitionCtx(context.Background(), h, opt)
+}
+
+// BipartitionCtx is Bipartition with cooperative cancellation. Once
+// ctx is done, at most one FM pass of extra work happens before the
+// run winds down, and the best feasible partition found so far is
+// returned with Info.Interrupted set — cancellation is not an error.
+// Internal invariant panics are recovered and returned as a
+// *InternalError alongside the last good solution (nil only when no
+// feasible solution exists yet).
+func BipartitionCtx(ctx context.Context, h *Hypergraph, opt Options) (*Partition, Info, error) {
 	opt, err := opt.normalize()
 	if err != nil {
 		return nil, Info{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	cfg := core.Config{
 		Threshold: opt.Threshold,
 		Ratio:     opt.MatchingRatio,
 		Refine:    fm.Config{Engine: opt.Engine, Tolerance: opt.Tolerance},
+		Audit:     opt.Audit,
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	var best *Partition
+	var firstErr error
 	info := Info{Starts: opt.Starts}
 	for s := 0; s < opt.Starts; s++ {
-		p, res, err := core.Bipartition(h, cfg, rng)
+		if s > 0 && ctx.Err() != nil {
+			info.Interrupted = true
+			break
+		}
+		p, res, err := core.BipartitionCtx(ctx, h, cfg, rng)
 		if err != nil {
-			return nil, Info{}, err
+			if _, ok := core.AsPanicError(err); !ok || p == nil {
+				return best, info, err
+			}
+			// Recovered panic with a feasible degraded partition:
+			// keep the best solution so far and stop starting over.
+			if best == nil || res.Cut < info.Cut {
+				best = p
+				info.Cut = res.Cut
+				info.Levels = res.Levels
+			}
+			firstErr = err
+			break
 		}
 		if best == nil || res.Cut < info.Cut {
 			best = p
 			info.Cut = res.Cut
 			info.Levels = res.Levels
 		}
+		if res.Interrupted {
+			info.Interrupted = true
+			break
+		}
 	}
 	info.SumDegrees = info.Cut
-	return best, info, nil
+	return best, info, firstErr
 }
 
 // Quadrisect runs multilevel 4-way partitioning on h (sum-of-degrees
 // gain, as in §IV.D) and returns the best solution over opt.Starts
 // runs.
 func Quadrisect(h *Hypergraph, opt Options) (*Partition, Info, error) {
+	return QuadrisectCtx(context.Background(), h, opt)
+}
+
+// QuadrisectCtx is Quadrisect with cooperative cancellation and panic
+// recovery, under the same contract as BipartitionCtx.
+func QuadrisectCtx(ctx context.Context, h *Hypergraph, opt Options) (*Partition, Info, error) {
 	opt, err := opt.normalize()
 	if err != nil {
 		return nil, Info{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if opt.MatchingRatio == 0.5 && opt.Threshold == 0 {
 		// The paper's quadrisection setup: R = 1.0, T = 100.
@@ -186,15 +250,32 @@ func Quadrisect(h *Hypergraph, opt Options) (*Partition, Info, error) {
 			Objective: kway.SumOfDegrees,
 			Tolerance: opt.Tolerance,
 		},
+		Audit: opt.Audit,
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	var best *Partition
+	var firstErr error
 	info := Info{Starts: opt.Starts}
 	bestCost := 0
 	for s := 0; s < opt.Starts; s++ {
-		p, res, err := core.Quadrisect(h, cfg, rng)
+		if s > 0 && ctx.Err() != nil {
+			info.Interrupted = true
+			break
+		}
+		p, res, err := core.QuadrisectCtx(ctx, h, cfg, rng)
 		if err != nil {
-			return nil, Info{}, err
+			if _, ok := core.AsPanicError(err); !ok || p == nil {
+				return best, info, err
+			}
+			if best == nil || res.SumDegrees < bestCost {
+				best = p
+				bestCost = res.SumDegrees
+				info.Cut = res.CutNets
+				info.SumDegrees = res.SumDegrees
+				info.Levels = res.Levels
+			}
+			firstErr = err
+			break
 		}
 		if best == nil || res.SumDegrees < bestCost {
 			best = p
@@ -203,23 +284,42 @@ func Quadrisect(h *Hypergraph, opt Options) (*Partition, Info, error) {
 			info.SumDegrees = res.SumDegrees
 			info.Levels = res.Levels
 		}
+		if res.Interrupted {
+			info.Interrupted = true
+			break
+		}
 	}
-	return best, info, nil
+	return best, info, firstErr
 }
 
 // FMBipartition runs a single flat FM/CLIP descent from a random
-// start — the paper's baseline engines, usable standalone.
-func FMBipartition(h *Hypergraph, cfg FMConfig, seed int64) (*Partition, FMResult, error) {
-	return fm.Partition(h, nil, cfg, rand.New(rand.NewSource(seed)))
+// start — the paper's baseline engines, usable standalone. Internal
+// panics are recovered and returned as a *InternalError.
+func FMBipartition(h *Hypergraph, cfg FMConfig, seed int64) (p *Partition, res FMResult, err error) {
+	gerr := core.Guard("fm", -1, func() error {
+		p, res, err = fm.Partition(h, nil, cfg, rand.New(rand.NewSource(seed)))
+		return err
+	})
+	if gerr != nil {
+		return nil, FMResult{}, gerr
+	}
+	return p, res, err
 }
 
 // LSMCBipartition runs the Large-Step Markov Chain baseline (§II.C).
-func LSMCBipartition(h *Hypergraph, cfg LSMCConfig, seed int64) (*Partition, int, error) {
-	p, res, err := lsmc.Bipartition(h, cfg, rand.New(rand.NewSource(seed)))
-	if err != nil {
-		return nil, 0, err
+func LSMCBipartition(h *Hypergraph, cfg LSMCConfig, seed int64) (p *Partition, cut int, err error) {
+	gerr := core.Guard("lsmc", -1, func() error {
+		q, res, ferr := lsmc.Bipartition(h, cfg, rand.New(rand.NewSource(seed)))
+		if ferr != nil {
+			return ferr
+		}
+		p, cut = q, res.Cut
+		return nil
+	})
+	if gerr != nil {
+		return nil, 0, gerr
 	}
-	return p, res.Cut, nil
+	return p, cut, nil
 }
 
 // GordianQuadrisect runs the GORDIAN-style quadratic-placement
@@ -236,37 +336,65 @@ func GordianQuadrisect(h *Hypergraph, pads []bool, seed int64) (*Partition, int,
 // SpectralBipartition runs spectral (EIG) bipartitioning: the
 // Fiedler vector of the clique-model Laplacian split at the area
 // median, optionally FM-refined (cfg.RefineFM).
-func SpectralBipartition(h *Hypergraph, cfg SpectralConfig, seed int64) (*Partition, int, error) {
-	p, res, err := spectral.Bipartition(h, cfg, rand.New(rand.NewSource(seed)))
-	if err != nil {
-		return nil, 0, err
+func SpectralBipartition(h *Hypergraph, cfg SpectralConfig, seed int64) (p *Partition, cut int, err error) {
+	gerr := core.Guard("spectral", -1, func() error {
+		q, res, ferr := spectral.Bipartition(h, cfg, rand.New(rand.NewSource(seed)))
+		if ferr != nil {
+			return ferr
+		}
+		p, cut = q, res.Cut
+		return nil
+	})
+	if gerr != nil {
+		return nil, 0, gerr
 	}
-	return p, res.Cut, nil
+	return p, cut, nil
 }
 
 // GFMBipartition runs the Gradient Fiduccia–Mattheyses baseline of
 // [32]: FM refinement alternating with gradient descent on the
 // quadratic-wirelength relaxation.
-func GFMBipartition(h *Hypergraph, cfg GFMConfig, seed int64) (*Partition, int, error) {
-	p, res, err := gfm.Bipartition(h, cfg, rand.New(rand.NewSource(seed)))
-	if err != nil {
-		return nil, 0, err
+func GFMBipartition(h *Hypergraph, cfg GFMConfig, seed int64) (p *Partition, cut int, err error) {
+	gerr := core.Guard("gfm", -1, func() error {
+		q, res, ferr := gfm.Bipartition(h, cfg, rand.New(rand.NewSource(seed)))
+		if ferr != nil {
+			return ferr
+		}
+		p, cut = q, res.Cut
+		return nil
+	})
+	if gerr != nil {
+		return nil, 0, gerr
 	}
-	return p, res.Cut, nil
+	return p, cut, nil
 }
 
 // RecursiveBisect produces a k-way (power-of-two) partition by
 // recursive ML bipartitioning — the classical alternative to the
 // paper's direct quadrisection.
 func RecursiveBisect(h *Hypergraph, k int, cfg MLConfig, seed int64) (*Partition, error) {
-	return core.RecursiveBisect(h, k, cfg, rand.New(rand.NewSource(seed)))
+	return RecursiveBisectCtx(context.Background(), h, k, cfg, seed)
+}
+
+// RecursiveBisectCtx is RecursiveBisect with cooperative
+// cancellation: once ctx is done, every remaining sub-bipartition
+// degrades to its projected-and-rebalanced form, so the returned
+// k-way partition is always complete and valid.
+func RecursiveBisectCtx(ctx context.Context, h *Hypergraph, k int, cfg MLConfig, seed int64) (*Partition, error) {
+	return core.RecursiveBisectCtx(ctx, h, k, cfg, rand.New(rand.NewSource(seed)))
 }
 
 // VCycle performs iterated multilevel refinement of an existing
 // bipartition via restricted coarsening (clusters never span blocks),
 // repeating cycles while they improve.
 func VCycle(h *Hypergraph, p *Partition, maxCycles int, cfg MLConfig, seed int64) (*Partition, int, error) {
-	return core.VCycle(h, p, maxCycles, cfg, rand.New(rand.NewSource(seed)))
+	return VCycleCtx(context.Background(), h, p, maxCycles, cfg, seed)
+}
+
+// VCycleCtx is VCycle with cooperative cancellation; an interrupted
+// run returns the best solution seen, never worse than the input.
+func VCycleCtx(ctx context.Context, h *Hypergraph, p *Partition, maxCycles int, cfg MLConfig, seed int64) (*Partition, int, error) {
+	return core.VCycleCtx(ctx, h, p, maxCycles, cfg, rand.New(rand.NewSource(seed)))
 }
 
 // TwoPhaseBipartition runs the classical two-phase FM of §II.C: one
@@ -288,16 +416,34 @@ func PlacementHPWL(h *Hypergraph, x, y []float64) float64 { return placer.HPWL(h
 
 // KwayPartition runs flat Sanchis-style multi-way FM from a random
 // start (initial may be nil).
-func KwayPartition(h *Hypergraph, initial *Partition, cfg KwayConfig, seed int64) (*Partition, int, error) {
-	p, res, err := kway.Partition(h, initial, cfg, rand.New(rand.NewSource(seed)))
-	if err != nil {
-		return nil, 0, err
+func KwayPartition(h *Hypergraph, initial *Partition, cfg KwayConfig, seed int64) (p *Partition, cut int, err error) {
+	gerr := core.Guard("kway", -1, func() error {
+		q, res, ferr := kway.Partition(h, initial, cfg, rand.New(rand.NewSource(seed)))
+		if ferr != nil {
+			return ferr
+		}
+		p, cut = q, res.CutNets
+		return nil
+	})
+	if gerr != nil {
+		return nil, 0, gerr
 	}
-	return p, res.CutNets, nil
+	return p, cut, nil
 }
 
-// ReadHGR parses an hMETIS-format hypergraph.
+// DefaultLimits returns the default parser resource limits (8Mi
+// cells, 16Mi nets, 256Mi pins) used by ReadHGR/ReadNetD.
+func DefaultLimits() Limits { return hypergraph.DefaultLimits() }
+
+// ReadHGR parses an hMETIS-format hypergraph under DefaultLimits.
 func ReadHGR(r io.Reader) (*Hypergraph, error) { return hypergraph.ReadHGR(r) }
+
+// ReadHGRLimits is ReadHGR with explicit resource limits (zero fields
+// select the defaults). Inputs exceeding a limit are rejected before
+// proportional memory is allocated.
+func ReadHGRLimits(r io.Reader, lim Limits) (*Hypergraph, error) {
+	return hypergraph.ReadHGRLimits(r, lim)
+}
 
 // WriteHGR writes h in hMETIS format.
 func WriteHGR(w io.Writer, h *Hypergraph) error { return hypergraph.WriteHGR(w, h) }
@@ -307,8 +453,14 @@ func WriteHGR(w io.Writer, h *Hypergraph) error { return hypergraph.WriteHGR(w, 
 type NetDCircuit = hypergraph.NetDCircuit
 
 // ReadNetD parses the ACM/SIGDA .netD benchmark format with an
-// optional .are area file (nil for unit areas).
+// optional .are area file (nil for unit areas), under DefaultLimits.
 func ReadNetD(netR, areR io.Reader) (*NetDCircuit, error) { return hypergraph.ReadNetD(netR, areR) }
+
+// ReadNetDLimits is ReadNetD with explicit resource limits (zero
+// fields select the defaults).
+func ReadNetDLimits(netR, areR io.Reader, lim Limits) (*NetDCircuit, error) {
+	return hypergraph.ReadNetDLimits(netR, areR, lim)
+}
 
 // WriteNetD writes h in .netD format (areW may be nil to skip the
 // .are file; pads may be nil).

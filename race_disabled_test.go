@@ -1,0 +1,5 @@
+//go:build !race
+
+package mlpart
+
+const raceDetectorEnabled = false
