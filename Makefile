@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke check
+.PHONY: all build vet test race lint fuzz-smoke check
 
 all: build
 
@@ -21,10 +21,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Project-specific determinism & safety linter (cmd/mllint): global
+# math/rand, map-order leaks, float equality, unchecked int32
+# narrowing, context threading. See the "Static analysis" section of
+# the README for the check list and the suppression syntax.
+lint:
+	$(GO) run ./cmd/mllint ./...
+
 # Short fuzz run over the parser hardening (resource limits, overflow
 # checks). The checked-in corpus under
 # internal/hypergraph/testdata/fuzz seeds it.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadHGR -fuzztime=10s ./internal/hypergraph
 
-check: build vet test race fuzz-smoke
+check: build vet test race lint fuzz-smoke

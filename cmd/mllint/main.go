@@ -1,0 +1,81 @@
+// mllint is the project's determinism & safety linter: a
+// from-scratch static-analysis pass (stdlib go/parser + go/types
+// only) enforcing the contracts every experiment table rests on.
+//
+// Usage:
+//
+//	mllint [-list] [packages]
+//
+// Packages default to ./... relative to the enclosing module.
+// Diagnostics print as file:line:col: check: message (fix: hint);
+// the exit status is 1 when any diagnostic fires, 2 on load errors.
+// Suppress a finding with //mllint:ignore <check> <reason> on the
+// offending line or the line above it — the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mlpart/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mllint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, c := range analysis.AllChecks() {
+			fmt.Printf("%-18s %s\n", c.Name(), c.Doc())
+		}
+		return
+	}
+
+	moduleDir, err := findModuleDir()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mllint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(moduleDir, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mllint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		// Print module-relative paths so diagnostics are stable
+		// across checkouts.
+		if rel, rerr := filepath.Rel(moduleDir, d.Pos.Filename); rerr == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mllint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleDir walks up from the working directory to the nearest
+// go.mod.
+func findModuleDir() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

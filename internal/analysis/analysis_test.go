@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadCase typechecks one package under testdata/src. The synthetic
+// import path places it under internal/ so scope rules would apply if
+// routed through the runner; the golden tests invoke checks directly.
+func loadCase(t *testing.T, name string) *LoadedPackage {
+	t.Helper()
+	l, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", name), "mlpart/internal/"+name, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+var wantRE = regexp.MustCompile(`// want "([^"]+)"`)
+
+// expectations extracts the // want "substring" annotations of every
+// file in the case directory, keyed by file:line.
+func expectations(t *testing.T, dir string) map[string][]string {
+	t.Helper()
+	out := make(map[string][]string)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				key := fmt.Sprintf("%s:%d", path, i+1)
+				out[key] = append(out[key], m[1])
+			}
+		}
+	}
+	return out
+}
+
+// runGolden runs checks over the named testdata package and matches
+// every diagnostic against the // want annotations: each want must
+// fire and nothing else may.
+func runGolden(t *testing.T, name string, checks []Check) {
+	t.Helper()
+	pkg := loadCase(t, name)
+	diags := RunChecks(pkg, checks)
+	want := expectations(t, filepath.Join("testdata", "src", name))
+
+	matched := make(map[string]int) // key -> number of wants satisfied
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		subs := want[key]
+		ok := false
+		full := d.Check + ": " + d.Message
+		for _, sub := range subs {
+			if strings.Contains(full, sub) {
+				ok = true
+				matched[key]++
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, subs := range want {
+		if matched[key] < len(subs) {
+			t.Errorf("%s: expected %d diagnostic(s) matching %q, matched %d",
+				key, len(subs), subs, matched[key])
+		}
+	}
+}
+
+func TestNondetRandGolden(t *testing.T) {
+	runGolden(t, "nondetrand", []Check{NondetRand{}})
+}
+
+func TestMapOrderGolden(t *testing.T) {
+	runGolden(t, "maporder", []Check{MapOrder{}})
+}
+
+func TestFloatEqGolden(t *testing.T) {
+	runGolden(t, "floateq", []Check{FloatEq{}})
+}
+
+func TestUncheckedNarrowGolden(t *testing.T) {
+	runGolden(t, "narrow", []Check{UncheckedNarrow{}})
+}
+
+func TestCtxThreadGolden(t *testing.T) {
+	runGolden(t, "ctxthread", []Check{CtxThread{}})
+}
+
+// TestIgnoreDirectives exercises the suppression machinery directly:
+// reasons silence (own-line and trailing), a missing reason is a
+// diagnostic and suppresses nothing, and a directive for the wrong
+// check hides nothing.
+func TestIgnoreDirectives(t *testing.T) {
+	pkg := loadCase(t, "ignore")
+	diags := RunChecks(pkg, []Check{FloatEq{}})
+
+	byCheck := make(map[string][]Diagnostic)
+	for _, d := range diags {
+		byCheck[d.Check] = append(byCheck[d.Check], d)
+	}
+	if n := len(byCheck["ignore-syntax"]); n != 1 {
+		t.Errorf("want exactly 1 ignore-syntax diagnostic for the reasonless directive, got %d: %v",
+			n, byCheck["ignore-syntax"])
+	}
+	// float-eq survives in noReason (directive invalid) and
+	// wrongCheck (directive names another check); sentinel and
+	// trailing are suppressed.
+	if n := len(byCheck["float-eq"]); n != 2 {
+		t.Errorf("want exactly 2 surviving float-eq diagnostics, got %d: %v",
+			n, byCheck["float-eq"])
+	}
+	for _, d := range byCheck["ignore-syntax"] {
+		if !strings.Contains(d.Message, "no reason") {
+			t.Errorf("ignore-syntax message should explain the mandatory reason, got %q", d.Message)
+		}
+	}
+}
+
+// TestChecksForScope pins the runner's scope policy.
+func TestChecksForScope(t *testing.T) {
+	names := func(cs []Check) []string {
+		var out []string
+		for _, c := range cs {
+			out = append(out, c.Name())
+		}
+		return out
+	}
+	cases := []struct {
+		path string
+		want []string
+	}{
+		{"mlpart/internal/fm", []string{"nondet-rand", "nondet-maporder", "float-eq", "ctx-thread"}},
+		{"mlpart/internal/hypergraph", []string{"nondet-rand", "nondet-maporder", "float-eq", "unchecked-narrow", "ctx-thread"}},
+		{"mlpart/internal/netgen", []string{"nondet-rand", "float-eq", "ctx-thread"}},
+		{"mlpart", []string{"float-eq"}},
+		{"mlpart/cmd/mlpart", nil},
+		{"mlpart/examples/quickstart", nil},
+	}
+	for _, tc := range cases {
+		got := names(checksFor("mlpart", tc.path))
+		if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+			t.Errorf("checksFor(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}
+
+// TestModuleLintsClean is `make lint` as a regression test: the tree
+// itself must stay free of findings.
+func TestModuleLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	diags, err := Run(filepath.Join("..", ".."), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxThread enforces context propagation in the library:
+//
+//  1. context.Background() and context.TODO() are forbidden inside
+//     internal/ — a fresh root context silently discards the caller's
+//     cancellation and deadline. The non-Ctx compatibility wrappers
+//     that intentionally root a context carry an
+//     //mllint:ignore ctx-thread directive explaining so.
+//  2. Inside an exported ...Ctx function that takes a
+//     context.Context, calling a function F when an F-Ctx variant
+//     exists in F's package drops the context on the floor; the Ctx
+//     variant must be called with the incoming ctx.
+type CtxThread struct{}
+
+// Name implements Check.
+func (CtxThread) Name() string { return "ctx-thread" }
+
+// Doc implements Check.
+func (CtxThread) Doc() string {
+	return "forbid context.Background/TODO in internal/ and require ...Ctx functions to propagate ctx"
+}
+
+// Run implements Check.
+func (CtxThread) Run(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			inCtxFn := isExportedCtxFunc(pass, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pass, call)
+				if callee == nil {
+					return true
+				}
+				if callee.Pkg() != nil && callee.Pkg().Path() == "context" &&
+					(callee.Name() == "Background" || callee.Name() == "TODO") {
+					pass.Report(call, CtxThread{}.Name(),
+						"context."+callee.Name()+"() creates a fresh root context, discarding the caller's cancellation and deadline",
+						"accept a context.Context parameter and thread it through")
+					return true
+				}
+				if inCtxFn {
+					checkDroppedCtxVariant(pass, call, callee)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkDroppedCtxVariant reports a call to F from inside a ...Ctx
+// function when F's own package defines a F+"Ctx" function — the
+// context-aware variant should have been called.
+func checkDroppedCtxVariant(pass *Pass, call *ast.CallExpr, callee *types.Func) {
+	if callee.Pkg() == nil || strings.HasSuffix(callee.Name(), "Ctx") {
+		return
+	}
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // methods: out of scope for the naming convention
+	}
+	variant := callee.Pkg().Scope().Lookup(callee.Name() + "Ctx")
+	vf, ok := variant.(*types.Func)
+	if !ok {
+		return
+	}
+	if !acceptsContext(vf) {
+		return
+	}
+	pass.Report(call, CtxThread{}.Name(),
+		"call to "+callee.Name()+" from a ...Ctx function drops the context; "+callee.Name()+"Ctx exists",
+		"call "+callee.Name()+"Ctx and pass the incoming ctx")
+}
+
+// isExportedCtxFunc reports whether fn is an exported function named
+// *Ctx whose signature includes a context.Context parameter.
+func isExportedCtxFunc(pass *Pass, fn *ast.FuncDecl) bool {
+	if !fn.Name.IsExported() || !strings.HasSuffix(fn.Name.Name, "Ctx") {
+		return false
+	}
+	obj, ok := pass.Info.Defs[fn.Name].(*types.Func)
+	return ok && acceptsContext(obj)
+}
+
+// acceptsContext reports whether fn has a context.Context parameter.
+func acceptsContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if named, ok := sig.Params().At(i).Type().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the static callee of call, through selectors
+// and plain identifiers; nil for indirect calls, conversions and
+// builtins.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands. Balance
+// and tolerance math must use integer areas or an explicit epsilon;
+// exact float comparison is almost always a latent bug once a value
+// has been through arithmetic. Two idioms stay legal: comparing an
+// expression to itself (the NaN test x != x) and comparing against a
+// literal zero (the unset-field sentinel — the zero value is assigned
+// verbatim, never computed).
+type FloatEq struct{}
+
+// Name implements Check.
+func (FloatEq) Name() string { return "float-eq" }
+
+// Doc implements Check.
+func (FloatEq) Doc() string {
+	return "forbid ==/!= between floating-point operands (use epsilon or integer areas)"
+}
+
+// Run implements Check.
+func (FloatEq) Run(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, be.X) && !isFloat(pass, be.Y) {
+				return true
+			}
+			// x != x / x == x: the portable NaN test.
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true
+			}
+			// Comparison against literal zero: zero values are set,
+			// not computed, so the comparison is exact.
+			if isZeroLiteral(pass, be.X) || isZeroLiteral(pass, be.Y) {
+				return true
+			}
+			pass.Report(be, FloatEq{}.Name(),
+				"floating-point "+be.Op.String()+" comparison; results depend on rounding",
+				"compare integer areas, use math.Abs(a-b) < eps, or restructure to avoid the comparison")
+			return true
+		})
+	}
+}
+
+func isFloat(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroLiteral(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

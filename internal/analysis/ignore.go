@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //mllint:ignore comment.
+type ignoreDirective struct {
+	pos    token.Position
+	check  string
+	reason string
+}
+
+const ignorePrefix = "mllint:ignore"
+
+// collectIgnores scans every comment of the package for
+// //mllint:ignore directives. Directives missing a check name or a
+// reason are returned as diagnostics (the reason is mandatory: an
+// unexplained suppression is itself a contract violation).
+func collectIgnores(pkg *LoadedPackage) ([]ignoreDirective, []Diagnostic) {
+	var dirs []ignoreDirective
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad = append(bad, Diagnostic{
+						Pos:     pos,
+						Check:   "ignore-syntax",
+						Message: "mllint:ignore directive without a check name",
+						Hint:    "write //mllint:ignore <check> <reason>",
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:     pos,
+						Check:   "ignore-syntax",
+						Message: "mllint:ignore " + fields[0] + " has no reason; a reason is mandatory",
+						Hint:    "write //mllint:ignore " + fields[0] + " <why this is safe>",
+					})
+					continue
+				}
+				dirs = append(dirs, ignoreDirective{
+					pos:    pos,
+					check:  fields[0],
+					reason: strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// applyIgnores filters diags through the package's ignore
+// directives. A directive suppresses diagnostics of its check in the
+// same file on the directive's own line and on the line directly
+// below it (so it can trail the offending statement or sit on its own
+// line above).
+func applyIgnores(pkg *LoadedPackage, diags []Diagnostic) []Diagnostic {
+	dirs, bad := collectIgnores(pkg)
+	type key struct {
+		file  string
+		line  int
+		check string
+	}
+	suppressed := make(map[key]bool, 2*len(dirs))
+	for _, d := range dirs {
+		suppressed[key{d.pos.Filename, d.pos.Line, d.check}] = true
+		suppressed[key{d.pos.Filename, d.pos.Line + 1, d.check}] = true
+	}
+	out := bad
+	for _, d := range diags {
+		if suppressed[key{d.Pos.Filename, d.Pos.Line, d.Check}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,309 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadedPackage is one fully typechecked module package ready for
+// analysis.
+type LoadedPackage struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and typechecks the module's packages from source. It
+// resolves module-internal import paths by directory mapping and
+// everything else (the standard library) through go/build, so it
+// needs no toolchain invocation and no third-party machinery.
+type Loader struct {
+	ModulePath string
+	ModuleDir  string
+
+	fset *token.FileSet
+	ctxt build.Context
+	// deps caches imported packages, typechecked signatures-only —
+	// enough for analyzing the packages that import them.
+	deps      map[string]*types.Package
+	importing map[string]bool
+}
+
+// NewLoader builds a loader rooted at moduleDir (the directory
+// holding go.mod).
+func NewLoader(moduleDir string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	modulePath, err := readModulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ctxt := build.Default
+	// Pure-Go file sets only: cgo variants would require C
+	// typechecking we cannot do.
+	ctxt.CgoEnabled = false
+	return &Loader{
+		ModulePath: modulePath,
+		ModuleDir:  abs,
+		fset:       token.NewFileSet(),
+		ctxt:       ctxt,
+		deps:       make(map[string]*types.Package),
+		importing:  make(map[string]bool),
+	}, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// Expand resolves package patterns into module import paths. It
+// understands "./..." (whole module), "./dir/..." (subtree), "./dir"
+// and plain "dir" (one package), and full import paths with or
+// without a trailing "/...".
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "" || pat == "." {
+			pat = l.ModulePath
+		} else if !strings.HasPrefix(pat, l.ModulePath) {
+			pat = l.ModulePath + "/" + pat
+		}
+		if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+			roots, err := l.walk(sub)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range roots {
+				add(p)
+			}
+			continue
+		}
+		add(pat)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// walk finds every buildable package under the subtree rooted at the
+// import path root (which must be the module path or below it).
+func (l *Loader) walk(root string) ([]string, error) {
+	rel := strings.TrimPrefix(strings.TrimPrefix(root, l.ModulePath), "/")
+	start := filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+	var out []string
+	err := filepath.WalkDir(start, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != start && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		if l.hasGoFiles(path) {
+			relDir, err := filepath.Rel(l.ModuleDir, path)
+			if err != nil {
+				return err
+			}
+			ip := l.ModulePath
+			if relDir != "." {
+				ip += "/" + filepath.ToSlash(relDir)
+			}
+			out = append(out, ip)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (l *Loader) hasGoFiles(dir string) bool {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	return err == nil && len(bp.GoFiles) > 0
+}
+
+// dirFor maps an import path to its source directory: module paths
+// map into the module tree, everything else resolves through
+// go/build (GOROOT, including the std vendor tree).
+func (l *Loader) dirFor(path, srcDir string) (string, []string, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		dir := filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+		bp, err := l.ctxt.ImportDir(dir, 0)
+		if err != nil {
+			return "", nil, fmt.Errorf("analysis: %s: %w", path, err)
+		}
+		return dir, bp.GoFiles, nil
+	}
+	bp, err := l.ctxt.Import(path, srcDir, 0)
+	if err != nil {
+		return "", nil, fmt.Errorf("analysis: resolve %q: %w", path, err)
+	}
+	return bp.Dir, bp.GoFiles, nil
+}
+
+// parseDir parses the listed files of one package directory.
+func (l *Loader) parseDir(dir string, files []string) ([]*ast.File, error) {
+	parsed := make([]*ast.File, 0, len(files))
+	for _, name := range files {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	return parsed, nil
+}
+
+// Import implements types.Importer for dependency resolution during
+// target typechecking.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom. Dependencies are
+// typechecked signatures-only (IgnoreFuncBodies), which is all their
+// importers need and keeps a full-module run fast.
+func (l *Loader) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.deps[path]; ok {
+		return pkg, nil
+	}
+	if l.importing[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.importing[path] = true
+	defer delete(l.importing, path)
+
+	dir, files, err := l.dirFor(path, srcDir)
+	if err != nil {
+		return nil, err
+	}
+	parsed, err := l.parseDir(dir, files)
+	if err != nil {
+		return nil, err
+	}
+	cfg := types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: true,
+		FakeImportC:      true,
+		// Dependencies may produce harmless errors under
+		// signatures-only checking; collect instead of aborting and
+		// keep whatever typechecked.
+		Error: func(error) {},
+	}
+	pkg, err := cfg.Check(path, l.fset, parsed, nil)
+	if pkg == nil {
+		return nil, fmt.Errorf("analysis: typecheck %q: %w", path, err)
+	}
+	pkg.MarkComplete()
+	l.deps[path] = pkg
+	return pkg, nil
+}
+
+// Load fully typechecks one module package (bodies included, Info
+// populated) for analysis. Target packages must typecheck cleanly —
+// the tree is expected to build.
+func (l *Loader) Load(path string) (*LoadedPackage, error) {
+	dir, files, err := l.dirFor(path, l.ModuleDir)
+	if err != nil {
+		return nil, err
+	}
+	return l.LoadDir(dir, path, files)
+}
+
+// LoadDir typechecks the package in dir under the given import path.
+// files may be nil, in which case the buildable files of dir are
+// used. This entry point also serves the self-tests, which load
+// packages from testdata under synthetic internal/ paths.
+func (l *Loader) LoadDir(dir, path string, files []string) (*LoadedPackage, error) {
+	if files == nil {
+		bp, err := l.ctxt.ImportDir(dir, 0)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+		}
+		files = bp.GoFiles
+	}
+	parsed, err := l.parseDir(dir, files)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var firstErr error
+	cfg := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, _ := cfg.Check(path, l.fset, parsed, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", path, firstErr)
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("analysis: typecheck %s failed", path)
+	}
+	return &LoadedPackage{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: parsed,
+		Types: pkg,
+		Info:  info,
+	}, nil
+}

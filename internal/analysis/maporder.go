@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags range statements over maps, inside the deterministic
+// algorithm packages, whose body builds an ordered result: appending
+// to an outer slice, writing through an index expression, or
+// selecting a min/max into an outer variable. Go's map iteration
+// order is randomized per run, so any such loop silently breaks the
+// bit-identical-per-seed contract unless the result is sorted
+// afterwards — a following sort.* / slices.* call in the same
+// function suppresses the finding.
+type MapOrder struct{}
+
+// Name implements Check.
+func (MapOrder) Name() string { return "nondet-maporder" }
+
+// Doc implements Check.
+func (MapOrder) Doc() string {
+	return "flag map iteration whose order leaks into an ordered result in deterministic packages"
+}
+
+// Run implements Check.
+func (MapOrder) Run(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFuncMapRanges(pass, fn)
+		}
+	}
+}
+
+func checkFuncMapRanges(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		reason := orderedSink(pass, rs)
+		if reason == "" {
+			return true
+		}
+		if sortedAfter(pass, fn, rs.End()) {
+			return true
+		}
+		pass.Report(rs, MapOrder{}.Name(),
+			"map iteration order leaks into an ordered result ("+reason+")",
+			"iterate over sorted keys, switch to a slice, or sort the result before use")
+		return true
+	})
+}
+
+// orderedSink classifies the loop body: does it produce something
+// whose meaning depends on iteration order? Returns a short reason or
+// "".
+func orderedSink(pass *Pass, rs *ast.RangeStmt) string {
+	reason := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range st.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+					reason = "append inside the loop body"
+					return false
+				}
+			}
+			for _, lhs := range st.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					// Writing h[k] = v into another map is
+					// order-insensitive; slice/array index writes are
+					// not (the index typically advances with the
+					// iteration).
+					tv, ok := pass.Info.Types[ix.X]
+					if ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+							reason = "indexed write inside the loop body"
+							return false
+						}
+					}
+				}
+			}
+		case *ast.IfStmt:
+			// Min/max selection: a comparison guarding an assignment
+			// to a variable declared outside the loop. Ties resolve
+			// in iteration order, so the selected key is
+			// order-dependent.
+			if cmp, ok := st.Cond.(*ast.BinaryExpr); ok {
+				switch cmp.Op {
+				case token.LSS, token.GTR, token.LEQ, token.GEQ:
+					if assignsOuter(pass, st.Body, rs) {
+						reason = "min/max selection with iteration-order tie-breaking"
+						return false
+					}
+				}
+			}
+		case *ast.SendStmt:
+			reason = "channel send inside the loop body"
+			return false
+		}
+		return true
+	})
+	return reason
+}
+
+// assignsOuter reports whether body assigns to an identifier whose
+// declaration lies outside the range statement.
+func assignsOuter(pass *Pass, body *ast.BlockStmt, rs *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || asg.Tok == token.DEFINE {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				continue
+			}
+			if obj.Pos() < rs.Pos() || obj.Pos() > rs.End() {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sortedAfter reports whether a sort.* or slices.* call appears after
+// pos inside fn — the loop's output is ordered before use.
+func sortedAfter(pass *Pass, fn *ast.FuncDecl, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil {
+			return true
+		}
+		switch obj.Pkg().Path() {
+		case "sort", "slices":
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// UncheckedNarrow flags conversions of wider integers to
+// int32/uint32 in the CSR/builder package with no visible bounds
+// evidence. The hypergraph core stores pins and adjacency as int32 to
+// halve memory traffic; a silent overflow there corrupts the CSR
+// arrays far from the conversion site. A conversion is accepted when
+// the operand is:
+//
+//   - a constant expression (the compiler rejects out-of-range
+//     constants),
+//   - an identifier compared in an enclosing or preceding if/for
+//     condition in the same function (the hardened-parser pattern
+//     from PR 1: validate, then convert), or
+//   - a slice/array/string range index (bounded by a length that the
+//     builders and parsers already cap).
+//
+// Everything else needs either a local guard or an
+// //mllint:ignore unchecked-narrow <invariant> explaining the bound.
+type UncheckedNarrow struct{}
+
+// Name implements Check.
+func (UncheckedNarrow) Name() string { return "unchecked-narrow" }
+
+// Doc implements Check.
+func (UncheckedNarrow) Doc() string {
+	return "flag int→int32/uint32 conversions without a visible bounds check in CSR/builder code"
+}
+
+// Run implements Check.
+func (UncheckedNarrow) Run(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			guards := collectGuards(pass, fn)
+			rangeIdx := collectRangeIndexObjs(pass, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				tv, ok := pass.Info.Types[call.Fun]
+				if !ok || !tv.IsType() {
+					return true
+				}
+				dst, ok := tv.Type.Underlying().(*types.Basic)
+				if !ok || (dst.Kind() != types.Int32 && dst.Kind() != types.Uint32) {
+					return true
+				}
+				arg := call.Args[0]
+				atv, ok := pass.Info.Types[arg]
+				if !ok || atv.Type == nil {
+					return true
+				}
+				if atv.Value != nil {
+					return true // constant: compiler-checked
+				}
+				src, ok := atv.Type.Underlying().(*types.Basic)
+				if !ok {
+					return true
+				}
+				switch src.Kind() {
+				case types.Int, types.Int64, types.Uint, types.Uint64, types.Uintptr:
+				default:
+					return true // not a narrowing
+				}
+				if id := coreIdent(pass, arg); id != nil {
+					obj := pass.Info.Uses[id]
+					if obj != nil {
+						if rangeIdx[obj] {
+							return true
+						}
+						if gpos, ok := guards[obj]; ok && gpos < call.Pos() {
+							return true
+						}
+					}
+				}
+				pass.Report(call, UncheckedNarrow{}.Name(),
+					"unchecked narrowing of "+src.Name()+" to "+dst.Name(),
+					"bounds-check the value first (validate-then-convert), or document the invariant with //mllint:ignore unchecked-narrow <why>")
+				return true
+			})
+		}
+	}
+}
+
+// collectGuards maps identifier objects to the earliest position at
+// which they appear inside an if- or for-condition containing a
+// relational comparison. A later conversion of the same object is
+// treated as guarded.
+func collectGuards(pass *Pass, fn *ast.FuncDecl) map[types.Object]token.Pos {
+	guards := make(map[types.Object]token.Pos)
+	record := func(cond ast.Expr) {
+		if cond == nil {
+			return
+		}
+		ast.Inspect(cond, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			default:
+				return true
+			}
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				if id, ok := unparen(side).(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						if old, ok := guards[obj]; !ok || be.Pos() < old {
+							guards[obj] = be.Pos()
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.IfStmt:
+			record(st.Cond)
+		case *ast.ForStmt:
+			record(st.Cond)
+		}
+		return true
+	})
+	return guards
+}
+
+// collectRangeIndexObjs returns the key variables of range loops over
+// slices, arrays and strings (never maps or channels).
+func collectRangeIndexObjs(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || rs.Key == nil {
+			return true
+		}
+		tv, ok := pass.Info.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice, *types.Array, *types.Basic: // Basic covers string
+		default:
+			return true
+		}
+		if id, ok := rs.Key.(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// coreIdent extracts the identifier a conversion operand hinges on:
+// the ident itself, or the ident side of ident±constant (the
+// validate-then-convert pattern converts p-1 after bounds-checking
+// p).
+func coreIdent(pass *Pass, e ast.Expr) *ast.Ident {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		return x
+	case *ast.BinaryExpr:
+		if x.Op != token.ADD && x.Op != token.SUB {
+			return nil
+		}
+		xc := isConstExpr(pass, x.X)
+		yc := isConstExpr(pass, x.Y)
+		if id, ok := unparen(x.X).(*ast.Ident); ok && yc {
+			return id
+		}
+		if id, ok := unparen(x.Y).(*ast.Ident); ok && xc {
+			return id
+		}
+	}
+	return nil
+}
+
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

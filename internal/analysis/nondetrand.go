@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NondetRand forbids the process-global math/rand source inside the
+// library: calls to package-level math/rand functions (rand.Intn,
+// rand.Shuffle, rand.Perm, rand.Seed, …) and constructors seeded from
+// the wall clock (rand.NewSource(time.Now().UnixNano())). Every
+// stochastic component must take an injected *rand.Rand so that runs
+// are bit-identical per seed — the contract all experiment tables
+// rest on.
+type NondetRand struct{}
+
+// Name implements Check.
+func (NondetRand) Name() string { return "nondet-rand" }
+
+// Doc implements Check.
+func (NondetRand) Doc() string {
+	return "forbid global math/rand functions and wall-clock seeding in internal/"
+}
+
+// randConstructors are the package-level functions allowed because
+// they build an injectable source — unless their seed argument
+// depends on the wall clock.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2 constructors.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// Run implements Check.
+func (NondetRand) Run(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !isRandPkg(fn.Pkg().Path()) {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				// Methods on an injected *rand.Rand are exactly what
+				// the contract wants.
+				return true
+			}
+			if randConstructors[fn.Name()] {
+				if tn := wallClockDep(pass, call); tn != "" {
+					pass.Report(call, NondetRand{}.Name(),
+						"rand."+fn.Name()+" seeded from the wall clock via "+tn+"; runs will not be reproducible",
+						"derive the seed from configuration (e.g. Options.Seed), never from time")
+				}
+				return true
+			}
+			pass.Report(call, NondetRand{}.Name(),
+				"call to package-level math/rand."+fn.Name()+" uses the process-global source",
+				"thread an injected *rand.Rand through the call chain and call its method instead")
+			return true
+		})
+	}
+}
+
+// wallClockDep reports whether any argument of call (transitively)
+// calls into package time; it returns the offending selector text or
+// "". Nested rand constructors are not descended into — they report
+// on their own, so rand.New(rand.NewSource(time.Now()…)) fires once,
+// at the innermost constructor.
+func wallClockDep(pass *Pass, call *ast.CallExpr) string {
+	found := ""
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found != "" {
+				return false
+			}
+			if inner, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := inner.Fun.(*ast.SelectorExpr); ok {
+					if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok &&
+						fn.Pkg() != nil && isRandPkg(fn.Pkg().Path()) && randConstructors[fn.Name()] {
+						return false
+					}
+				}
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			found = "time." + fn.Name()
+			return false
+		})
+	}
+	return found
+}

@@ -1,0 +1,39 @@
+// Package ctxthread seeds the ctx-thread golden test: fresh root
+// contexts and dropped ...Ctx variants must fire; proper threading
+// must not.
+package ctxthread
+
+import "context"
+
+// Work is the context-free variant of WorkCtx.
+func Work(n int) int { return n }
+
+// WorkCtx is the context-aware variant linters should route to.
+func WorkCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+func fire(ctx context.Context) { _ = ctx }
+
+// RunCtx drops its context twice.
+func RunCtx(ctx context.Context, n int) int {
+	fire(context.Background()) // want "context.Background"
+	return Work(n) // want "drops the context; WorkCtx exists"
+}
+
+// GoodCtx threads its context properly.
+func GoodCtx(ctx context.Context, n int) int {
+	fire(ctx)
+	return WorkCtx(ctx, n) // ok: the Ctx variant gets ctx
+}
+
+func todo() context.Context {
+	return context.TODO() // want "context.TODO"
+}
+
+// helper is not a ...Ctx entry point, so calling Work is fine — but a
+// root context is still forbidden.
+func helper(n int) int {
+	return Work(n) // ok: no context contract on helper
+}

@@ -1,0 +1,32 @@
+// Package floateq seeds the float-eq golden test: exact float
+// comparison must fire; the NaN self-test, zero-value sentinels and
+// integer comparisons must not.
+package floateq
+
+func equal(a, b float64) bool {
+	return a == b // want "floating-point =="
+}
+
+func notEqual(a, b float32) bool {
+	return a != b // want "floating-point !="
+}
+
+func half(r float64) bool {
+	return r == 0.5 // want "floating-point =="
+}
+
+func mixed(a float64, b int) bool {
+	return a == float64(b) // want "floating-point =="
+}
+
+func isNaN(x float64) bool {
+	return x != x // ok: the portable NaN test
+}
+
+func unset(tol float64) bool {
+	return tol == 0 // ok: zero-value sentinel, assigned not computed
+}
+
+func ints(a, b int) bool {
+	return a == b // ok: exact integer comparison
+}

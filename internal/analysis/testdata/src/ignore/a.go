@@ -1,0 +1,24 @@
+// Package ignore seeds the suppression-directive test: a directive
+// with a reason silences the finding (own line or trailing); a
+// directive without a reason is itself a diagnostic and suppresses
+// nothing.
+package ignore
+
+func sentinel(r float64) bool {
+	//mllint:ignore float-eq default 0.5 is assigned verbatim so the comparison is exact
+	return r == 0.5
+}
+
+func trailing(a, b float64) bool {
+	return a == b //mllint:ignore float-eq golden test of trailing suppression
+}
+
+func noReason(a, b float64) bool {
+	//mllint:ignore float-eq
+	return a == b
+}
+
+func wrongCheck(a, b float64) bool {
+	//mllint:ignore nondet-rand suppressing the wrong check must not hide float-eq
+	return a == b
+}

@@ -1,0 +1,55 @@
+// Package maporder seeds the nondet-maporder golden test: map
+// iteration feeding an ordered result must fire; sorted, counting and
+// set-building loops must not.
+package maporder
+
+import "sort"
+
+func keysUnsorted(m map[int]string) []int {
+	var out []int
+	for k := range m { // want "append inside the loop body"
+		out = append(out, k)
+	}
+	return out
+}
+
+func keysSorted(m map[int]string) []int {
+	var out []int
+	for k := range m { // ok: sorted before use
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func minKey(m map[int]int) int {
+	best := -1
+	for k := range m { // want "min/max selection"
+		if k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+func fillSlice(m map[int]int, bins []int) {
+	i := 0
+	for _, v := range m { // want "indexed write inside the loop body"
+		bins[i] = v
+		i++
+	}
+}
+
+func count(m map[int]int) int {
+	n := 0
+	for range m { // ok: commutative accumulation
+		n++
+	}
+	return n
+}
+
+func toSet(m map[int]bool, set map[int]bool) {
+	for k := range m { // ok: map writes are order-insensitive
+		set[k] = true
+	}
+}

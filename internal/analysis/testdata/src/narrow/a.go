@@ -1,0 +1,58 @@
+// Package narrow seeds the unchecked-narrow golden test: blind
+// int→int32/uint32 conversions must fire; validate-then-convert,
+// range indices and constants must not.
+package narrow
+
+import "math"
+
+func convert(x int) int32 {
+	return int32(x) // want "unchecked narrowing of int to int32"
+}
+
+func convertUnsigned(x uint64) uint32 {
+	return uint32(x) // want "unchecked narrowing of uint64 to uint32"
+}
+
+func length(xs []int) int32 {
+	return int32(len(xs)) // want "unchecked narrowing of int to int32"
+}
+
+func guarded(x int) (int32, bool) {
+	if x < 0 || x > math.MaxInt32 {
+		return 0, false
+	}
+	return int32(x), true // ok: validate-then-convert
+}
+
+func offsetGuarded(p, n int) (int32, bool) {
+	if p < 1 || p > n {
+		return 0, false
+	}
+	return int32(p - 1), true // ok: p bounds-checked, constant offset
+}
+
+func loopBound(n int) []int32 {
+	out := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, int32(i)) // ok: loop condition bounds i
+	}
+	return out
+}
+
+func rangeIndex(xs []int64) []int32 {
+	out := make([]int32, 0, len(xs))
+	for i := range xs {
+		out = append(out, int32(i)) // ok: slice range index
+	}
+	return out
+}
+
+const small = 1 << 10
+
+func constant() int32 {
+	return int32(small) // ok: compile-time checked
+}
+
+func widening(x int32) int64 {
+	return int64(x) // ok: not a narrowing
+}

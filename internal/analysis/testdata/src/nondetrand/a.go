@@ -1,0 +1,37 @@
+// Package nondetrand seeds the nondet-rand golden test: global
+// math/rand calls and wall-clock seeding must fire; injected
+// *rand.Rand usage and config-derived seeds must not.
+package nondetrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "package-level math/rand.Shuffle"
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want "package-level math/rand.Intn"
+}
+
+func reseed(s int64) {
+	rand.Seed(s) // want "package-level math/rand.Seed"
+}
+
+func perm(n int) []int {
+	return rand.Perm(n) // want "package-level math/rand.Perm"
+}
+
+func newWallClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from the wall clock"
+}
+
+func injected(rng *rand.Rand, n int) int {
+	return rng.Intn(n) // ok: method on an injected source
+}
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // ok: seed flows from configuration
+}

@@ -1,0 +1,104 @@
+package audit
+
+// The incremental-vs-recomputed-cut cross-check must also hold for
+// k-way (quadrisection) solutions, where the refiner maintains
+// CutNets and SumDegrees incrementally across multi-way moves — the
+// bookkeeping the bipartition tests never exercise.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mlpart/internal/hypergraph"
+	"mlpart/internal/kway"
+)
+
+// quadGraph: 16 unit-area cells in four dense groups of four plus a
+// few cross-group nets, so a quadrisection with one group per block
+// is natural and the cut is small but non-zero.
+func quadGraph(t *testing.T) *hypergraph.Hypergraph {
+	t.Helper()
+	b := hypergraph.NewBuilder(16)
+	for g := 0; g < 4; g++ {
+		base := 4 * g
+		b.AddNet(base, base+1, base+2, base+3)
+		b.AddNet(base, base+1).AddNet(base+2, base+3).AddNet(base+1, base+2)
+	}
+	b.AddNet(0, 4).AddNet(5, 9).AddNet(10, 14).AddNet(3, 15)
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestCheckPartitionKwayCutCrossCheck(t *testing.T) {
+	h := quadGraph(t)
+	cfg, err := kway.Config{K: 4}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, res, err := kway.Partition(h, nil, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The refiner's incrementally maintained counters must agree with
+	// the from-scratch recomputations. All nets here are within the
+	// default MaxNetSize, so the active cut equals the full cut.
+	chk := NoChecks()
+	chk.K = 4
+	bound := hypergraph.Balance(h, 4, cfg.Tolerance)
+	chk.Bound = &bound
+	chk.WeightedCut = res.CutNets
+	chk.ActiveCut = res.CutNets
+	chk.MaxNetSize = cfg.MaxNetSize
+	chk.SumDegrees = res.SumDegrees
+	if err := CheckPartition(h, p, chk); err != nil {
+		t.Fatalf("refined 4-way solution failed the audit: %v", err)
+	}
+
+	// Stale counters must be caught against the same 4-way solution.
+	stale := NoChecks()
+	stale.WeightedCut = res.CutNets + 1
+	err = CheckPartition(h, p, stale)
+	if err == nil || !strings.Contains(err.Error(), "from-scratch cut") {
+		t.Errorf("stale k-way weighted cut not caught: %v", err)
+	}
+	stale = NoChecks()
+	stale.ActiveCut = res.CutNets + 1
+	stale.MaxNetSize = cfg.MaxNetSize
+	err = CheckPartition(h, p, stale)
+	if err == nil || !strings.Contains(err.Error(), "active cut") {
+		t.Errorf("stale k-way active cut not caught: %v", err)
+	}
+	stale = NoChecks()
+	stale.SumDegrees = res.SumDegrees + 1
+	err = CheckPartition(h, p, stale)
+	if err == nil || !strings.Contains(err.Error(), "sum-of-degrees") {
+		t.Errorf("stale k-way sum-of-degrees not caught: %v", err)
+	}
+
+	// Moving one cell invalidates every incremental counter; the
+	// recomputation must notice all of them.
+	moved := p.Clone()
+	moved.Part[0] = (moved.Part[0] + 1) % 4
+	drift := NoChecks()
+	drift.WeightedCut = res.CutNets
+	if err := CheckPartition(h, moved, drift); err == nil {
+		t.Error("cut drift after a k-way move passed the audit")
+	}
+	drift = NoChecks()
+	drift.SumDegrees = res.SumDegrees
+	if err := CheckPartition(h, moved, drift); err == nil {
+		t.Error("sum-of-degrees drift after a k-way move passed the audit")
+	}
+
+	// Wrong K must be rejected outright.
+	wrongK := NoChecks()
+	wrongK.K = 2
+	if err := CheckPartition(h, p, wrongK); err == nil {
+		t.Error("K mismatch passed the audit")
+	}
+}

@@ -58,6 +58,7 @@ func AsPanicError(err error) (*PanicError, bool) {
 // its behaviour (including a deliberate panic in tests) is
 // independent of the context state.
 func mergeStop(prev func() bool, ctx context.Context) func() bool {
+	//mllint:ignore ctx-thread comparison against the root context to skip a useless poll hook; nothing is created
 	if ctx == nil || ctx == context.Background() {
 		return prev
 	}

@@ -115,6 +115,7 @@ type level struct {
 // Bipartition runs the ML algorithm of Fig. 2 on h and returns the
 // final bipartitioning P_0 = {X_0, Y_0}.
 func Bipartition(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*hypergraph.Partition, Result, error) {
+	//mllint:ignore ctx-thread non-Ctx compatibility wrapper: rooting a fresh context is its documented contract
 	return BipartitionCtx(context.Background(), h, cfg, rng)
 }
 
@@ -135,7 +136,7 @@ func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, r
 		return nil, Result{}, err
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //mllint:ignore ctx-thread normalizing a nil ctx from the caller; there is no ambient deadline to discard
 	}
 	cfg.Refine.Stop = mergeStop(cfg.Refine.Stop, ctx)
 
@@ -354,6 +355,7 @@ func Hierarchy(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) ([]*hypergr
 	if err != nil {
 		return nil, nil, err
 	}
+	//mllint:ignore ctx-thread Hierarchy is a non-cancellable inspection helper; coarsening alone is cheap
 	levels, _, err := buildHierarchy(context.Background(), h, cfg, rng)
 	if err != nil {
 		return nil, nil, err

@@ -97,6 +97,7 @@ type QuadResult struct {
 // level), k-way partitioning of the coarsest netlist, then projection
 // with multi-way FM refinement per level.
 func Quadrisect(h *hypergraph.Hypergraph, cfg QuadConfig, rng *rand.Rand) (*hypergraph.Partition, QuadResult, error) {
+	//mllint:ignore ctx-thread non-Ctx compatibility wrapper: rooting a fresh context is its documented contract
 	return QuadrisectCtx(context.Background(), h, cfg, rng)
 }
 
@@ -114,7 +115,7 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 		return nil, QuadResult{}, err
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //mllint:ignore ctx-thread normalizing a nil ctx from the caller; there is no ambient deadline to discard
 	}
 	cfg.Refine.Stop = mergeStop(cfg.Refine.Stop, ctx)
 	if cfg.Fixed != nil {

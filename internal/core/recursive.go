@@ -17,6 +17,7 @@ import (
 // quadrisection avoids; the ablation-recursive experiment quantifies
 // the difference.
 func RecursiveBisect(h *hypergraph.Hypergraph, k int, cfg Config, rng *rand.Rand) (*hypergraph.Partition, error) {
+	//mllint:ignore ctx-thread non-Ctx compatibility wrapper: rooting a fresh context is its documented contract
 	return RecursiveBisectCtx(context.Background(), h, k, cfg, rng)
 }
 
@@ -34,7 +35,7 @@ func RecursiveBisectCtx(ctx context.Context, h *hypergraph.Hypergraph, k int, cf
 		return nil, err
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //mllint:ignore ctx-thread normalizing a nil ctx from the caller; there is no ambient deadline to discard
 	}
 	out := hypergraph.NewPartition(h.NumCells(), k)
 	cells := make([]int32, h.NumCells())

@@ -21,6 +21,7 @@ import (
 // composes naturally with it. Returns the refined partition (the
 // input is not modified) and the final cut.
 func VCycle(h *hypergraph.Hypergraph, p *hypergraph.Partition, maxCycles int, cfg Config, rng *rand.Rand) (*hypergraph.Partition, int, error) {
+	//mllint:ignore ctx-thread non-Ctx compatibility wrapper: rooting a fresh context is its documented contract
 	return VCycleCtx(context.Background(), h, p, maxCycles, cfg, rng)
 }
 
@@ -35,7 +36,7 @@ func VCycleCtx(ctx context.Context, h *hypergraph.Hypergraph, p *hypergraph.Part
 		return nil, 0, err
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //mllint:ignore ctx-thread normalizing a nil ctx from the caller; there is no ambient deadline to discard
 	}
 	cfg.Refine.Stop = mergeStop(cfg.Refine.Stop, ctx)
 	if err := p.Validate(h.NumCells()); err != nil {

@@ -2,6 +2,7 @@ package hypergraph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -180,13 +181,19 @@ func (b *Builder) Build() (*Hypergraph, error) {
 	for _, net := range kept {
 		numPins += len(net)
 	}
+	// The CSR offsets are int32; programmatic builders are not behind
+	// the parser Limits, so the pin total must be checked here before
+	// any narrowing below.
+	if numPins > math.MaxInt32 {
+		return nil, fmt.Errorf("hypergraph: %d pins overflow the int32 CSR index space", numPins)
+	}
 	h.netStart = make([]int32, len(kept)+1)
 	h.netPins = make([]int32, numPins)
 	at := int32(0)
 	for e, net := range kept {
 		h.netStart[e] = at
 		copy(h.netPins[at:], net)
-		at += int32(len(net))
+		at += int32(len(net)) //mllint:ignore unchecked-narrow len(net) <= numPins, checked against MaxInt32 above
 	}
 	h.netStart[len(kept)] = at
 

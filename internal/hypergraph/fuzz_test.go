@@ -61,6 +61,10 @@ func FuzzReadNetD(f *testing.F) {
 	f.Add("0\n99999999999999999999\n1\n2\n0\na0 s\np1 l\n")
 	f.Add("0\n2\n1\n99999999999999999999\n0\na0 s\np1 l\n")
 	f.Add("0\n2\n1\n2\n0\na0 s\np1 l\na1 l\n")
+	// A duplicated pad/pin line inside one net: the duplicate pin
+	// must be merged by the builder (never doubling the pin count or
+	// corrupting the CSR), and the pad flag must be set exactly once.
+	f.Add("0\n5\n2\n4\n2\na0 s\np1 l\np1 l\na1 s\na2 l\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		c, err := ReadNetD(strings.NewReader(in), nil)
 		if err != nil {

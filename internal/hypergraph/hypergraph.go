@@ -266,7 +266,7 @@ func (h *Hypergraph) Validate() error {
 		}
 	}
 	for v := 0; v < h.numCells; v++ {
-		if int32(h.Degree(v)) != count[v] {
+		if h.Degree(v) != int(count[v]) {
 			return fmt.Errorf("hypergraph: cell %d degree %d != pin count %d", v, h.Degree(v), count[v])
 		}
 		for _, e := range h.Nets(v) {

@@ -79,8 +79,8 @@ func ReadNetDLimits(netR io.Reader, areR io.Reader, lim Limits) (*NetDCircuit, e
 		return nil, fmt.Errorf("netD: %w", err)
 	}
 
-	names := make(map[string]int, numModules)
-	idOf := func(name string) (int, error) {
+	names := make(map[string]int32, numModules)
+	idOf := func(name string) (int32, error) {
 		if id, ok := names[name]; ok {
 			return id, nil
 		}
@@ -121,16 +121,16 @@ func ReadNetDLimits(netR io.Reader, areR io.Reader, lim Limits) (*NetDCircuit, e
 		if strings.HasPrefix(fields[0], "p") {
 			pads[id] = true
 		}
-		b.SetName(id, fields[0])
+		b.SetName(int(id), fields[0])
 		switch fields[1] {
 		case "s":
 			flush()
-			current = append(current, int32(id))
+			current = append(current, id)
 		case "l":
 			if len(current) == 0 {
 				return nil, fmt.Errorf("netD: continuation pin %q before any net start", line)
 			}
-			current = append(current, int32(id))
+			current = append(current, id)
 		default:
 			return nil, fmt.Errorf("netD: pin line %q must be marked s or l", line)
 		}
@@ -164,7 +164,7 @@ func ReadNetDLimits(netR io.Reader, areR io.Reader, lim Limits) (*NetDCircuit, e
 			if err != nil || a < 0 {
 				return nil, fmt.Errorf("are: bad area %q for %s", fields[1], fields[0])
 			}
-			b.SetArea(id, a)
+			b.SetArea(int(id), a)
 		}
 		if err := asc.Err(); err != nil {
 			return nil, err
@@ -182,8 +182,10 @@ func ReadNetDLimits(netR io.Reader, areR io.Reader, lim Limits) (*NetDCircuit, e
 
 // parseModuleName maps "aN" (cell) or "pN" (pad) to a module index:
 // cells aN occupy indices 0..padOffset, pads pN occupy padOffset+1
-// onward (pN is 1-based, per the benchmark convention).
-func parseModuleName(name string, padOffset, numModules int) (int, error) {
+// onward (pN is 1-based, per the benchmark convention). The index is
+// returned as the CSR's int32 pin type; the range checks against
+// numModules (itself capped by Limits) make the narrowing exact.
+func parseModuleName(name string, padOffset, numModules int) (int32, error) {
 	if len(name) < 2 {
 		return 0, fmt.Errorf("netD: bad module name %q", name)
 	}
@@ -196,13 +198,13 @@ func parseModuleName(name string, padOffset, numModules int) (int, error) {
 		if n < 0 || n > padOffset {
 			return 0, fmt.Errorf("netD: cell %q outside [a0,a%d]", name, padOffset)
 		}
-		return n, nil
+		return int32(n), nil
 	case 'p':
 		id := padOffset + n // p1 → padOffset+1
 		if n < 1 || id >= numModules {
 			return 0, fmt.Errorf("netD: pad %q outside range", name)
 		}
-		return id, nil
+		return int32(id), nil
 	default:
 		return 0, fmt.Errorf("netD: module name %q must start with 'a' or 'p'", name)
 	}

@@ -218,7 +218,7 @@ func RandomPartition(h *Hypergraph, k int, r float64, rng *rand.Rand) *Partition
 				best = b
 			}
 		}
-		p.Part[v] = int32(best)
+		p.Part[v] = int32(best) //mllint:ignore unchecked-narrow block index best < k, and k is a small validated block count
 		areas[best] += h.Area(v)
 	}
 	return p

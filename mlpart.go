@@ -237,6 +237,7 @@ func QuadrisectCtx(ctx context.Context, h *Hypergraph, opt Options) (*Partition,
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	//mllint:ignore float-eq exact sentinel: 0.5 is the assigned default, never the result of arithmetic
 	if opt.MatchingRatio == 0.5 && opt.Threshold == 0 {
 		// The paper's quadrisection setup: R = 1.0, T = 100.
 		opt.MatchingRatio = 1.0
