@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint fuzz-smoke check
+.PHONY: all build vet test race lint chaos fuzz-smoke check
 
 all: build
 
@@ -28,10 +28,18 @@ race:
 lint:
 	$(GO) run ./cmd/mllint ./...
 
+# Chaos suite: the deterministic fault-injection sweep (every site ×
+# every fault kind × both entry points) plus the parallel multi-start
+# supervisor tests, under the race detector — the recovery paths must
+# be both correct and race-free.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestParallelMultiStart|TestRecoveredStart|TestAttemptTimeout|TestOuterCancel|TestRetried|TestRunStarts' . ./internal/core
+	$(GO) test -race ./internal/faultinject
+
 # Short fuzz run over the parser hardening (resource limits, overflow
 # checks). The checked-in corpus under
 # internal/hypergraph/testdata/fuzz seeds it.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadHGR -fuzztime=10s ./internal/hypergraph
 
-check: build vet test race lint fuzz-smoke
+check: build vet test race lint chaos fuzz-smoke

@@ -6,11 +6,19 @@
 //
 //	mlpart -in circuit.hgr|circuit.netD [-out circuit.part] [-k 2|4]
 //	       [-engine clip|fm] [-ratio 0.5] [-threshold 35]
-//	       [-tolerance 0.1] [-starts 1] [-seed 1997] [-stats]
-//	       [-timeout 30s] [-audit]
+//	       [-tolerance 0.1] [-starts 1] [-parallel 0] [-seed 1997]
+//	       [-stats] [-timeout 30s] [-audit] [-chaos site:kind:n]
 //
 // With -k 2 it bipartitions (the paper's ML_F / ML_C); with -k 4 it
 // quadrisects with the sum-of-degrees gain (§IV.D).
+//
+// Starts run under a fault-isolated parallel supervisor: -parallel
+// bounds the worker pool (0 = GOMAXPROCS-capped, 1 = sequential; the
+// result is bit-identical either way), and repeatable -chaos flags
+// arm deterministic fault injection ("site:kind:n[:start]", e.g.
+// -chaos fm.pass:panic:2) for testing the recovery paths. With
+// multiple starts or armed chaos a per-start outcome summary is
+// printed to stderr.
 //
 // A -timeout deadline or a SIGINT/SIGTERM cancels the run
 // cooperatively: the best feasible partition found so far is still
@@ -51,11 +59,17 @@ func run() error {
 		threshold = flag.Int("threshold", 0, "coarsening threshold T (default 35 bipartition, 100 quadrisect)")
 		tolerance = flag.Float64("tolerance", 0.1, "balance tolerance r")
 		starts    = flag.Int("starts", 1, "independent runs; best kept")
+		parallel  = flag.Int("parallel", 0, "worker pool for -starts (0 = GOMAXPROCS-capped, 1 = sequential)")
 		seed      = flag.Int64("seed", 1997, "random seed")
 		stats     = flag.Bool("stats", false, "print circuit statistics before partitioning")
 		timeout   = flag.Duration("timeout", 0, "cancel after this duration, writing the best-so-far partition (0 = no limit)")
 		audit     = flag.Bool("audit", false, "run invariant audits at every level transition")
+		chaos     []string
 	)
+	flag.Func("chaos", "arm a fault: site:kind:n[:start] (repeatable; kind panic|cancel|delay|corrupt)", func(s string) error {
+		chaos = append(chaos, s)
+		return nil
+	})
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -97,7 +111,15 @@ func run() error {
 		Tolerance:     *tolerance,
 		Seed:          *seed,
 		Starts:        *starts,
+		Parallelism:   *parallel,
 		Audit:         *audit,
+	}
+	if len(chaos) > 0 {
+		plan, perr := mlpart.ParseFaultSpec(chaos, *seed)
+		if perr != nil {
+			return perr
+		}
+		opt.Inject = plan
 	}
 	switch *engine {
 	case "clip":
@@ -151,6 +173,9 @@ func run() error {
 		fmt.Fprintf(os.Stderr, " (sum-of-degrees %d)", info.SumDegrees)
 	}
 	fmt.Fprintf(os.Stderr, ", %d levels, %d start(s), %.2fs\n", info.Levels, info.Starts, elapsed.Seconds())
+	if *starts > 1 || len(chaos) > 0 {
+		printStartSummary(info, len(chaos) > 0)
+	}
 	areas := p.BlockAreas(h)
 	fmt.Fprintf(os.Stderr, "block areas: %v\n", areas)
 
@@ -163,4 +188,38 @@ func run() error {
 		defer w.Close()
 	}
 	return mlpart.WritePartition(w, p)
+}
+
+// printStartSummary writes the per-start outcome taxonomy to stderr:
+// one aggregate line always, plus one line per start when fault
+// injection is armed (detail).
+func printStartSummary(info mlpart.Info, detail bool) {
+	counts := make(map[mlpart.StartOutcome]int)
+	for _, r := range info.StartReports {
+		counts[r.Outcome]++
+	}
+	var parts []string
+	for _, o := range []mlpart.StartOutcome{
+		mlpart.StartOK, mlpart.StartRecovered, mlpart.StartRetried,
+		mlpart.StartTimedOut, mlpart.StartCancelled, mlpart.StartFailed,
+	} {
+		if n := counts[o]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, o))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "starts: %s; best start %d\n", strings.Join(parts, ", "), info.BestStart)
+	if !detail {
+		return
+	}
+	for _, r := range info.StartReports {
+		line := fmt.Sprintf("  start %d: %s (%d attempt(s), %d fault(s)", r.Start, r.Outcome, r.Attempts, r.Faults)
+		if r.Cost >= 0 {
+			line += fmt.Sprintf(", cost %d", r.Cost)
+		}
+		line += ")"
+		if r.Err != nil {
+			line += ": " + r.Err.Error()
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
 }

@@ -88,6 +88,7 @@ func AllChecks() []Check {
 		FloatEq{},
 		UncheckedNarrow{},
 		CtxThread{},
+		FaultSite{},
 	}
 }
 
@@ -113,6 +114,10 @@ var deterministicPkgs = []string{
 //     options live there).
 //   - nondet-maporder: the deterministic algorithm packages.
 //   - unchecked-narrow: the CSR/builder package internal/hypergraph.
+//   - faultsite: every package — the registry rules fire in
+//     internal/faultinject, the consumer rules everywhere else
+//     (including cmd/ and examples/, which must not reach for site
+//     constants at all).
 func checksFor(modulePath, importPath string) []Check {
 	internal := strings.Contains(importPath, "/internal/") ||
 		strings.HasPrefix(importPath, "internal/")
@@ -143,6 +148,8 @@ func checksFor(modulePath, importPath string) []Check {
 			if strings.HasSuffix(importPath, "internal/hypergraph") {
 				out = append(out, c)
 			}
+		case FaultSite:
+			out = append(out, c)
 		}
 	}
 	return out

@@ -14,11 +14,19 @@ import (
 // routed through the runner; the golden tests invoke checks directly.
 func loadCase(t *testing.T, name string) *LoadedPackage {
 	t.Helper()
+	return loadCaseAt(t, name, "mlpart/internal/"+name)
+}
+
+// loadCaseAt is loadCase under an explicit synthetic import path, for
+// checks whose rules depend on where a package lives (faultsite's
+// internal/-only consumer rule).
+func loadCaseAt(t *testing.T, name, importPath string) *LoadedPackage {
+	t.Helper()
 	l, err := NewLoader(filepath.Join("..", ".."))
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg, err := l.LoadDir(filepath.Join("testdata", "src", name), "mlpart/internal/"+name, nil)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", name), importPath, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +68,11 @@ func expectations(t *testing.T, dir string) map[string][]string {
 // fire and nothing else may.
 func runGolden(t *testing.T, name string, checks []Check) {
 	t.Helper()
-	pkg := loadCase(t, name)
+	runGoldenPkg(t, loadCase(t, name), name, checks)
+}
+
+func runGoldenPkg(t *testing.T, pkg *LoadedPackage, name string, checks []Check) {
+	t.Helper()
 	diags := RunChecks(pkg, checks)
 	want := expectations(t, filepath.Join("testdata", "src", name))
 
@@ -109,6 +121,18 @@ func TestCtxThreadGolden(t *testing.T) {
 	runGolden(t, "ctxthread", []Check{CtxThread{}})
 }
 
+// TestFaultSiteGolden covers the three faultsite modes: the registry
+// rules (a package named faultinject with a local Site type), the
+// internal consumer rules (conversions and rogue constants flagged,
+// registry references allowed), and the external consumer rule (any
+// registry-constant reference outside internal/ flagged).
+func TestFaultSiteGolden(t *testing.T) {
+	runGolden(t, "faultsite", []Check{FaultSite{}})
+	runGolden(t, "faultsiteuse", []Check{FaultSite{}})
+	runGoldenPkg(t, loadCaseAt(t, "faultsitecmd", "mlpart/cmd/faultsitecmd"),
+		"faultsitecmd", []Check{FaultSite{}})
+}
+
 // TestIgnoreDirectives exercises the suppression machinery directly:
 // reasons silence (own-line and trailing), a missing reason is a
 // diagnostic and suppresses nothing, and a directive for the wrong
@@ -152,12 +176,12 @@ func TestChecksForScope(t *testing.T) {
 		path string
 		want []string
 	}{
-		{"mlpart/internal/fm", []string{"nondet-rand", "nondet-maporder", "float-eq", "ctx-thread"}},
-		{"mlpart/internal/hypergraph", []string{"nondet-rand", "nondet-maporder", "float-eq", "unchecked-narrow", "ctx-thread"}},
-		{"mlpart/internal/netgen", []string{"nondet-rand", "float-eq", "ctx-thread"}},
-		{"mlpart", []string{"float-eq"}},
-		{"mlpart/cmd/mlpart", nil},
-		{"mlpart/examples/quickstart", nil},
+		{"mlpart/internal/fm", []string{"nondet-rand", "nondet-maporder", "float-eq", "ctx-thread", "faultsite"}},
+		{"mlpart/internal/hypergraph", []string{"nondet-rand", "nondet-maporder", "float-eq", "unchecked-narrow", "ctx-thread", "faultsite"}},
+		{"mlpart/internal/netgen", []string{"nondet-rand", "float-eq", "ctx-thread", "faultsite"}},
+		{"mlpart", []string{"float-eq", "faultsite"}},
+		{"mlpart/cmd/mlpart", []string{"faultsite"}},
+		{"mlpart/examples/quickstart", []string{"faultsite"}},
 	}
 	for _, tc := range cases {
 		got := names(checksFor("mlpart", tc.path))

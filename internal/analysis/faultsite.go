@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FaultSite enforces the fault-injection site registry contract that
+// the chaos suite depends on:
+//
+// In the registry package (package faultinject, the one declaring the
+// Site type):
+//
+//  1. every Site constant lives in one const block — the registry
+//     table — so the full site set is readable in one place;
+//  2. site values are unique;
+//  3. every Site constant is listed in AllSites (Plan.Validate and
+//     the chaos sweep both iterate AllSites — an unlisted site would
+//     be armable nowhere and swept never);
+//  4. AllSites elements are the declared constants, not inline
+//     Site("...") conversions.
+//
+// In every other package:
+//
+//  5. ad-hoc Site("...") conversions are forbidden — an unregistered
+//     name silently never fires (Fire matches by exact value);
+//  6. declaring new Site constants outside the registry is forbidden;
+//  7. registry constants may be referenced only from internal/ —
+//     external code arms faults through the public FaultPlan /
+//     ParseFaultSpec API, which validates names at runtime.
+type FaultSite struct{}
+
+// Name implements Check.
+func (FaultSite) Name() string { return "faultsite" }
+
+// Doc implements Check.
+func (FaultSite) Doc() string {
+	return "fault-injection sites: one registry const block, unique values, all listed in AllSites; consumers reference registry constants, from internal/ only"
+}
+
+// faultinjectPath identifies the registry package by import-path
+// suffix when analyzing its consumers.
+const faultinjectPath = "internal/faultinject"
+
+// Run implements Check.
+func (FaultSite) Run(pass *Pass) {
+	if site := localSiteType(pass); site != nil {
+		runSiteRegistry(pass, site)
+		return
+	}
+	runSiteConsumer(pass)
+}
+
+// localSiteType returns the Site type when pass is the registry
+// package itself (package name faultinject declaring a string-kinded
+// Site type); nil otherwise.
+func localSiteType(pass *Pass) *types.TypeName {
+	if pass.Pkg == nil || pass.Pkg.Name() != "faultinject" {
+		return nil
+	}
+	tn, ok := pass.Pkg.Scope().Lookup("Site").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	basic, ok := tn.Type().Underlying().(*types.Basic)
+	if !ok || basic.Kind() != types.String {
+		return nil
+	}
+	return tn
+}
+
+// isSiteConstOf reports whether obj is a constant of the given Site
+// type.
+func isSiteConstOf(obj types.Object, site *types.TypeName) (*types.Const, bool) {
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return nil, false
+	}
+	named, ok := c.Type().(*types.Named)
+	if !ok || named.Obj() != site {
+		return nil, false
+	}
+	return c, true
+}
+
+func runSiteRegistry(pass *Pass, site *types.TypeName) {
+	check := FaultSite{}.Name()
+	type siteConst struct {
+		obj  *types.Const
+		node ast.Node
+	}
+	var consts []siteConst
+	var blocks []*ast.GenDecl
+	seenBlock := make(map[*ast.GenDecl]bool)
+	var allSites *ast.CompositeLit
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.CONST:
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						c, ok := isSiteConstOf(pass.Info.Defs[name], site)
+						if !ok {
+							continue
+						}
+						consts = append(consts, siteConst{c, name})
+						if !seenBlock[gd] {
+							seenBlock[gd] = true
+							blocks = append(blocks, gd)
+						}
+					}
+				}
+			case token.VAR:
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if name.Name != "AllSites" || i >= len(vs.Values) {
+							continue
+						}
+						if cl, ok := vs.Values[i].(*ast.CompositeLit); ok {
+							allSites = cl
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// 1. One registry table: the first block (in position order) is
+	// canonical; any further block holding Site constants is a
+	// finding.
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Pos() < blocks[j].Pos() })
+	for _, gd := range blocks[min(1, len(blocks)):] {
+		pass.Report(gd, check,
+			"Site constants declared outside the registry const block",
+			"keep every site in the single const table in sites.go")
+	}
+
+	// 2. Unique values.
+	byVal := make(map[string]string)
+	for _, c := range consts {
+		v := constant.StringVal(c.obj.Val())
+		if prev, dup := byVal[v]; dup {
+			pass.Report(c.node, check,
+				fmt.Sprintf("site value %q duplicates constant %s", v, prev),
+				"every site name must be unique — Fire matches by exact value")
+		} else {
+			byVal[v] = c.obj.Name()
+		}
+	}
+
+	if allSites == nil {
+		if len(pass.Files) > 0 {
+			pass.Report(pass.Files[0].Name, check,
+				"registry declares no AllSites table",
+				"declare var AllSites = []Site{...} listing every site constant")
+		}
+		return
+	}
+
+	// 3 + 4. AllSites lists exactly the declared constants.
+	present := make(map[types.Object]bool)
+	for _, el := range allSites.Elts {
+		var obj types.Object
+		switch e := el.(type) {
+		case *ast.Ident:
+			obj = pass.Info.Uses[e]
+		case *ast.SelectorExpr:
+			obj = pass.Info.Uses[e.Sel]
+		}
+		if c, ok := isSiteConstOf(obj, site); ok {
+			present[c] = true
+			continue
+		}
+		pass.Report(el, check,
+			"AllSites element is not a declared site constant",
+			"list the registry constants themselves, not inline Site(...) conversions")
+	}
+	for _, c := range consts {
+		if !present[c.obj] {
+			pass.Report(c.node, check,
+				fmt.Sprintf("site constant %s is not listed in AllSites", c.obj.Name()),
+				"append it to AllSites so Plan.Validate and the chaos sweep see it")
+		}
+	}
+}
+
+// registrySiteType resolves a type object to the registry's Site type
+// when obj is exactly that; nil otherwise.
+func registrySiteType(obj types.Object) *types.TypeName {
+	tn, ok := obj.(*types.TypeName)
+	if !ok || tn.Name() != "Site" || tn.Pkg() == nil {
+		return nil
+	}
+	if !strings.HasSuffix(tn.Pkg().Path(), faultinjectPath) {
+		return nil
+	}
+	return tn
+}
+
+// isRegistrySiteConst reports whether obj is a constant of the
+// registry's Site type (imported, not local).
+func isRegistrySiteConst(obj types.Object) bool {
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return false
+	}
+	named, ok := c.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	return registrySiteType(named.Obj()) != nil
+}
+
+func runSiteConsumer(pass *Pass) {
+	check := FaultSite{}.Name()
+	internal := strings.Contains(pass.Path, "/internal/")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				var obj types.Object
+				switch fun := n.Fun.(type) {
+				case *ast.Ident:
+					obj = pass.Info.Uses[fun]
+				case *ast.SelectorExpr:
+					obj = pass.Info.Uses[fun.Sel]
+				}
+				if obj != nil && registrySiteType(obj) != nil {
+					pass.Report(n, check,
+						"ad-hoc Site conversion bypasses the registry — an unregistered name silently never fires",
+						"reference a registered site constant, or build entries via ParseSpec")
+				}
+			case *ast.Ident:
+				if _, ok := pass.Info.Defs[n].(*types.Const); ok && isRegistrySiteConst(pass.Info.Defs[n]) {
+					pass.Report(n, check,
+						"new Site constants may only be declared in the registry package",
+						"add the site to internal/faultinject/sites.go and instrument it there")
+					return true
+				}
+				if obj := pass.Info.Uses[n]; isRegistrySiteConst(obj) && !internal {
+					pass.Report(n, check,
+						"fault-injection site constants are internal plumbing",
+						"arm faults through the public FaultPlan / ParseFaultSpec API, which validates site names")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,38 @@
+// Package faultinject mimics the fault-injection registry so the
+// faultsite golden test can exercise the registry-mode rules.
+package faultinject
+
+// Site names one instrumented code location.
+type Site string
+
+// The registry table: the first const block holding Site constants.
+const (
+	SiteAlpha Site = "alpha.site"
+	SiteBeta  Site = "beta.site"
+	SiteDup   Site = "alpha.site" // want "duplicates constant SiteAlpha"
+	SiteLost  Site = "lost.site"  // want "not listed in AllSites"
+)
+
+// A second block: sites must all live in the table above.
+const ( // want "outside the registry const block"
+	SiteStray Site = "stray.site"
+)
+
+// AllSites lists the sweepable sites.
+var AllSites = []Site{
+	SiteAlpha,
+	SiteBeta,
+	SiteDup,
+	SiteStray,
+	Site("inline.site"), // want "not a declared site constant"
+}
+
+// ValidSite mirrors the real registry's helper.
+func ValidSite(s Site) bool {
+	for _, k := range AllSites {
+		if k == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+// Command faultsitecmd exercises the faultsite consumer rule for
+// packages outside internal/: site constants are internal plumbing
+// and may not be referenced from cmd/ (the golden test loads this
+// directory under a cmd/ import path).
+package main
+
+import (
+	"fmt"
+
+	"mlpart/internal/faultinject"
+)
+
+func main() {
+	site := faultinject.SiteFMPass // want "internal plumbing"
+	fmt.Println(site)
+}

@@ -1,0 +1,20 @@
+// Package faultsiteuse exercises the faultsite consumer-mode rules
+// from an internal/ import path: registry constants are fine here,
+// but ad-hoc conversions and new site constants are not.
+package faultsiteuse
+
+import "mlpart/internal/faultinject"
+
+// SiteRogue declares a site outside the registry.
+const SiteRogue faultinject.Site = "rogue.site" // want "only be declared in the registry"
+
+// Armed references registry constants — allowed under internal/.
+var Armed = []faultinject.Site{
+	faultinject.SiteFMPass,
+	faultinject.SiteCoarsenMatch,
+}
+
+// Fire hits a made-up site.
+func Fire(in *faultinject.Injector) {
+	in.Fire(faultinject.Site("made.up")) // want "ad-hoc Site conversion"
+}

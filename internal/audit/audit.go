@@ -17,15 +17,32 @@ import (
 // verified.
 const Skip = -1
 
+// Error is the typed invariant-violation error every audit check
+// returns, so callers (and the chaos suite) can distinguish a
+// detected corruption from infrastructure failures with errors.As.
+type Error struct {
+	err error
+}
+
+func (e *Error) Error() string { return e.err.Error() }
+
+// Unwrap exposes the underlying cause (e.g. a Validate error).
+func (e *Error) Unwrap() error { return e.err }
+
+// errf builds a typed *Error; %w wrapping works as with fmt.Errorf.
+func errf(format string, args ...any) error {
+	return &Error{err: fmt.Errorf(format, args...)}
+}
+
 // CheckHypergraph verifies CSR consistency in both directions, pin
 // ranges and duplicates, area non-negativity, and the cached
 // total/max area of h.
 func CheckHypergraph(h *hypergraph.Hypergraph) error {
 	if h == nil {
-		return fmt.Errorf("audit: nil hypergraph")
+		return errf("audit: nil hypergraph")
 	}
 	if err := h.Validate(); err != nil {
-		return fmt.Errorf("audit: %w", err)
+		return errf("audit: %w", err)
 	}
 	return nil
 }
@@ -37,16 +54,16 @@ func CheckHypergraph(h *hypergraph.Hypergraph) error {
 // in fine, and the totals agree.
 func CheckClustering(fine *hypergraph.Hypergraph, c *hypergraph.Clustering, coarse *hypergraph.Hypergraph) error {
 	if fine == nil || c == nil {
-		return fmt.Errorf("audit: nil clustering inputs")
+		return errf("audit: nil clustering inputs")
 	}
 	if err := c.Validate(fine.NumCells()); err != nil {
-		return fmt.Errorf("audit: %w", err)
+		return errf("audit: %w", err)
 	}
 	if coarse == nil {
 		return nil
 	}
 	if coarse.NumCells() != c.NumClusters {
-		return fmt.Errorf("audit: coarse hypergraph has %d cells, clustering has %d clusters",
+		return errf("audit: coarse hypergraph has %d cells, clustering has %d clusters",
 			coarse.NumCells(), c.NumClusters)
 	}
 	sums := make([]int64, c.NumClusters)
@@ -55,11 +72,11 @@ func CheckClustering(fine *hypergraph.Hypergraph, c *hypergraph.Clustering, coar
 	}
 	for k, want := range sums {
 		if got := coarse.Area(k); got != want {
-			return fmt.Errorf("audit: cluster %d area %d != member sum %d (area not conserved)", k, got, want)
+			return errf("audit: cluster %d area %d != member sum %d (area not conserved)", k, got, want)
 		}
 	}
 	if fine.TotalArea() != coarse.TotalArea() {
-		return fmt.Errorf("audit: total area %d != coarse total %d", fine.TotalArea(), coarse.TotalArea())
+		return errf("audit: total area %d != coarse total %d", fine.TotalArea(), coarse.TotalArea())
 	}
 	return nil
 }
@@ -98,36 +115,36 @@ func NoChecks() PartitionChecks {
 // bucket and delta-cut bookkeeping bugs.
 func CheckPartition(h *hypergraph.Hypergraph, p *hypergraph.Partition, chk PartitionChecks) error {
 	if h == nil || p == nil {
-		return fmt.Errorf("audit: nil partition inputs")
+		return errf("audit: nil partition inputs")
 	}
 	if err := p.Validate(h.NumCells()); err != nil {
-		return fmt.Errorf("audit: %w", err)
+		return errf("audit: %w", err)
 	}
 	if chk.K != Skip && p.K != chk.K {
-		return fmt.Errorf("audit: partition has K=%d, expected %d", p.K, chk.K)
+		return errf("audit: partition has K=%d, expected %d", p.K, chk.K)
 	}
 	if chk.Bound != nil {
 		for b, a := range p.BlockAreas(h) {
 			if a < chk.Bound.Lo || a > chk.Bound.Hi {
-				return fmt.Errorf("audit: block %d area %d outside balance bound [%d,%d]",
+				return errf("audit: block %d area %d outside balance bound [%d,%d]",
 					b, a, chk.Bound.Lo, chk.Bound.Hi)
 			}
 		}
 	}
 	if chk.WeightedCut != Skip {
 		if got := p.WeightedCut(h); got != chk.WeightedCut {
-			return fmt.Errorf("audit: reported cut %d != from-scratch cut %d", chk.WeightedCut, got)
+			return errf("audit: reported cut %d != from-scratch cut %d", chk.WeightedCut, got)
 		}
 	}
 	if chk.ActiveCut != Skip {
 		if got := activeCut(h, p, chk.MaxNetSize); got != chk.ActiveCut {
-			return fmt.Errorf("audit: incremental cut %d != from-scratch active cut %d (net-size cutoff %d)",
+			return errf("audit: incremental cut %d != from-scratch active cut %d (net-size cutoff %d)",
 				chk.ActiveCut, got, chk.MaxNetSize)
 		}
 	}
 	if chk.SumDegrees != Skip {
 		if got := p.WeightedSumOfDegrees(h); got != chk.SumDegrees {
-			return fmt.Errorf("audit: reported sum-of-degrees %d != from-scratch %d", chk.SumDegrees, got)
+			return errf("audit: reported sum-of-degrees %d != from-scratch %d", chk.SumDegrees, got)
 		}
 	}
 	return nil

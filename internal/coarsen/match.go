@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 
+	"mlpart/internal/faultinject"
 	"mlpart/internal/hypergraph"
 )
 
@@ -41,6 +42,9 @@ type Config struct {
 	// matched becomes a singleton cluster (exactly the Fig. 3 handling
 	// of leftover modules), so the clustering is always well-formed.
 	Stop func() bool
+	// Inject optionally arms deterministic fault injection at the
+	// coarsen.match site; nil (the default) costs one pointer check.
+	Inject *faultinject.Injector
 }
 
 // Normalize fills defaults and validates.
@@ -105,6 +109,15 @@ func Match(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*hypergraph.Cl
 	}
 	if cfg.SameBlockOnly != nil && len(cfg.SameBlockOnly.Part) != n {
 		return nil, fmt.Errorf("coarsen: SameBlockOnly partition has %d cells, hypergraph has %d", len(cfg.SameBlockOnly.Part), n)
+	}
+	act := faultinject.ActNone
+	if cfg.Inject != nil {
+		act = cfg.Inject.Fire(faultinject.SiteCoarsenMatch)
+	}
+	if act == faultinject.ActCancel {
+		// Synthetic cancellation: behave exactly like a Stop hook that
+		// fires before the first pairing — an all-singleton clustering.
+		cfg.Stop = func() bool { return true }
 	}
 	excluded := func(v int) bool { return cfg.Exclude != nil && cfg.Exclude[v] }
 	sameBlock := func(v, w int) bool {
@@ -181,7 +194,31 @@ func Match(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*hypergraph.Cl
 		}
 	}
 	c.NumClusters = int(k)
+	if act == faultinject.ActCorrupt {
+		corruptClustering(c, cfg.Exclude)
+	}
 	return c, nil
+}
+
+// corruptClustering swaps the cluster assignments of the first two
+// non-excluded cells in different clusters: the clustering stays
+// well-formed (same clusters, same sizes) but quality degrades —
+// the benign corruption mode of the coarsen.match fault site.
+func corruptClustering(c *hypergraph.Clustering, exclude []bool) {
+	v := -1
+	for i := range c.CellToCluster {
+		if exclude != nil && exclude[i] {
+			continue
+		}
+		if v < 0 {
+			v = i
+			continue
+		}
+		if c.CellToCluster[i] != c.CellToCluster[v] {
+			c.CellToCluster[v], c.CellToCluster[i] = c.CellToCluster[i], c.CellToCluster[v]
+			return
+		}
+	}
 }
 
 // Coarsen applies Match and induces the coarser hypergraph in one

@@ -14,7 +14,9 @@ import (
 // instead of crashing the process.
 type PanicError struct {
 	// Stage names the pipeline stage that panicked: "coarsen",
-	// "coarsest-partition", "refine", or a flat-engine name.
+	// "coarsest-partition", "project", "rebalance", "refine", a
+	// flat-engine name, or "start" for a panic that escaped a whole
+	// supervised multi-start attempt.
 	Stage string
 	// Level is the hierarchy level at which the panic fired (0 = the
 	// original netlist); -1 when the stage has no level.

@@ -14,6 +14,7 @@ import (
 
 	"mlpart/internal/audit"
 	"mlpart/internal/coarsen"
+	"mlpart/internal/faultinject"
 	"mlpart/internal/fm"
 	"mlpart/internal/hypergraph"
 )
@@ -50,6 +51,11 @@ type Config struct {
 	// balance, and incremental-vs-recomputed cut agreement after each
 	// refinement. O(pins) per transition; off by default.
 	Audit bool
+	// Inject optionally arms deterministic fault injection for this
+	// attempt (sites coarsen.match, fm.pass, core.project,
+	// core.rebalance). The injector is propagated into the coarsening
+	// and refinement configs; nil costs one pointer check per site.
+	Inject *faultinject.Injector
 }
 
 // Normalize fills defaults and validates.
@@ -139,6 +145,7 @@ func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, r
 		ctx = context.Background() //mllint:ignore ctx-thread normalizing a nil ctx from the caller; there is no ambient deadline to discard
 	}
 	cfg.Refine.Stop = mergeStop(cfg.Refine.Stop, ctx)
+	cfg.Refine.Inject = cfg.Inject
 
 	levels, res, err := buildHierarchy(ctx, h, cfg, rng)
 	var firstErr *PanicError
@@ -187,15 +194,63 @@ func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, r
 	}
 
 	// Steps 7–9: project and refine down to H_0. After a recovered
-	// engine panic the remaining levels are projected and rebalanced
-	// without engine passes (the engine state is no longer trusted).
+	// engine panic (or a synthetic cancellation) the remaining levels
+	// are projected and rebalanced without engine passes (the engine
+	// state is no longer trusted).
+	cancelled := false
 	for i := len(levels) - 2; i >= 0; i-- {
-		p, err = hypergraph.Project(levels[i].c, p)
-		if err != nil {
-			return nil, res, err
+		var act faultinject.Action
+		gerr := Guard("project", i, func() error {
+			if cfg.Inject != nil {
+				act = cfg.Inject.Fire(faultinject.SiteCoreProject)
+			}
+			p2, err := hypergraph.Project(levels[i].c, p)
+			if err != nil {
+				return err
+			}
+			p = p2
+			return nil
+		})
+		if gerr != nil {
+			// A projection failure (or an injected panic before it) is
+			// unrecoverable for this attempt: no fine-level solution
+			// exists yet. The supervisor's retry path handles it.
+			return nil, res, gerr
 		}
 		fineH := levels[i].h
-		if engineOK {
+		switch act {
+		case faultinject.ActCancel:
+			// Synthetic cancellation: degrade exactly like a real one.
+			cancelled = true
+			res.Interrupted = true
+		case faultinject.ActCorrupt:
+			// Perturb the projected solution; it stays valid, and the
+			// rebalance/refinement below absorbs the damage.
+			p.Part[rng.Intn(len(p.Part))] ^= 1
+		}
+		if cfg.Inject != nil {
+			gerr := Guard("rebalance", i, func() error {
+				switch cfg.Inject.Fire(faultinject.SiteCoreRebalance) {
+				case faultinject.ActCancel:
+					cancelled = true
+					res.Interrupted = true
+				case faultinject.ActCorrupt:
+					p.Part[rng.Intn(len(p.Part))] ^= 1
+				}
+				return nil
+			})
+			if gerr != nil {
+				// Only a panic can surface here; degrade to the
+				// project-and-rebalance path, which keeps feasibility.
+				pe, _ := AsPanicError(gerr)
+				if firstErr == nil {
+					firstErr = pe
+				}
+				engineOK = false
+			}
+		}
+		engineRan := false
+		if engineOK && !cancelled {
 			// The projected solution may violate the balance bound for
 			// H_i (A(v*) can decrease during uncoarsening, §III.B);
 			// FMPartition rebalances before refining.
@@ -215,6 +270,7 @@ func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, r
 				}
 				engineOK = false
 			} else {
+				engineRan = true
 				p = p2
 				if rres.Interrupted {
 					res.Interrupted = true
@@ -222,7 +278,7 @@ func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, r
 				res.RefineResults = append(res.RefineResults, rres)
 			}
 		}
-		if !engineOK {
+		if !engineRan {
 			bound := hypergraph.Balance(fineH, 2, cfg.Refine.Tolerance)
 			if !p.IsBalanced(fineH, bound) {
 				p.Rebalance(fineH, bound, rng)
@@ -230,7 +286,7 @@ func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, r
 			rres = fm.Result{Cut: p.WeightedCut(fineH), InitialCut: p.WeightedCut(fineH), ActiveCut: -1}
 		}
 		if cfg.Audit {
-			if err := auditRefined(fineH, p, cfg, rres, engineOK); err != nil {
+			if err := auditRefined(fineH, p, cfg, rres, engineRan); err != nil {
 				return p, res, fmt.Errorf("core: level %d: %w", i, err)
 			}
 		}
@@ -269,7 +325,7 @@ func auditRefined(h *hypergraph.Hypergraph, p *hypergraph.Partition, cfg Config,
 // *PanicError alongside the valid hierarchy prefix built so far.
 func buildHierarchy(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) ([]level, Result, error) {
 	res := Result{}
-	matchCfg := coarsen.Config{Ratio: cfg.Ratio, Stop: mergeStop(nil, ctx)}
+	matchCfg := coarsen.Config{Ratio: cfg.Ratio, Stop: mergeStop(nil, ctx), Inject: cfg.Inject}
 	levels := []level{{h: h}}
 	res.LevelCells = append(res.LevelCells, h.NumCells())
 	cur := h

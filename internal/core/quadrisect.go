@@ -8,6 +8,7 @@ import (
 
 	"mlpart/internal/audit"
 	"mlpart/internal/coarsen"
+	"mlpart/internal/faultinject"
 	"mlpart/internal/hypergraph"
 	"mlpart/internal/kway"
 )
@@ -35,6 +36,10 @@ type QuadConfig struct {
 	Preassign []int32
 	// Audit enables per-level invariant checks, as in Config.Audit.
 	Audit bool
+	// Inject optionally arms deterministic fault injection for this
+	// attempt (sites coarsen.match, kway.refine, core.project,
+	// core.rebalance), as in Config.Inject.
+	Inject *faultinject.Injector
 }
 
 // Normalize fills defaults and validates.
@@ -118,6 +123,7 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 		ctx = context.Background() //mllint:ignore ctx-thread normalizing a nil ctx from the caller; there is no ambient deadline to discard
 	}
 	cfg.Refine.Stop = mergeStop(cfg.Refine.Stop, ctx)
+	cfg.Refine.Inject = cfg.Inject
 	if cfg.Fixed != nil {
 		if len(cfg.Fixed) != h.NumCells() || len(cfg.Preassign) != h.NumCells() {
 			return nil, QuadResult{}, fmt.Errorf("core: Fixed/Preassign length mismatch with %d cells", h.NumCells())
@@ -168,7 +174,7 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 		// Fixed cells are excluded from matching (always singleton
 		// clusters), so two pads pre-assigned to different blocks can
 		// never be merged.
-		matchCfg := coarsen.Config{Ratio: cfg.Ratio, Exclude: cur.fixed, Stop: mergeStop(nil, ctx)}
+		matchCfg := coarsen.Config{Ratio: cfg.Ratio, Exclude: cur.fixed, Stop: mergeStop(nil, ctx), Inject: cfg.Inject}
 		var coarseH *hypergraph.Hypergraph
 		var c *hypergraph.Clustering
 		gerr := Guard("coarsen", len(levels)-1, func() error {
@@ -282,14 +288,56 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 	}
 
 	// Uncoarsening with per-level refinement. After a recovered engine
-	// panic the remaining levels are projected and rebalanced without
-	// engine passes.
+	// panic (or a synthetic cancellation) the remaining levels are
+	// projected and rebalanced without engine passes.
+	cancelled := false
 	for i := len(levels) - 2; i >= 0; i-- {
-		p, err = hypergraph.Project(levels[i].c, p)
-		if err != nil {
-			return nil, res, err
+		var act faultinject.Action
+		gerr := Guard("project", i, func() error {
+			if cfg.Inject != nil {
+				act = cfg.Inject.Fire(faultinject.SiteCoreProject)
+			}
+			p2, err := hypergraph.Project(levels[i].c, p)
+			if err != nil {
+				return err
+			}
+			p = p2
+			return nil
+		})
+		if gerr != nil {
+			// Unrecoverable for this attempt: no fine-level solution
+			// exists yet. The supervisor's retry path handles it.
+			return nil, res, gerr
 		}
 		lv := levels[i]
+		switch act {
+		case faultinject.ActCancel:
+			cancelled = true
+			res.Interrupted = true
+		case faultinject.ActCorrupt:
+			corruptKway(p, lv.fixed, refCfg.K, rng)
+		}
+		if cfg.Inject != nil {
+			gerr := Guard("rebalance", i, func() error {
+				switch cfg.Inject.Fire(faultinject.SiteCoreRebalance) {
+				case faultinject.ActCancel:
+					cancelled = true
+					res.Interrupted = true
+				case faultinject.ActCorrupt:
+					corruptKway(p, lv.fixed, refCfg.K, rng)
+				}
+				return nil
+			})
+			if gerr != nil {
+				// Only a panic surfaces here; drop to the degraded
+				// project-and-rebalance path below.
+				pe, _ := AsPanicError(gerr)
+				if firstErr == nil {
+					firstErr = pe
+				}
+				engineOK = false
+			}
+		}
 		c2 := refCfg
 		c2.Fixed = lv.fixed
 		if lv.fixed != nil {
@@ -308,7 +356,7 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 				p.Rebalance(lv.h, bound, rng)
 			}
 		}
-		if engineOK {
+		if engineOK && !cancelled {
 			gerr := Guard("refine", i, func() error {
 				r, err := kway.Refine(lv.h, p, c2, rng)
 				if r.Interrupted {
@@ -361,6 +409,24 @@ func auditQuadLevel(h *hypergraph.Hypergraph, p *hypergraph.Partition, refCfg kw
 		chk.Bound = &bound
 	}
 	return audit.CheckPartition(h, p, chk)
+}
+
+// corruptKway moves one random non-fixed cell to the next block: the
+// partition stays valid (all blocks in range) but may go unbalanced;
+// the per-level rebalance absorbs it, or the audit flags it.
+func corruptKway(p *hypergraph.Partition, fixed []bool, k int, rng *rand.Rand) {
+	n := len(p.Part)
+	if n == 0 {
+		return
+	}
+	v := rng.Intn(n)
+	for tries := 0; tries < n; tries++ {
+		if fixed == nil || !fixed[v] {
+			p.Part[v] = (p.Part[v] + 1) % int32(k)
+			return
+		}
+		v = (v + 1) % n
+	}
 }
 
 // seededRandomPartition builds a random balanced k-way partition that

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"mlpart/internal/faultinject"
+)
+
+// Outcome classifies how one start of a multi-start run ended.
+type Outcome int
+
+const (
+	// OutcomeOK: the attempt completed cleanly.
+	OutcomeOK Outcome = iota
+	// OutcomeRecovered: an internal panic was recovered and the
+	// attempt still produced a feasible (degraded) solution.
+	OutcomeRecovered
+	// OutcomeRetried: at least one attempt failed outright, but a
+	// reseeded retry completed cleanly.
+	OutcomeRetried
+	// OutcomeTimedOut: the per-attempt deadline expired; the attempt
+	// wound down cooperatively and its best-so-far solution was kept.
+	OutcomeTimedOut
+	// OutcomeCancelled: the caller's context was done, so the start
+	// was skipped (or abandoned) without producing a solution.
+	OutcomeCancelled
+	// OutcomeFailed: every attempt failed without a usable solution.
+	OutcomeFailed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeRecovered:
+		return "recovered"
+	case OutcomeRetried:
+		return "retried"
+	case OutcomeTimedOut:
+		return "timed-out"
+	case OutcomeCancelled:
+		return "cancelled"
+	case OutcomeFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// StartReport is the per-start entry of the outcome taxonomy.
+type StartReport struct {
+	// Start is the 0-based start index.
+	Start int
+	// Outcome classifies how the start ended.
+	Outcome Outcome
+	// Attempts is the number of attempts run (1 + retries used).
+	Attempts int
+	// Cost is the kept solution's objective value (cut or
+	// sum-of-degrees); -1 when the start produced no solution.
+	Cost int
+	// Faults is how many injected faults fired across the start's
+	// attempts (0 without a fault plan).
+	Faults int
+	// Interrupted reports that some attempt was cut short by a
+	// deadline or cancellation.
+	Interrupted bool
+	// Err is the error of the kept classification: the recovered
+	// *PanicError for OutcomeRecovered, the first attempt error for
+	// OutcomeFailed, nil otherwise.
+	Err error
+}
+
+// Attempt is what one supervised attempt returns to RunStarts.
+type Attempt[S any] struct {
+	// Sol is the solution; read only when HasSol is true.
+	Sol S
+	// Cost is the objective value used by the deterministic reduction.
+	Cost int
+	// HasSol reports that Sol is a feasible solution.
+	HasSol bool
+	// Interrupted reports cooperative cancellation inside the attempt.
+	Interrupted bool
+	// Err is the attempt's error (a *PanicError for recovered panics).
+	Err error
+}
+
+// SuperOptions configures RunStarts.
+type SuperOptions struct {
+	// Starts is the number of independent starts. Minimum 1.
+	Starts int
+	// Parallelism bounds the worker pool; 0 means
+	// min(GOMAXPROCS, Starts), 1 runs sequentially on the calling
+	// goroutine.
+	Parallelism int
+	// MaxRetries is how many reseeded retries a failed attempt gets
+	// (failed = no usable solution; recovered panics with a feasible
+	// solution are kept, not retried). Negative means none.
+	MaxRetries int
+	// AttemptTimeout, when positive, bounds each attempt with its own
+	// deadline; an expired attempt winds down cooperatively and keeps
+	// its best-so-far solution.
+	AttemptTimeout time.Duration
+	// Seed is the base seed; per-attempt seeds come from DeriveSeed.
+	Seed int64
+	// Plan optionally arms deterministic fault injection; each attempt
+	// gets its own derived injector.
+	Plan *faultinject.Plan
+}
+
+// DeriveSeed maps (base seed, start, retry) to the attempt's seed.
+// Start 0 / retry 0 returns base unchanged, so a single-start run is
+// bit-identical to the pre-supervisor sequential code; other attempts
+// get independent streams via a splitmix64-style finalizer.
+func DeriveSeed(base int64, start, retry int) int64 {
+	if start == 0 && retry == 0 {
+		return base
+	}
+	z := uint64(base) ^ 0x9e3779b97f4a7c15*uint64(start+1) ^ 0xd1b54a32d192ed03*uint64(retry+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// RunStarts executes o.Starts supervised attempts of run over a
+// bounded worker pool and reduces to the best solution with a
+// deterministic tie-break (lowest cost, then lowest start index), so
+// the result is bit-identical run-to-run and across Parallelism
+// values.
+//
+// Each attempt is panic-isolated (a panic escaping run becomes a
+// *PanicError, failing only that attempt), carries its own derived
+// seed and fault injector, and optionally its own deadline. Failed
+// attempts are retried with a reseeded attempt up to o.MaxRetries
+// times; attempts are never retried once the caller's context is
+// done. Start 0 always runs, even with a pre-cancelled context, so a
+// best-effort degraded solution exists.
+//
+// The returned error is nil when any start succeeded cleanly
+// (ok/retried/timed-out); otherwise it is the lowest-start recovered
+// *PanicError (alongside the best recovered solution), or the first
+// failure.
+func RunStarts[S any](ctx context.Context, o SuperOptions, run func(ctx context.Context, seed int64, inj *faultinject.Injector) Attempt[S]) (S, int, []StartReport, error) {
+	if o.Starts < 1 {
+		o.Starts = 1
+	}
+	par := o.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > o.Starts {
+		par = o.Starts
+	}
+	retries := o.MaxRetries
+	if retries < 0 {
+		retries = 0
+	}
+
+	reports := make([]StartReport, o.Starts)
+	sols := make([]Attempt[S], o.Starts)
+	runStart := func(s int) {
+		reports[s] = superviseStart(ctx, o, s, retries, run, &sols[s])
+	}
+
+	if par == 1 {
+		// Sequential fast path on the calling goroutine: identical
+		// reduction, no pool. Keeps single-start runs (the default)
+		// free of any goroutine machinery.
+		for s := 0; s < o.Starts; s++ {
+			runStart(s)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for s := range idx {
+					runStart(s)
+				}
+			}()
+		}
+		for s := 0; s < o.Starts; s++ {
+			idx <- s
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	// Deterministic reduction: lowest cost wins, ties to the lowest
+	// start index (ascending scan with a strict comparison).
+	best := -1
+	for s := range reports {
+		if reports[s].Cost < 0 {
+			continue
+		}
+		if best == -1 || reports[s].Cost < reports[best].Cost {
+			best = s
+		}
+	}
+
+	var err error
+	clean := false
+	for _, r := range reports {
+		switch r.Outcome {
+		case OutcomeOK, OutcomeRetried, OutcomeTimedOut:
+			clean = true
+		}
+	}
+	if !clean {
+		// Prefer the error that accompanies the returned solution
+		// (the recovered panic of the best start); otherwise the
+		// first failure in start order.
+		if best >= 0 && reports[best].Err != nil {
+			err = reports[best].Err
+		} else {
+			for _, r := range reports {
+				if r.Err != nil {
+					err = r.Err
+					break
+				}
+			}
+		}
+	}
+	var sol S
+	if best >= 0 {
+		sol = sols[best].Sol
+	}
+	return sol, best, reports, err
+}
+
+// superviseStart runs one start: attempt, classify, retry. The kept
+// solution (if any) is written to *keep and signalled by a
+// non-negative Cost in the report.
+func superviseStart[S any](ctx context.Context, o SuperOptions, s, retries int, run func(ctx context.Context, seed int64, inj *faultinject.Injector) Attempt[S], keep *Attempt[S]) StartReport {
+	rep := StartReport{Start: s, Cost: -1}
+	if s > 0 && ctx.Err() != nil {
+		rep.Outcome = OutcomeCancelled
+		return rep
+	}
+	var firstErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		rep.Attempts = attempt + 1
+		inj := o.Plan.NewInjector(s, attempt)
+		actx := ctx
+		var cancel context.CancelFunc
+		if o.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, o.AttemptTimeout)
+		}
+		a := runIsolated(actx, DeriveSeed(o.Seed, s, attempt), inj, run)
+		timedOut := cancel != nil && errors.Is(actx.Err(), context.DeadlineExceeded) && ctx.Err() == nil
+		if cancel != nil {
+			cancel()
+		}
+		rep.Faults += inj.Fired()
+		if a.Interrupted {
+			rep.Interrupted = true
+		}
+		if a.Err == nil && a.HasSol {
+			*keep = a
+			rep.Cost = a.Cost
+			switch {
+			case attempt > 0:
+				rep.Outcome = OutcomeRetried
+			case timedOut:
+				rep.Outcome = OutcomeTimedOut
+			default:
+				rep.Outcome = OutcomeOK
+			}
+			return rep
+		}
+		if _, ok := AsPanicError(a.Err); ok && a.HasSol {
+			// Recovered panic with a feasible degraded solution: keep
+			// it rather than spend a retry — the paper's multi-start
+			// already averages over starts, and the solution is valid.
+			*keep = a
+			rep.Cost = a.Cost
+			rep.Outcome = OutcomeRecovered
+			rep.Err = a.Err
+			return rep
+		}
+		if firstErr == nil {
+			firstErr = a.Err
+		}
+		if ctx.Err() != nil {
+			// Never retry once the caller has cancelled.
+			rep.Outcome = OutcomeCancelled
+			rep.Err = firstErr
+			return rep
+		}
+	}
+	rep.Outcome = OutcomeFailed
+	if firstErr == nil {
+		firstErr = errors.New("core: start produced no solution")
+	}
+	rep.Err = firstErr
+	return rep
+}
+
+// runIsolated is the belt-and-braces panic barrier around one attempt:
+// the stage Guards inside the pipeline recover their own panics, but
+// nothing run on a pool worker may ever escape and kill the process.
+func runIsolated[S any](ctx context.Context, seed int64, inj *faultinject.Injector, run func(ctx context.Context, seed int64, inj *faultinject.Injector) Attempt[S]) (a Attempt[S]) {
+	defer func() {
+		if v := recover(); v != nil {
+			a = Attempt[S]{Err: &PanicError{Stage: "start", Level: -1, Value: v, Stack: debug.Stack()}}
+		}
+	}()
+	return run(ctx, seed, inj)
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"mlpart/internal/faultinject"
+)
+
+func TestDeriveSeedIdentityAtOrigin(t *testing.T) {
+	// Start 0 / retry 0 must return the base seed unchanged so a
+	// single-start run stays bit-identical to the pre-supervisor code.
+	for _, base := range []int64{0, 1, -7, 1997, 1 << 40} {
+		if got := DeriveSeed(base, 0, 0); got != base {
+			t.Fatalf("DeriveSeed(%d,0,0) = %d", base, got)
+		}
+	}
+	// Distinct (start, retry) pairs must get distinct streams.
+	seen := map[int64]string{}
+	for s := 0; s < 8; s++ {
+		for r := 0; r < 3; r++ {
+			d := DeriveSeed(1997, s, r)
+			key := string(rune('a'+s)) + string(rune('0'+r))
+			if prev, dup := seen[d]; dup {
+				t.Fatalf("seed collision between %s and %s", prev, key)
+			}
+			seen[d] = key
+		}
+	}
+}
+
+func TestRunStartsReductionDeterministic(t *testing.T) {
+	// Synthetic run: cost is a pure function of the derived seed, so
+	// every Parallelism value must reduce to the same winner.
+	run := func(ctx context.Context, seed int64, inj *faultinject.Injector) Attempt[int64] {
+		cost := int(uint64(seed) % 1000)
+		return Attempt[int64]{Sol: seed, Cost: cost, HasSol: true}
+	}
+	type outcome struct {
+		sol  int64
+		best int
+	}
+	var ref outcome
+	for i, par := range []int{1, 2, 4, 16} {
+		sol, best, reports, err := RunStarts(context.Background(),
+			SuperOptions{Starts: 16, Parallelism: par, Seed: 42}, run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reports) != 16 {
+			t.Fatalf("par=%d: %d reports", par, len(reports))
+		}
+		got := outcome{sol, best}
+		if i == 0 {
+			ref = got
+			continue
+		}
+		if got != ref {
+			t.Fatalf("par=%d: %+v != %+v", par, got, ref)
+		}
+	}
+}
+
+func TestRunStartsTieBreaksToLowestStart(t *testing.T) {
+	run := func(ctx context.Context, seed int64, inj *faultinject.Injector) Attempt[string] {
+		return Attempt[string]{Sol: "x", Cost: 7, HasSol: true}
+	}
+	_, best, _, err := RunStarts(context.Background(),
+		SuperOptions{Starts: 5, Parallelism: 4, Seed: 1}, run)
+	if err != nil || best != 0 {
+		t.Fatalf("best = %d, err = %v; want 0, nil", best, err)
+	}
+}
+
+func TestRunStartsRecoveredPanicIsolated(t *testing.T) {
+	// A panic escaping one start must not kill the others or surface
+	// as the top-level error when a clean start exists.
+	run := func(ctx context.Context, seed int64, inj *faultinject.Injector) Attempt[int] {
+		if seed == DeriveSeed(9, 1, 0) {
+			panic("boom")
+		}
+		return Attempt[int]{Sol: 1, Cost: 3, HasSol: true}
+	}
+	_, best, reports, err := RunStarts(context.Background(),
+		SuperOptions{Starts: 3, Parallelism: 3, Seed: 9, MaxRetries: 0}, run)
+	if err != nil {
+		t.Fatalf("clean starts exist, got error %v", err)
+	}
+	if best != 0 {
+		t.Fatalf("best = %d", best)
+	}
+	if reports[1].Outcome != OutcomeFailed {
+		t.Fatalf("panicking start outcome %v, want %v", reports[1].Outcome, OutcomeFailed)
+	}
+	var perr *PanicError
+	if !errors.As(reports[1].Err, &perr) || perr.Stage != "start" {
+		t.Fatalf("want *PanicError{Stage:start}, got %v", reports[1].Err)
+	}
+	for _, s := range []int{0, 2} {
+		if reports[s].Outcome != OutcomeOK {
+			t.Fatalf("start %d outcome %v", s, reports[s].Outcome)
+		}
+	}
+}
+
+func TestRunStartsRecoveredSolutionKept(t *testing.T) {
+	// A recovered panic WITH a feasible solution is kept (outcome
+	// recovered, no retry spent); with no clean start anywhere, the
+	// top-level error is the best start's recovered panic.
+	perr := &PanicError{Stage: "refine", Level: 2, Value: "inv"}
+	run := func(ctx context.Context, seed int64, inj *faultinject.Injector) Attempt[int] {
+		return Attempt[int]{Sol: 5, Cost: 11, HasSol: true, Err: perr}
+	}
+	sol, best, reports, err := RunStarts(context.Background(),
+		SuperOptions{Starts: 2, Parallelism: 1, Seed: 3, MaxRetries: 2}, run)
+	if sol != 5 || best != 0 {
+		t.Fatalf("sol %d best %d", sol, best)
+	}
+	if !errors.Is(err, perr) {
+		t.Fatalf("top-level err %v, want the recovered panic", err)
+	}
+	for _, r := range reports {
+		if r.Outcome != OutcomeRecovered || r.Attempts != 1 {
+			t.Fatalf("report %+v", r)
+		}
+	}
+}
+
+func TestRunStartsRetryConsumesAttempts(t *testing.T) {
+	var calls atomic.Int32
+	run := func(ctx context.Context, seed int64, inj *faultinject.Injector) Attempt[int] {
+		n := calls.Add(1)
+		if n == 1 {
+			return Attempt[int]{Err: errors.New("transient")}
+		}
+		return Attempt[int]{Sol: 1, Cost: 1, HasSol: true}
+	}
+	_, best, reports, err := RunStarts(context.Background(),
+		SuperOptions{Starts: 1, MaxRetries: 1, Parallelism: 1}, run)
+	if err != nil || best != 0 {
+		t.Fatalf("best %d err %v", best, err)
+	}
+	if reports[0].Outcome != OutcomeRetried || reports[0].Attempts != 2 {
+		t.Fatalf("report %+v", reports[0])
+	}
+}
+
+func TestRunStartsNoRetryAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int32
+	run := func(rctx context.Context, seed int64, inj *faultinject.Injector) Attempt[int] {
+		calls.Add(1)
+		cancel() // the caller goes away mid-attempt
+		return Attempt[int]{Err: errors.New("transient")}
+	}
+	_, best, reports, err := RunStarts(ctx,
+		SuperOptions{Starts: 3, MaxRetries: 5, Parallelism: 1}, run)
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("run called %d times, want 1 (no retry, no later starts)", got)
+	}
+	if best != -1 || err == nil {
+		t.Fatalf("best %d err %v", best, err)
+	}
+	if reports[0].Outcome != OutcomeCancelled {
+		t.Fatalf("start 0 outcome %v", reports[0].Outcome)
+	}
+	for _, s := range []int{1, 2} {
+		if reports[s].Outcome != OutcomeCancelled || reports[s].Attempts != 0 {
+			t.Fatalf("start %d report %+v", s, reports[s])
+		}
+	}
+}
+
+func TestRunStartsAllFailedSurfacesFirstError(t *testing.T) {
+	sentinel := errors.New("first failure")
+	run := func(ctx context.Context, seed int64, inj *faultinject.Injector) Attempt[int] {
+		if seed == DeriveSeed(5, 0, 0) {
+			return Attempt[int]{Err: sentinel}
+		}
+		return Attempt[int]{Err: errors.New("other failure")}
+	}
+	_, best, _, err := RunStarts(context.Background(),
+		SuperOptions{Starts: 3, Parallelism: 1, Seed: 5, MaxRetries: 0}, run)
+	if best != -1 {
+		t.Fatalf("best = %d", best)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want first failure in start order", err)
+	}
+}

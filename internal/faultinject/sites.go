@@ -1,0 +1,50 @@
+package faultinject
+
+// The site registry. Every instrumented location in the pipeline is
+// named here, exactly once, in this single const block, and listed in
+// AllSites; cmd/mllint's faultsite check enforces all three
+// properties (and that the names are referenced only from internal/
+// packages), keeping the registry the one auditable source of truth
+// for what the chaos suite must cover.
+const (
+	// SiteCoarsenMatch fires at the head of every coarsen.Match call.
+	// Cancel stops matching immediately (all-singleton clustering);
+	// corrupt swaps two cells between clusters (well-formed, worse).
+	SiteCoarsenMatch Site = "coarsen.match"
+	// SiteFMPass fires at every FM/PROP pass boundary. Cancel aborts
+	// refinement as a Stop hook would; corrupt flips one cell without
+	// updating the incremental cut, which the audit layer must catch.
+	SiteFMPass Site = "fm.pass"
+	// SiteKwayRefine fires at every multi-way pass boundary, with the
+	// same cancel/corrupt semantics as SiteFMPass.
+	SiteKwayRefine Site = "kway.refine"
+	// SiteCoreProject fires before each uncoarsening projection. A
+	// panic here is unrecoverable for the attempt (no fine solution
+	// exists yet) and exercises the supervisor's retry path.
+	SiteCoreProject Site = "core.project"
+	// SiteCoreRebalance fires before each per-level rebalance/refine
+	// decision. A panic drops the attempt to the degraded
+	// project-and-rebalance path; corrupt perturbs the projected
+	// solution before the engine sees it.
+	SiteCoreRebalance Site = "core.rebalance"
+)
+
+// AllSites is the registry: every instrumented site, exactly once.
+// The chaos suite sweeps this list; Plan.Validate checks against it.
+var AllSites = []Site{
+	SiteCoarsenMatch,
+	SiteFMPass,
+	SiteKwayRefine,
+	SiteCoreProject,
+	SiteCoreRebalance,
+}
+
+// ValidSite reports whether s is a registered site.
+func ValidSite(s Site) bool {
+	for _, r := range AllSites {
+		if r == s {
+			return true
+		}
+	}
+	return false
+}

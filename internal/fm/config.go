@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"mlpart/internal/faultinject"
 	"mlpart/internal/gainbucket"
 )
 
@@ -107,6 +108,9 @@ type Config struct {
 	// best-prefix state (rollback always completes), so an interrupted
 	// run still yields a feasible solution with Result.Interrupted set.
 	Stop func() bool
+	// Inject optionally arms deterministic fault injection at the
+	// fm.pass site (pass boundaries); nil costs one pointer check.
+	Inject *faultinject.Injector
 }
 
 // Normalize fills in defaults and validates ranges.

@@ -30,6 +30,7 @@ import (
 	"math"
 	"math/rand"
 
+	"mlpart/internal/faultinject"
 	"mlpart/internal/hypergraph"
 )
 
@@ -129,6 +130,9 @@ func (r *propRefiner) run() Result {
 			res.Interrupted = true
 			break
 		}
+		if r.cfg.Inject != nil && r.fireFault(&res) {
+			break
+		}
 		improved, applied, tried := r.runPass()
 		res.Passes++
 		res.Moves += applied
@@ -140,6 +144,25 @@ func (r *propRefiner) run() Result {
 	res.Cut = r.p.WeightedCut(r.h)
 	res.ActiveCut = -1 // PROP keeps no incremental cut counter
 	return res
+}
+
+// fireFault hits the fm.pass fault site for the PROP engine, with the
+// same semantics as (*refiner).fireFault. PROP keeps no incremental
+// cut counter, so a corrupt flip here degrades quality (or balance,
+// which the audit balance check catches) without an ActiveCut
+// mismatch.
+func (r *propRefiner) fireFault(res *Result) bool {
+	switch r.cfg.Inject.Fire(faultinject.SiteFMPass) {
+	case faultinject.ActCancel:
+		res.Interrupted = true
+		return true
+	case faultinject.ActCorrupt:
+		if n := r.h.NumCells(); n > 0 {
+			v := r.rng.Intn(n)
+			r.p.Part[v] = 1 - r.p.Part[v]
+		}
+	}
+	return false
 }
 
 // computeCounts fills pin counts and areas from the partition.

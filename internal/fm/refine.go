@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"mlpart/internal/faultinject"
 	"mlpart/internal/gainbucket"
 	"mlpart/internal/hypergraph"
 )
@@ -130,6 +131,9 @@ func (r *refiner) run() Result {
 			res.Interrupted = true
 			break
 		}
+		if r.cfg.Inject != nil && r.fireFault(&res) {
+			break
+		}
 		improved, applied, tried := r.runPass()
 		res.Passes++
 		res.Moves += applied
@@ -141,6 +145,25 @@ func (r *refiner) run() Result {
 	res.Cut = r.p.WeightedCut(r.h)
 	res.ActiveCut = r.activeCut
 	return res
+}
+
+// fireFault hits the fm.pass fault site. Cancel behaves exactly like
+// a Stop hook firing at this boundary (returns true to abort);
+// corrupt flips one cell across the cut *without* updating the
+// incremental state — res.Cut stays truthful (recounted at the end)
+// while res.ActiveCut goes stale, which the audit layer must catch.
+func (r *refiner) fireFault(res *Result) bool {
+	switch r.cfg.Inject.Fire(faultinject.SiteFMPass) {
+	case faultinject.ActCancel:
+		res.Interrupted = true
+		return true
+	case faultinject.ActCorrupt:
+		if n := r.h.NumCells(); n > 0 {
+			v := r.rng.Intn(n)
+			r.p.Part[v] = 1 - r.p.Part[v]
+		}
+	}
+	return false
 }
 
 // computePinCounts fills pc and activeCut from the current partition.

@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 
+	"mlpart/internal/faultinject"
 	"mlpart/internal/fm"
 	"mlpart/internal/gainbucket"
 	"mlpart/internal/hypergraph"
@@ -67,6 +68,9 @@ type Config struct {
 	// aborts refinement cooperatively, leaving the partition in its
 	// best-prefix state and setting Result.Interrupted.
 	Stop func() bool
+	// Inject optionally arms deterministic fault injection at the
+	// kway.refine site (pass boundaries); nil costs one pointer check.
+	Inject *faultinject.Injector
 }
 
 // Normalize fills defaults and validates.

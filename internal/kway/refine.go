@@ -3,6 +3,7 @@ package kway
 import (
 	"math/rand"
 
+	"mlpart/internal/faultinject"
 	"mlpart/internal/fm"
 	"mlpart/internal/gainbucket"
 	"mlpart/internal/hypergraph"
@@ -92,6 +93,9 @@ func (r *refiner) run() Result {
 			res.Interrupted = true
 			break
 		}
+		if r.cfg.Inject != nil && r.fireFault(&res) {
+			break
+		}
 		improved, applied := r.runPass()
 		res.Passes++
 		res.Moves += applied
@@ -102,6 +106,33 @@ func (r *refiner) run() Result {
 	res.CutNets = r.p.WeightedCut(r.h)
 	res.SumDegrees = r.p.WeightedSumOfDegrees(r.h)
 	return res
+}
+
+// fireFault hits the kway.refine fault site. Cancel aborts like a
+// Stop hook; corrupt moves one random non-fixed cell to the next
+// block without updating the incremental counts — the reported
+// CutNets/SumDegrees stay truthful (recounted above), while balance
+// can break, which the per-level audit catches.
+func (r *refiner) fireFault(res *Result) bool {
+	switch r.cfg.Inject.Fire(faultinject.SiteKwayRefine) {
+	case faultinject.ActCancel:
+		res.Interrupted = true
+		return true
+	case faultinject.ActCorrupt:
+		n := r.h.NumCells()
+		if n == 0 {
+			break
+		}
+		v := r.rng.Intn(n)
+		for tries := 0; tries < n; tries++ {
+			if r.cfg.Fixed == nil || !r.cfg.Fixed[v] {
+				r.p.Part[v] = (r.p.Part[v] + 1) % int32(r.k)
+				break
+			}
+			v = (v + 1) % n
+		}
+	}
+	return false
 }
 
 // computeCounts fills counts, span, areas and cost from the current

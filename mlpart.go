@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"time"
 
+	"mlpart/internal/audit"
 	"mlpart/internal/core"
+	"mlpart/internal/faultinject"
 	"mlpart/internal/fm"
 	"mlpart/internal/gainbucket"
 	"mlpart/internal/gfm"
@@ -42,6 +45,27 @@ type (
 	// level where the panic fired; when returned alongside a non-nil
 	// partition, that partition is the last good (feasible) solution.
 	InternalError = core.PanicError
+
+	// AuditError is a typed invariant violation detected by the audit
+	// layer (Options.Audit): a corrupted intermediate solution that the
+	// from-scratch cross-checks caught at a level boundary.
+	AuditError = audit.Error
+
+	// StartReport is the per-start outcome entry of Info.StartReports.
+	StartReport = core.StartReport
+	// StartOutcome classifies how one start ended; see the Start*
+	// constants.
+	StartOutcome = core.Outcome
+
+	// FaultPlan arms deterministic fault injection (Options.Inject):
+	// a seed plus entries naming registered sites. Build entries with
+	// ParseFaultSpec (CLI "site:kind:n[:start]" syntax); sites are
+	// validated against the internal registry when the run starts.
+	FaultPlan = faultinject.Plan
+	// FaultEntry is one armed fault of a FaultPlan.
+	FaultEntry = faultinject.Entry
+	// FaultKind is the fault injected when an entry triggers.
+	FaultKind = faultinject.Kind
 
 	// FMConfig configures the FM/CLIP refinement engine.
 	FMConfig = fm.Config
@@ -93,6 +117,49 @@ const (
 	ObjectiveNetCut       = kway.NetCut
 )
 
+// Per-start outcome taxonomy (Info.StartReports[i].Outcome).
+const (
+	// StartOK: the start completed cleanly on its first attempt.
+	StartOK = core.OutcomeOK
+	// StartRecovered: an internal panic was recovered and the start
+	// still produced a feasible degraded solution.
+	StartRecovered = core.OutcomeRecovered
+	// StartRetried: a failed attempt was retried with a fresh seed and
+	// the retry completed cleanly.
+	StartRetried = core.OutcomeRetried
+	// StartTimedOut: the per-attempt deadline expired; the best-so-far
+	// solution was kept.
+	StartTimedOut = core.OutcomeTimedOut
+	// StartCancelled: the caller's context was done, so the start was
+	// skipped without producing a solution.
+	StartCancelled = core.OutcomeCancelled
+	// StartFailed: every attempt failed without a usable solution.
+	StartFailed = core.OutcomeFailed
+)
+
+// Fault kinds for FaultPlan entries.
+const (
+	// FaultPanic injects a panic, exercising recovery paths.
+	FaultPanic = faultinject.KindPanic
+	// FaultCancel injects a synthetic cancellation at the site.
+	FaultCancel = faultinject.KindCancel
+	// FaultDelay injects a sleep, exercising deadline handling.
+	FaultDelay = faultinject.KindDelay
+	// FaultCorrupt perturbs the intermediate solution at the site.
+	FaultCorrupt = faultinject.KindCorrupt
+	// FaultAnyStart makes a FaultEntry apply to every start.
+	FaultAnyStart = faultinject.AnyStart
+)
+
+// ParseFaultSpec parses CLI fault specs ("site:kind:n[:start]", e.g.
+// "fm.pass:panic:2" or "core.project:delay:1:0"; kind is panic,
+// cancel, delay, or corrupt; n is the 1-based hit to trigger on, or
+// pX.Y for a per-hit probability) into a validated FaultPlan seeded
+// with seed. Returns nil for an empty spec list.
+func ParseFaultSpec(specs []string, seed int64) (*FaultPlan, error) {
+	return faultinject.ParseSpecs(specs, seed)
+}
+
 // NewBuilder returns a Builder for a hypergraph with n unit-area
 // cells.
 func NewBuilder(n int) *Builder { return hypergraph.NewBuilder(n) }
@@ -116,15 +183,34 @@ type Options struct {
 	Tolerance float64
 	// Seed for all randomness. Runs with equal seeds are identical.
 	Seed int64
-	// Starts > 1 repeats the whole algorithm and keeps the best
-	// solution. Default 1.
+	// Starts > 1 repeats the whole algorithm with independent derived
+	// seeds and keeps the best solution (deterministic tie-break: cut,
+	// then start index). Default 1.
 	Starts int
+	// Parallelism bounds the worker pool running the starts; 0 means
+	// min(GOMAXPROCS, Starts), 1 forces sequential execution. The
+	// result is bit-identical for every Parallelism value.
+	Parallelism int
+	// MaxRetries is how many reseeded retries a start gets after an
+	// attempt fails without a usable solution (recovered panics that
+	// still yield a feasible partition are kept, not retried).
+	// 0 means the default of 1; negative disables retries.
+	MaxRetries int
+	// AttemptTimeout, when positive, gives each start its own
+	// deadline; an expired attempt winds down cooperatively and keeps
+	// its best-so-far solution (outcome StartTimedOut, not an error).
+	AttemptTimeout time.Duration
 	// Audit enables from-scratch invariant checks at every level
 	// transition (package audit): clustering well-formedness, area
 	// conservation, partition validity/balance, and incremental-vs-
 	// recomputed cut agreement. O(pins) per transition; off by
 	// default.
 	Audit bool
+	// Inject arms deterministic fault injection for chaos testing; nil
+	// (the default) adds no overhead beyond one pointer check per
+	// site. See ParseFaultSpec and the README's fault-injection
+	// section.
+	Inject *FaultPlan
 }
 
 func (o Options) normalize() (Options, error) {
@@ -137,7 +223,35 @@ func (o Options) normalize() (Options, error) {
 	if o.Starts < 1 {
 		return o, fmt.Errorf("mlpart: starts %d < 1", o.Starts)
 	}
+	if o.Parallelism < 0 {
+		return o, fmt.Errorf("mlpart: parallelism %d < 0", o.Parallelism)
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 1
+	}
+	if o.AttemptTimeout < 0 {
+		return o, fmt.Errorf("mlpart: negative attempt timeout %v", o.AttemptTimeout)
+	}
+	if err := o.Inject.Validate(); err != nil {
+		return o, err
+	}
 	return o, nil
+}
+
+// supervisor maps the public options onto the core supervisor config.
+func (o Options) supervisor() core.SuperOptions {
+	retries := o.MaxRetries
+	if retries < 0 {
+		retries = 0
+	}
+	return core.SuperOptions{
+		Starts:         o.Starts,
+		Parallelism:    o.Parallelism,
+		MaxRetries:     retries,
+		AttemptTimeout: o.AttemptTimeout,
+		Seed:           o.Seed,
+		Plan:           o.Inject,
+	}
 }
 
 // Info reports the outcome of a one-call partitioning run.
@@ -150,9 +264,17 @@ type Info struct {
 	Levels int
 	// Starts is the number of independent runs performed.
 	Starts int
-	// Interrupted reports that cancellation cut the run short. The
-	// returned partition is the best feasible solution found so far.
+	// Interrupted reports that the caller's cancellation cut the run
+	// short. The returned partition is the best feasible solution
+	// found so far. Per-start deadlines (AttemptTimeout) and injected
+	// cancellations are reported per start, not here.
 	Interrupted bool
+	// BestStart is the 0-based index of the start whose solution was
+	// kept; -1 when no start produced a solution.
+	BestStart int
+	// StartReports is the per-start outcome taxonomy (ok / recovered /
+	// retried / timed-out / cancelled / failed), indexed by start.
+	StartReports []StartReport
 }
 
 // Bipartition runs the ML algorithm (Fig. 2) on h and returns the
@@ -165,13 +287,18 @@ func Bipartition(h *Hypergraph, opt Options) (*Partition, Info, error) {
 // ctx is done, at most one FM pass of extra work happens before the
 // run winds down, and the best feasible partition found so far is
 // returned with Info.Interrupted set — cancellation is not an error.
-// Internal invariant panics are recovered and returned as a
-// *InternalError alongside the last good solution (nil only when no
-// feasible solution exists yet).
+//
+// Starts run under a fault-isolated supervisor (bounded worker pool,
+// per-start derived seeds, deterministic best-cut reduction): an
+// internal panic in one start degrades only that start — the
+// remaining starts still run — and is surfaced as a *InternalError
+// only when no start succeeds cleanly, alongside the best recovered
+// solution (nil only when no feasible solution exists at all).
+// Info.StartReports carries the per-start outcome taxonomy.
 func BipartitionCtx(ctx context.Context, h *Hypergraph, opt Options) (*Partition, Info, error) {
 	opt, err := opt.normalize()
 	if err != nil {
-		return nil, Info{}, err
+		return nil, Info{BestStart: -1}, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -182,42 +309,36 @@ func BipartitionCtx(ctx context.Context, h *Hypergraph, opt Options) (*Partition
 		Refine:    fm.Config{Engine: opt.Engine, Tolerance: opt.Tolerance},
 		Audit:     opt.Audit,
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
-	var best *Partition
-	var firstErr error
-	info := Info{Starts: opt.Starts}
-	for s := 0; s < opt.Starts; s++ {
-		if s > 0 && ctx.Err() != nil {
-			info.Interrupted = true
-			break
-		}
-		p, res, err := core.BipartitionCtx(ctx, h, cfg, rng)
-		if err != nil {
-			if _, ok := core.AsPanicError(err); !ok || p == nil {
-				return best, info, err
-			}
-			// Recovered panic with a feasible degraded partition:
-			// keep the best solution so far and stop starting over.
-			if best == nil || res.Cut < info.Cut {
-				best = p
-				info.Cut = res.Cut
-				info.Levels = res.Levels
-			}
-			firstErr = err
-			break
-		}
-		if best == nil || res.Cut < info.Cut {
-			best = p
-			info.Cut = res.Cut
-			info.Levels = res.Levels
-		}
-		if res.Interrupted {
-			info.Interrupted = true
-			break
-		}
+	type sol struct {
+		p   *Partition
+		res core.Result
 	}
-	info.SumDegrees = info.Cut
-	return best, info, firstErr
+	best, bestStart, reports, rerr := core.RunStarts(ctx, opt.supervisor(),
+		func(actx context.Context, seed int64, inj *faultinject.Injector) core.Attempt[sol] {
+			c := cfg
+			c.Inject = inj
+			p, res, err := core.BipartitionCtx(actx, h, c, rand.New(rand.NewSource(seed)))
+			return core.Attempt[sol]{
+				Sol:         sol{p: p, res: res},
+				Cost:        res.Cut,
+				HasSol:      p != nil,
+				Interrupted: res.Interrupted,
+				Err:         err,
+			}
+		})
+	info := Info{
+		Starts:       opt.Starts,
+		BestStart:    bestStart,
+		StartReports: reports,
+		Interrupted:  ctx.Err() != nil,
+	}
+	if bestStart < 0 {
+		return nil, info, rerr
+	}
+	info.Cut = best.res.Cut
+	info.SumDegrees = best.res.Cut
+	info.Levels = best.res.Levels
+	return best.p, info, rerr
 }
 
 // Quadrisect runs multilevel 4-way partitioning on h (sum-of-degrees
@@ -227,12 +348,14 @@ func Quadrisect(h *Hypergraph, opt Options) (*Partition, Info, error) {
 	return QuadrisectCtx(context.Background(), h, opt)
 }
 
-// QuadrisectCtx is Quadrisect with cooperative cancellation and panic
-// recovery, under the same contract as BipartitionCtx.
+// QuadrisectCtx is Quadrisect with cooperative cancellation, under
+// the same fault-isolated multi-start supervisor contract as
+// BipartitionCtx (starts are reduced on sum-of-degrees, then start
+// index).
 func QuadrisectCtx(ctx context.Context, h *Hypergraph, opt Options) (*Partition, Info, error) {
 	opt, err := opt.normalize()
 	if err != nil {
-		return nil, Info{}, err
+		return nil, Info{BestStart: -1}, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -253,44 +376,36 @@ func QuadrisectCtx(ctx context.Context, h *Hypergraph, opt Options) (*Partition,
 		},
 		Audit: opt.Audit,
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
-	var best *Partition
-	var firstErr error
-	info := Info{Starts: opt.Starts}
-	bestCost := 0
-	for s := 0; s < opt.Starts; s++ {
-		if s > 0 && ctx.Err() != nil {
-			info.Interrupted = true
-			break
-		}
-		p, res, err := core.QuadrisectCtx(ctx, h, cfg, rng)
-		if err != nil {
-			if _, ok := core.AsPanicError(err); !ok || p == nil {
-				return best, info, err
-			}
-			if best == nil || res.SumDegrees < bestCost {
-				best = p
-				bestCost = res.SumDegrees
-				info.Cut = res.CutNets
-				info.SumDegrees = res.SumDegrees
-				info.Levels = res.Levels
-			}
-			firstErr = err
-			break
-		}
-		if best == nil || res.SumDegrees < bestCost {
-			best = p
-			bestCost = res.SumDegrees
-			info.Cut = res.CutNets
-			info.SumDegrees = res.SumDegrees
-			info.Levels = res.Levels
-		}
-		if res.Interrupted {
-			info.Interrupted = true
-			break
-		}
+	type sol struct {
+		p   *Partition
+		res core.QuadResult
 	}
-	return best, info, firstErr
+	best, bestStart, reports, rerr := core.RunStarts(ctx, opt.supervisor(),
+		func(actx context.Context, seed int64, inj *faultinject.Injector) core.Attempt[sol] {
+			c := cfg
+			c.Inject = inj
+			p, res, err := core.QuadrisectCtx(actx, h, c, rand.New(rand.NewSource(seed)))
+			return core.Attempt[sol]{
+				Sol:         sol{p: p, res: res},
+				Cost:        res.SumDegrees,
+				HasSol:      p != nil,
+				Interrupted: res.Interrupted,
+				Err:         err,
+			}
+		})
+	info := Info{
+		Starts:       opt.Starts,
+		BestStart:    bestStart,
+		StartReports: reports,
+		Interrupted:  ctx.Err() != nil,
+	}
+	if bestStart < 0 {
+		return nil, info, rerr
+	}
+	info.Cut = best.res.CutNets
+	info.SumDegrees = best.res.SumDegrees
+	info.Levels = best.res.Levels
+	return best.p, info, rerr
 }
 
 // FMBipartition runs a single flat FM/CLIP descent from a random
