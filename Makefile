@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint chaos fuzz-smoke check
+.PHONY: all build vet test race lint chaos fuzz-smoke stats-smoke check
 
 all: build
 
@@ -42,4 +42,17 @@ chaos:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadHGR -fuzztime=10s ./internal/hypergraph
 
-check: build vet test race lint chaos fuzz-smoke
+# Telemetry smoke: run the CLI with -stats-json on the checked-in
+# mesh netlist at two parallelism levels, validate both reports with
+# cmd/statscheck, and require the timing-stripped reports to be
+# byte-identical (the determinism contract of the stats schema).
+stats-smoke:
+	$(GO) run ./cmd/mlpart -in cmd/mlpart/testdata/smoke.hgr -out /dev/null \
+		-starts 3 -parallel 1 -stats-json /tmp/mlpart-stats-p1.json
+	$(GO) run ./cmd/mlpart -in cmd/mlpart/testdata/smoke.hgr -out /dev/null \
+		-starts 3 -parallel 4 -stats-json /tmp/mlpart-stats-p4.json
+	$(GO) run ./cmd/statscheck -in /tmp/mlpart-stats-p1.json -strip > /tmp/mlpart-stats-p1.stripped.json
+	$(GO) run ./cmd/statscheck -in /tmp/mlpart-stats-p4.json -strip > /tmp/mlpart-stats-p4.stripped.json
+	cmp /tmp/mlpart-stats-p1.stripped.json /tmp/mlpart-stats-p4.stripped.json
+
+check: build vet test race lint chaos fuzz-smoke stats-smoke

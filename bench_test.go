@@ -162,6 +162,37 @@ func BenchmarkMLBipartition2k(b *testing.B) {
 	}
 }
 
+// BenchmarkMLBipartition2kTelemetryOff/On quantify the telemetry
+// layer's cost: Off is the production path (nil collector, one pointer
+// check per site) and must sit within noise of BenchmarkMLBipartition2k;
+// On shows the armed-collector overhead.
+
+func BenchmarkMLBipartition2kTelemetryOff(b *testing.B) {
+	c := benchCircuit(b, 2000, 2200, 7300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Bipartition(c.H, Options{Seed: int64(i), Telemetry: nil}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMLBipartition2kTelemetryOn(b *testing.B) {
+	c := benchCircuit(b, 2000, 2200, 7300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tel := NewTelemetry()
+		if _, _, err := Bipartition(c.H, Options{Seed: int64(i), Telemetry: tel}); err != nil {
+			b.Fatal(err)
+		}
+		if tel.Report() == nil {
+			b.Fatal("nil report")
+		}
+	}
+}
+
 func BenchmarkMLQuadrisect2k(b *testing.B) {
 	c := benchCircuit(b, 2000, 2200, 7300)
 	b.ReportAllocs()

@@ -8,6 +8,16 @@
 //	       [-engine clip|fm] [-ratio 0.5] [-threshold 35]
 //	       [-tolerance 0.1] [-starts 1] [-parallel 0] [-seed 1997]
 //	       [-stats] [-timeout 30s] [-audit] [-chaos site:kind:n]
+//	       [-stats-json stats.json] [-v]
+//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -stats-json arms the telemetry collector and writes the run report
+// (schema "mlpart-stats/1": per-level coarsening stats, per-pass
+// refinement stats, rebalance counters, per-stage wall-clock) as
+// indented JSON. Everything except the *_ns timing fields is
+// bit-identical across -parallel values. -v prints a human-readable
+// per-level summary of the winning start to stderr. -cpuprofile and
+// -memprofile write pprof profiles of the whole run.
 //
 // With -k 2 it bipartitions (the paper's ML_F / ML_C); with -k 4 it
 // quadrisects with the sum-of-degrees gain (§IV.D).
@@ -35,6 +45,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -64,6 +76,10 @@ func run() error {
 		stats     = flag.Bool("stats", false, "print circuit statistics before partitioning")
 		timeout   = flag.Duration("timeout", 0, "cancel after this duration, writing the best-so-far partition (0 = no limit)")
 		audit     = flag.Bool("audit", false, "run invariant audits at every level transition")
+		statsJSON = flag.String("stats-json", "", "write the telemetry run report (schema mlpart-stats/1) as JSON to this path")
+		verbose   = flag.Bool("v", false, "print a per-level telemetry summary of the best start to stderr")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this path")
 		chaos     []string
 	)
 	flag.Func("chaos", "arm a fault: site:kind:n[:start] (repeatable; kind panic|cancel|delay|corrupt)", func(s string) error {
@@ -74,6 +90,17 @@ func run() error {
 	if *in == "" {
 		flag.Usage()
 		return fmt.Errorf("missing -in")
+	}
+	if *cpuprof != "" {
+		cf, cerr := os.Create(*cpuprof)
+		if cerr != nil {
+			return cerr
+		}
+		defer cf.Close()
+		if cerr := pprof.StartCPUProfile(cf); cerr != nil {
+			return cerr
+		}
+		defer pprof.StopCPUProfile()
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -113,6 +140,9 @@ func run() error {
 		Starts:        *starts,
 		Parallelism:   *parallel,
 		Audit:         *audit,
+	}
+	if *statsJSON != "" || *verbose {
+		opt.Telemetry = mlpart.NewTelemetry()
 	}
 	if len(chaos) > 0 {
 		plan, perr := mlpart.ParseFaultSpec(chaos, *seed)
@@ -176,6 +206,14 @@ func run() error {
 	if *starts > 1 || len(chaos) > 0 {
 		printStartSummary(info, len(chaos) > 0)
 	}
+	if *verbose {
+		printTelemetrySummary(opt.Telemetry.Report())
+	}
+	if *statsJSON != "" {
+		if werr := writeStatsJSON(*statsJSON, opt.Telemetry.Report()); werr != nil {
+			return werr
+		}
+	}
 	areas := p.BlockAreas(h)
 	fmt.Fprintf(os.Stderr, "block areas: %v\n", areas)
 
@@ -187,7 +225,63 @@ func run() error {
 		}
 		defer w.Close()
 	}
-	return mlpart.WritePartition(w, p)
+	if werr := mlpart.WritePartition(w, p); werr != nil {
+		return werr
+	}
+	if *memprof != "" {
+		mf, merr := os.Create(*memprof)
+		if merr != nil {
+			return merr
+		}
+		defer mf.Close()
+		runtime.GC() // settle allocations so the heap profile reflects live data
+		if merr := pprof.WriteHeapProfile(mf); merr != nil {
+			return merr
+		}
+	}
+	return nil
+}
+
+// writeStatsJSON writes the telemetry report to path in the canonical
+// -stats-json encoding.
+func writeStatsJSON(path string, r *mlpart.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printTelemetrySummary renders the winning start's per-level history
+// to stderr in a human-readable form (-v).
+func printTelemetrySummary(r *mlpart.Report) {
+	if r == nil || r.BestStart < 0 || r.BestStart >= len(r.PerStart) {
+		fmt.Fprintln(os.Stderr, "telemetry: no winning start to summarize")
+		return
+	}
+	s := r.PerStart[r.BestStart]
+	fmt.Fprintf(os.Stderr, "best start %d (%s): %d level(s), %d pass(es), %d rebalance(s) moving %d cell(s)\n",
+		s.Start, s.Outcome, len(s.Coarsening), len(s.Passes), s.Rebalances, s.RebalanceMoved)
+	for _, l := range s.Coarsening {
+		fmt.Fprintf(os.Stderr, "  level %d: %d cells, %d nets, %d pins (%d pairs, %d singletons, max area %d)\n",
+			l.Level, l.Cells, l.Nets, l.Pins, l.MatchedPairs, l.Singletons, l.LargestClusterArea)
+	}
+	for _, ps := range s.Passes {
+		cut := "n/a"
+		if ps.CutBefore >= 0 {
+			cut = fmt.Sprintf("%d -> %d", ps.CutBefore, ps.CutAfter)
+		}
+		fmt.Fprintf(os.Stderr, "  level %d %s pass %d: cut %s, moves %d tried / %d kept\n",
+			ps.Level, ps.Engine, ps.Pass, cut, ps.MovesTried, ps.MovesKept)
+	}
+	t := s.Timings
+	fmt.Fprintf(os.Stderr, "  stage times: coarsen %.3fms, refine %.3fms, project %.3fms, rebalance %.3fms (start total %.3fms)\n",
+		float64(t.CoarsenNS)/1e6, float64(t.RefineNS)/1e6, float64(t.ProjectNS)/1e6,
+		float64(t.RebalanceNS)/1e6, float64(t.TotalNS)/1e6)
 }
 
 // printStartSummary writes the per-start outcome taxonomy to stderr:

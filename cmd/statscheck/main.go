@@ -1,0 +1,131 @@
+// Command statscheck validates a -stats-json report written by
+// cmd/mlpart against the mlpart-stats/1 schema: header consistency,
+// per-start completeness, internal counter invariants, and non-zero
+// wall-clock totals. It is the validation half of `make stats-smoke`.
+//
+// Usage:
+//
+//	statscheck -in stats.json [-min-levels 1] [-min-passes 1] [-strip]
+//
+// -strip additionally prints the report to stdout with every *_ns
+// timing field zeroed, in the canonical indented encoding — piping two
+// stripped reports through cmp/diff is the cross-parallelism
+// determinism check.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mlpart"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "statscheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in        = flag.String("in", "", "stats JSON file to validate (required)")
+		minLevels = flag.Int("min-levels", 1, "minimum coarsening levels required of the best start")
+		minPasses = flag.Int("min-passes", 1, "minimum refinement passes required of the best start")
+		strip     = flag.Bool("strip", false, "print the report with timings zeroed to stdout")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		return fmt.Errorf("missing -in")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	var r mlpart.Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("%s: %v", *in, err)
+	}
+	if err := validate(&r, *minLevels, *minPasses); err != nil {
+		return fmt.Errorf("%s: %v", *in, err)
+	}
+	if *strip {
+		r.StripTimings()
+		if err := r.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "statscheck: %s ok (%d starts, best %d, cut %d, %d levels)\n",
+		*in, r.Starts, r.BestStart, r.Cut, r.Levels)
+	return nil
+}
+
+func validate(r *mlpart.Report, minLevels, minPasses int) error {
+	if r.Schema != "mlpart-stats/1" {
+		return fmt.Errorf("schema %q, want mlpart-stats/1", r.Schema)
+	}
+	if r.K != 2 && r.K != 4 {
+		return fmt.Errorf("k = %d, want 2 or 4", r.K)
+	}
+	if r.Starts < 1 {
+		return fmt.Errorf("starts = %d < 1", r.Starts)
+	}
+	if len(r.PerStart) != r.Starts {
+		return fmt.Errorf("per_start has %d entries, header says %d starts", len(r.PerStart), r.Starts)
+	}
+	if r.BestStart < 0 || r.BestStart >= r.Starts {
+		return fmt.Errorf("best_start %d outside [0,%d) — run produced no solution?", r.BestStart, r.Starts)
+	}
+	if r.Cut < 0 || r.SumDegrees < r.Cut {
+		return fmt.Errorf("objective header inconsistent: cut %d, sum_degrees %d", r.Cut, r.SumDegrees)
+	}
+	for i, s := range r.PerStart {
+		if s.Start != i {
+			return fmt.Errorf("per_start[%d].start = %d: merge out of start order", i, s.Start)
+		}
+		if s.Outcome == "" {
+			return fmt.Errorf("start %d: empty outcome", i)
+		}
+		if s.Attempts < 1 {
+			return fmt.Errorf("start %d: attempts = %d < 1", i, s.Attempts)
+		}
+		for j, l := range s.Coarsening {
+			if l.Cells <= 0 || l.Nets < 0 || l.Pins < 0 {
+				return fmt.Errorf("start %d coarsening[%d]: bad shape %+v", i, j, l)
+			}
+			// Each matched pair and each singleton becomes one coarse
+			// cell, so the counts must tile the level exactly.
+			if l.MatchedPairs < 0 || l.Singletons < 0 || l.MatchedPairs+l.Singletons != l.Cells {
+				return fmt.Errorf("start %d coarsening[%d]: pairing counts %+v do not tile the level", i, j, l)
+			}
+		}
+		for j, p := range s.Passes {
+			if p.Engine == "" {
+				return fmt.Errorf("start %d passes[%d]: empty engine", i, j)
+			}
+			if p.MovesKept > p.MovesTried || p.RolledBack != p.MovesTried-p.MovesKept {
+				return fmt.Errorf("start %d passes[%d]: move counts inconsistent %+v", i, j, p)
+			}
+		}
+		if s.Rebalances < 0 || s.RebalanceMoved < 0 {
+			return fmt.Errorf("start %d: negative rebalance counters", i)
+		}
+		if s.Timings.TotalNS <= 0 {
+			return fmt.Errorf("start %d: total_ns = %d, want > 0", i, s.Timings.TotalNS)
+		}
+	}
+	best := r.PerStart[r.BestStart]
+	if len(best.Coarsening) != r.Levels {
+		return fmt.Errorf("best start has %d coarsening levels, header says %d", len(best.Coarsening), r.Levels)
+	}
+	if len(best.Coarsening) < minLevels {
+		return fmt.Errorf("best start has %d coarsening levels, want >= %d", len(best.Coarsening), minLevels)
+	}
+	if len(best.Passes) < minPasses {
+		return fmt.Errorf("best start has %d refinement passes, want >= %d", len(best.Passes), minPasses)
+	}
+	return nil
+}

@@ -4,6 +4,8 @@ package mlpart
 // once into a temp dir and driven through its primary flows.
 
 import (
+	"encoding/json"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -25,7 +27,7 @@ func buildTools(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, tool := range []string{"mlpart", "benchgen", "experiments", "cutverify", "drawplace"} {
+		for _, tool := range []string{"mlpart", "benchgen", "experiments", "cutverify", "drawplace", "statscheck"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, tool), "./cmd/"+tool)
 			if out, err := cmd.CombinedOutput(); err != nil {
 				buildErr = err
@@ -184,6 +186,74 @@ func TestCmdMlpartTimeout(t *testing.T) {
 	if out, err := exec.Command(filepath.Join(bins, "mlpart"),
 		"-in", hgr, "-audit").CombinedOutput(); err != nil {
 		t.Fatalf("mlpart -audit: %v\n%s", err, out)
+	}
+}
+
+// TestCmdStatsJSON drives the telemetry flags end to end: -stats-json
+// must produce a schema-valid report that statscheck accepts, the
+// timing-stripped report must be byte-identical across -parallel
+// values, and -v must print the per-level summary.
+func TestCmdStatsJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t)
+	dir := t.TempDir()
+	hgr := filepath.Join("cmd", "mlpart", "testdata", "smoke.hgr")
+
+	stripped := make(map[int]string)
+	for _, par := range []int{1, 4} {
+		stats := filepath.Join(dir, fmt.Sprintf("stats-p%d.json", par))
+		out, err := exec.Command(filepath.Join(bins, "mlpart"),
+			"-in", hgr, "-out", os.DevNull, "-starts", "3",
+			"-parallel", fmt.Sprint(par), "-stats-json", stats, "-v").CombinedOutput()
+		if err != nil {
+			t.Fatalf("mlpart -stats-json (parallel %d): %v\n%s", par, err, out)
+		}
+		if !strings.Contains(string(out), "best start") || !strings.Contains(string(out), "level 0:") {
+			t.Errorf("-v summary missing from stderr:\n%s", out)
+		}
+		// statscheck validates and emits the stripped canonical form.
+		sout, err := exec.Command(filepath.Join(bins, "statscheck"),
+			"-in", stats, "-strip").Output()
+		if err != nil {
+			t.Fatalf("statscheck (parallel %d): %v", par, err)
+		}
+		stripped[par] = string(sout)
+	}
+	if stripped[1] != stripped[4] {
+		t.Errorf("stripped stats differ between -parallel 1 and 4:\n%s\n---\n%s",
+			stripped[1], stripped[4])
+	}
+	var r Report
+	if err := json.Unmarshal([]byte(stripped[1]), &r); err != nil {
+		t.Fatalf("stripped output is not a Report: %v", err)
+	}
+	if r.Schema != "mlpart-stats/1" || len(r.PerStart) != 3 {
+		t.Errorf("unexpected report header: %+v", r)
+	}
+
+	// A corrupted report must fail validation.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"mlpart-stats/0"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(filepath.Join(bins, "statscheck"), "-in", bad).CombinedOutput(); err == nil {
+		t.Errorf("statscheck accepted a bad schema:\n%s", out)
+	}
+
+	// Profiles write and are non-empty.
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if out, err := exec.Command(filepath.Join(bins, "mlpart"),
+		"-in", hgr, "-out", os.DevNull,
+		"-cpuprofile", cpu, "-memprofile", mem).CombinedOutput(); err != nil {
+		t.Fatalf("mlpart -cpuprofile: %v\n%s", err, out)
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err %v)", p, err)
+		}
 	}
 }
 

@@ -89,6 +89,7 @@ func AllChecks() []Check {
 		UncheckedNarrow{},
 		CtxThread{},
 		FaultSite{},
+		TelemetryThread{},
 	}
 }
 
@@ -118,6 +119,9 @@ var deterministicPkgs = []string{
 //     internal/faultinject, the consumer rules everywhere else
 //     (including cmd/ and examples/, which must not reach for site
 //     constants at all).
+//   - telemetry-thread: every package — the no-global-collector rule
+//     applies universally; the no-telemetry.New rule fires only in
+//     the deterministic pipeline packages (scoped inside the check).
 func checksFor(modulePath, importPath string) []Check {
 	internal := strings.Contains(importPath, "/internal/") ||
 		strings.HasPrefix(importPath, "internal/")
@@ -148,7 +152,7 @@ func checksFor(modulePath, importPath string) []Check {
 			if strings.HasSuffix(importPath, "internal/hypergraph") {
 				out = append(out, c)
 			}
-		case FaultSite:
+		case FaultSite, TelemetryThread:
 			out = append(out, c)
 		}
 	}

@@ -133,6 +133,17 @@ func TestFaultSiteGolden(t *testing.T) {
 		"faultsitecmd", []Check{FaultSite{}})
 }
 
+// TestTelemetryThreadGolden covers the telemetry-thread modes: the
+// universal no-package-level-collector rule (any internal/ path), and
+// the pipeline-only no-telemetry.New rule (loaded under a
+// deterministic-package import path; NewChild and config threading
+// stay clean).
+func TestTelemetryThreadGolden(t *testing.T) {
+	runGolden(t, "telemetrythread", []Check{TelemetryThread{}})
+	runGoldenPkg(t, loadCaseAt(t, "telemetrythreaddet", "mlpart/internal/fm"),
+		"telemetrythreaddet", []Check{TelemetryThread{}})
+}
+
 // TestIgnoreDirectives exercises the suppression machinery directly:
 // reasons silence (own-line and trailing), a missing reason is a
 // diagnostic and suppresses nothing, and a directive for the wrong
@@ -176,12 +187,12 @@ func TestChecksForScope(t *testing.T) {
 		path string
 		want []string
 	}{
-		{"mlpart/internal/fm", []string{"nondet-rand", "nondet-maporder", "float-eq", "ctx-thread", "faultsite"}},
-		{"mlpart/internal/hypergraph", []string{"nondet-rand", "nondet-maporder", "float-eq", "unchecked-narrow", "ctx-thread", "faultsite"}},
-		{"mlpart/internal/netgen", []string{"nondet-rand", "float-eq", "ctx-thread", "faultsite"}},
-		{"mlpart", []string{"float-eq", "faultsite"}},
-		{"mlpart/cmd/mlpart", []string{"faultsite"}},
-		{"mlpart/examples/quickstart", []string{"faultsite"}},
+		{"mlpart/internal/fm", []string{"nondet-rand", "nondet-maporder", "float-eq", "ctx-thread", "faultsite", "telemetry-thread"}},
+		{"mlpart/internal/hypergraph", []string{"nondet-rand", "nondet-maporder", "float-eq", "unchecked-narrow", "ctx-thread", "faultsite", "telemetry-thread"}},
+		{"mlpart/internal/netgen", []string{"nondet-rand", "float-eq", "ctx-thread", "faultsite", "telemetry-thread"}},
+		{"mlpart", []string{"float-eq", "faultsite", "telemetry-thread"}},
+		{"mlpart/cmd/mlpart", []string{"faultsite", "telemetry-thread"}},
+		{"mlpart/examples/quickstart", []string{"faultsite", "telemetry-thread"}},
 	}
 	for _, tc := range cases {
 		got := names(checksFor("mlpart", tc.path))

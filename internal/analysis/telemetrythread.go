@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TelemetryThread enforces the collector-threading contract of
+// internal/telemetry:
+//
+//  1. in every package, no package-level variable may hold a
+//     (*)telemetry.Collector — a global collector is shared mutable
+//     state that breaks per-start isolation and the deterministic
+//     merge; collectors are threaded through Options/Config fields;
+//  2. in the deterministic pipeline packages (internal/coarsen, fm,
+//     kway, gainbucket, core, hypergraph), calling telemetry.New is
+//     forbidden — those packages receive an armed collector via their
+//     Config or derive a per-attempt one with NewChild, so arming is
+//     always a caller decision and a disabled run stays a nil
+//     pointer end to end.
+type TelemetryThread struct{}
+
+// Name implements Check.
+func (TelemetryThread) Name() string { return "telemetry-thread" }
+
+// Doc implements Check.
+func (TelemetryThread) Doc() string {
+	return "telemetry collectors: never package-level; pipeline packages receive them via config or NewChild, never telemetry.New"
+}
+
+// telemetryPath identifies the collector package by import-path
+// suffix.
+const telemetryPath = "internal/telemetry"
+
+// isTelemetryCollector reports whether t is telemetry.Collector or a
+// pointer to it.
+func isTelemetryCollector(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	tn := named.Obj()
+	return tn.Name() == "Collector" && tn.Pkg() != nil &&
+		strings.HasSuffix(tn.Pkg().Path(), telemetryPath)
+}
+
+// isTelemetryNew reports whether obj is the telemetry package's New
+// function.
+func isTelemetryNew(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != "New" || fn.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), telemetryPath)
+}
+
+// Run implements Check.
+func (TelemetryThread) Run(pass *Pass) {
+	check := TelemetryThread{}.Name()
+	det := false
+	for _, d := range deterministicPkgs {
+		if strings.HasSuffix(pass.Path, d) {
+			det = true
+			break
+		}
+	}
+	for _, f := range pass.Files {
+		// Rule 1: package-level collector variables.
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					v, ok := pass.Info.Defs[name].(*types.Var)
+					if !ok || !isTelemetryCollector(v.Type()) {
+						continue
+					}
+					pass.Report(name, check,
+						"package-level telemetry collector is shared mutable state",
+						"thread the collector through Options/Config fields; globals break per-start isolation and the deterministic merge")
+				}
+			}
+		}
+		if !det {
+			continue
+		}
+		// Rule 2: telemetry.New in pipeline packages.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var obj types.Object
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				obj = pass.Info.Uses[fun]
+			case *ast.SelectorExpr:
+				obj = pass.Info.Uses[fun.Sel]
+			}
+			if isTelemetryNew(obj) {
+				pass.Report(call, check,
+					"pipeline package creates its own telemetry collector",
+					"accept a *telemetry.Collector via the package Config, or derive a per-attempt one with NewChild — arming is the caller's decision")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,32 @@
+// Package telemetrythread exercises the telemetry-thread rules from a
+// non-pipeline internal/ import path: package-level collectors are
+// flagged everywhere, but telemetry.New is allowed here (only the
+// deterministic pipeline packages may not call it).
+package telemetrythread
+
+import "mlpart/internal/telemetry"
+
+// Global is a package-level collector pointer.
+var Global *telemetry.Collector // want "package-level telemetry collector"
+
+// GlobalValue holds the collector by value — just as shared.
+var GlobalValue telemetry.Collector // want "package-level telemetry collector"
+
+var one, two = 1, telemetry.New() // want "package-level telemetry collector"
+
+// NotACollector is fine: only the Collector type is policed.
+var NotACollector *telemetry.Report
+
+// Config threads a collector properly — struct fields are fine.
+type Config struct {
+	Telemetry *telemetry.Collector
+}
+
+// Fresh creates a collector in a driver package — allowed outside the
+// pipeline.
+func Fresh() *telemetry.Collector {
+	local := telemetry.New() // local var: fine
+	_ = one
+	_ = two
+	return local
+}

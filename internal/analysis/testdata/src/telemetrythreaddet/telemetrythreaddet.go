@@ -1,0 +1,22 @@
+// Package telemetrythreaddet exercises the telemetry-thread pipeline
+// rule. The golden test loads it under a deterministic-package import
+// path (suffix internal/fm), where creating a collector with
+// telemetry.New is forbidden: collectors must arrive through the
+// package Config or be derived with NewChild.
+package telemetrythreaddet
+
+import "mlpart/internal/telemetry"
+
+// Config receives the collector from the caller — the sanctioned way.
+type Config struct {
+	Telemetry *telemetry.Collector
+}
+
+// Run derives a per-attempt child (allowed) but also arms its own
+// collector (forbidden in pipeline packages).
+func Run(cfg Config) *telemetry.Collector {
+	child := cfg.Telemetry.NewChild() // NewChild is fine: nil stays nil
+	rogue := telemetry.New()          // want "creates its own telemetry collector"
+	_ = rogue
+	return child
+}

@@ -12,6 +12,7 @@ import (
 
 	"mlpart/internal/faultinject"
 	"mlpart/internal/hypergraph"
+	"mlpart/internal/telemetry"
 )
 
 // Config parameterizes Match.
@@ -45,6 +46,9 @@ type Config struct {
 	// Inject optionally arms deterministic fault injection at the
 	// coarsen.match site; nil (the default) costs one pointer check.
 	Inject *faultinject.Injector
+	// Telemetry optionally records the pairing outcome of each Match
+	// (matched pairs vs. singletons); nil costs one pointer check.
+	Telemetry *telemetry.Collector
 }
 
 // Normalize fills defaults and validates.
@@ -75,7 +79,11 @@ func Conn(h *hypergraph.Hypergraph, v, w int, maxNetSize int) float64 {
 	var sum float64
 	for _, e := range h.Nets(v) {
 		size := h.NetSize(int(e))
-		if size > maxNetSize {
+		// size < 2 guards the 1/(|e|−1) term: a degenerate single-pin
+		// net (possible on hypergraphs built outside the sanitizing
+		// Builder) would otherwise divide by zero and poison the score
+		// with +Inf/NaN.
+		if size > maxNetSize || size < 2 {
 			continue
 		}
 		for _, u := range h.Pins(int(e)) {
@@ -153,7 +161,9 @@ func Match(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*hypergraph.Cl
 		av := h.Area(v)
 		for _, e := range h.Nets(v) {
 			size := h.NetSize(int(e))
-			if size > cfg.MaxNetSize {
+			// size < 2: see Conn — a single-pin net must not reach the
+			// 1/(|e|−1) weight below.
+			if size > cfg.MaxNetSize || size < 2 {
 				continue
 			}
 			wgt := float64(h.NetWeight(int(e))) / float64(size-1)
@@ -168,11 +178,17 @@ func Match(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*hypergraph.Cl
 			}
 		}
 		// Pick the unmatched w maximizing conn = acc / (A(v)+A(w)).
+		// Equal scores tie-break to the lowest cell index: neighbors
+		// is ordered by net traversal, so without the explicit rule
+		// the winner would depend on pin order — the tie-break makes
+		// every match choice (and the telemetry derived from it)
+		// reproducible from the instance alone.
 		best := int32(-1)
 		bestConn := 0.0
 		for _, w := range neighbors {
 			cw := connAcc[w] / float64(av+h.Area(int(w)))
-			if cw > bestConn {
+			//mllint:ignore float-eq deliberate exact tie-break: equal scores arise from identical sums, and any near-miss just falls back to first-wins
+			if cw > bestConn || (cw == bestConn && best >= 0 && w < best) {
 				bestConn = cw
 				best = w
 			}
@@ -197,6 +213,10 @@ func Match(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*hypergraph.Cl
 	if act == faultinject.ActCorrupt {
 		corruptClustering(c, cfg.Exclude)
 	}
+	// Every pair shrinks the cluster count by one, so the pairing
+	// outcome is derivable from the totals in O(1).
+	pairs := n - c.NumClusters
+	cfg.Telemetry.RecordMatch(pairs, c.NumClusters-pairs)
 	return c, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"mlpart/internal/hypergraph"
+	"mlpart/internal/telemetry"
 )
 
 func randomH(rng *rand.Rand, n, m, maxPins int) *hypergraph.Hypergraph {
@@ -301,5 +302,143 @@ func TestMatchSameBlockOnlyLengthMismatch(t *testing.T) {
 	bad := hypergraph.NewPartition(3, 2)
 	if _, err := Match(h, Config{SameBlockOnly: bad}, rng); err == nil {
 		t.Error("length mismatch accepted")
+	}
+}
+
+// TestConnDegenerateNets is the regression test for the 1/(|e|−1)
+// division: single-pin nets (reachable only through the raw test
+// builder — Build drops them) must be skipped, not divide by zero and
+// poison the score with +Inf/NaN.
+func TestConnDegenerateNets(t *testing.T) {
+	b := hypergraph.NewBuilder(4).
+		AddNet(0).       // degenerate single-pin net on 0
+		AddNet(1, 1).    // duplicate-only net: two pins, one distinct cell
+		AddNet(0, 1).    // the only real connection between 0 and 1
+		AddNet(0, 1, 1). // duplicate pin inside a 3-pin net
+		AddNet(2, 3)
+	h, err := b.BuildRawForTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Conn(h, 0, 1, 10)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("Conn(0,1) = %v: degenerate net poisoned the score", got)
+	}
+	// Net (0,1) contributes 1/(2−1); net (0,1,1) has raw size 3 and
+	// contributes 1/(3−1); the single-pin net contributes nothing.
+	want := (1.0 + 0.5) / 2.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Conn(0,1) = %v, want %v", got, want)
+	}
+	// A cell whose only net is degenerate connects to nothing.
+	if got := Conn(h, 1, 2, 10); got != 0 {
+		t.Errorf("Conn(1,2) = %v, want 0", got)
+	}
+}
+
+// TestMatchDegenerateNets runs the full matching sweep over a raw
+// hypergraph with single-pin and duplicate-pin nets: the clustering
+// must stay well-formed and the genuinely connected pair must still
+// match (a poisoned +Inf score on the degenerate net would have
+// hijacked the choice before the fix).
+func TestMatchDegenerateNets(t *testing.T) {
+	b := hypergraph.NewBuilder(4).
+		AddNet(0).    // single-pin
+		AddNet(2, 2). // duplicate-only
+		AddNet(0, 1).
+		AddNet(2, 3)
+	h, err := b.BuildRawForTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := Match(h, Config{Ratio: 1}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.NumClusters != 2 {
+			t.Fatalf("seed %d: %d clusters, want 2 ({0,1} and {2,3})", seed, c.NumClusters)
+		}
+		for v, k := range c.CellToCluster {
+			if k < 0 || int(k) >= c.NumClusters {
+				t.Fatalf("seed %d: cell %d assigned out-of-range cluster %d", seed, v, k)
+			}
+		}
+		if c.CellToCluster[0] != c.CellToCluster[1] || c.CellToCluster[2] != c.CellToCluster[3] {
+			t.Fatalf("seed %d: wrong pairing %v", seed, c.CellToCluster)
+		}
+	}
+}
+
+// TestMatchTieBreakLowestIndex pins the deterministic tie-break
+// between equal-connectivity match candidates: the lowest cell index
+// must win, independent of the pin/net traversal order that feeds the
+// neighbor list.
+func TestMatchTieBreakLowestIndex(t *testing.T) {
+	// Cell 0 is connected to 2 and to 1 by identical 2-pin nets, with
+	// the higher-index neighbor's net added FIRST so that plain
+	// first-seen-wins selection would pick 2. Cells 1 and 2 share no
+	// net, so the only matching decision with a tie is 0's.
+	h := hypergraph.NewBuilder(3).
+		AddNet(0, 2).
+		AddNet(0, 1).
+		MustBuild()
+	// Find a seed whose permutation visits cell 0 first, so 0 chooses
+	// among both unmatched neighbors.
+	seed := int64(-1)
+	for s := int64(0); s < 64; s++ {
+		if rand.New(rand.NewSource(s)).Perm(3)[0] == 0 {
+			seed = s
+			break
+		}
+	}
+	if seed < 0 {
+		t.Fatal("no seed with perm[0] == 0 in range")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c, err := Match(h, Config{Ratio: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CellToCluster[0] != c.CellToCluster[1] {
+		t.Errorf("tie broke to cell 2: clustering %v, want {0,1} paired", c.CellToCluster)
+	}
+	if c.CellToCluster[0] == c.CellToCluster[2] {
+		t.Errorf("cell 2 joined the pair: clustering %v", c.CellToCluster)
+	}
+}
+
+// TestMatchTelemetryCounts checks the pairs/singletons derivation
+// recorded through an armed collector.
+func TestMatchTelemetryCounts(t *testing.T) {
+	h := hypergraph.NewBuilder(5).
+		AddNet(0, 1).
+		AddNet(2, 3).
+		MustBuild() // cell 4 is isolated
+	tel := telemetry.New()
+	rng := rand.New(rand.NewSource(3))
+	c, err := Match(h, Config{Ratio: 1, Telemetry: tel}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPairs := 5 - c.NumClusters
+	s := tel.TakeStart(0, "ok", 1, 0, 0)
+	if len(s.Coarsening) != 0 {
+		t.Fatalf("Match alone must not append levels: %+v", s.Coarsening)
+	}
+	// The pending counts fold into the next RecordLevel.
+	tel2 := telemetry.New()
+	if _, err := Match(h, Config{Ratio: 1, Telemetry: tel2}, rand.New(rand.NewSource(3))); err != nil {
+		t.Fatal(err)
+	}
+	tel2.RecordLevel(c.NumClusters, 0, 0, 1)
+	s2 := tel2.TakeStart(0, "ok", 1, 0, 0)
+	if len(s2.Coarsening) != 1 {
+		t.Fatalf("want one level entry, got %+v", s2.Coarsening)
+	}
+	if s2.Coarsening[0].MatchedPairs != wantPairs || s2.Coarsening[0].Singletons != c.NumClusters-wantPairs {
+		t.Errorf("level entry %+v, want pairs=%d singletons=%d",
+			s2.Coarsening[0], wantPairs, c.NumClusters-wantPairs)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"mlpart/internal/faultinject"
 	"mlpart/internal/fm"
 	"mlpart/internal/hypergraph"
+	"mlpart/internal/telemetry"
 )
 
 // Config parameterizes the ML algorithm.
@@ -56,6 +57,11 @@ type Config struct {
 	// core.rebalance). The injector is propagated into the coarsening
 	// and refinement configs; nil costs one pointer check per site.
 	Inject *faultinject.Injector
+	// Telemetry optionally collects per-level coarsening stats,
+	// per-pass refinement stats, rebalance counters and stage
+	// timings for this attempt. It is propagated into the coarsening
+	// and refinement configs; nil costs one pointer check per site.
+	Telemetry *telemetry.Collector
 }
 
 // Normalize fills defaults and validates.
@@ -146,6 +152,7 @@ func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, r
 	}
 	cfg.Refine.Stop = mergeStop(cfg.Refine.Stop, ctx)
 	cfg.Refine.Inject = cfg.Inject
+	cfg.Refine.Telemetry = cfg.Telemetry
 
 	levels, res, err := buildHierarchy(ctx, h, cfg, rng)
 	var firstErr *PanicError
@@ -164,11 +171,14 @@ func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, r
 	var p *hypergraph.Partition
 	var rres fm.Result
 	engineOK := true
+	cfg.Telemetry.SetLevel(len(levels) - 1)
+	timer := cfg.Telemetry.StartTimer(telemetry.StageRefine)
 	gerr := Guard("coarsest-partition", len(levels)-1, func() error {
 		var err error
 		p, rres, err = partitionCoarsest(coarsest, cfg, rng)
 		return err
 	})
+	timer.Stop()
 	if gerr != nil {
 		pe, ok := AsPanicError(gerr)
 		if !ok {
@@ -200,6 +210,8 @@ func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, r
 	cancelled := false
 	for i := len(levels) - 2; i >= 0; i-- {
 		var act faultinject.Action
+		cfg.Telemetry.SetLevel(i)
+		ptimer := cfg.Telemetry.StartTimer(telemetry.StageProject)
 		gerr := Guard("project", i, func() error {
 			if cfg.Inject != nil {
 				act = cfg.Inject.Fire(faultinject.SiteCoreProject)
@@ -211,6 +223,7 @@ func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, r
 			p = p2
 			return nil
 		})
+		ptimer.Stop()
 		if gerr != nil {
 			// A projection failure (or an injected panic before it) is
 			// unrecoverable for this attempt: no fine-level solution
@@ -255,11 +268,13 @@ func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, r
 			// H_i (A(v*) can decrease during uncoarsening, §III.B);
 			// FMPartition rebalances before refining.
 			var p2 *hypergraph.Partition
+			rtimer := cfg.Telemetry.StartTimer(telemetry.StageRefine)
 			gerr := Guard("refine", i, func() error {
 				var err error
 				p2, rres, err = fm.Partition(fineH, p, cfg.Refine, rng)
 				return err
 			})
+			rtimer.Stop()
 			if gerr != nil {
 				pe, ok := AsPanicError(gerr)
 				if !ok {
@@ -281,7 +296,10 @@ func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, r
 		if !engineRan {
 			bound := hypergraph.Balance(fineH, 2, cfg.Refine.Tolerance)
 			if !p.IsBalanced(fineH, bound) {
-				p.Rebalance(fineH, bound, rng)
+				btimer := cfg.Telemetry.StartTimer(telemetry.StageRebalance)
+				moved := p.Rebalance(fineH, bound, rng)
+				btimer.Stop()
+				cfg.Telemetry.RecordRebalance(moved)
 			}
 			rres = fm.Result{Cut: p.WeightedCut(fineH), InitialCut: p.WeightedCut(fineH), ActiveCut: -1}
 		}
@@ -325,7 +343,7 @@ func auditRefined(h *hypergraph.Hypergraph, p *hypergraph.Partition, cfg Config,
 // *PanicError alongside the valid hierarchy prefix built so far.
 func buildHierarchy(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) ([]level, Result, error) {
 	res := Result{}
-	matchCfg := coarsen.Config{Ratio: cfg.Ratio, Stop: mergeStop(nil, ctx), Inject: cfg.Inject}
+	matchCfg := coarsen.Config{Ratio: cfg.Ratio, Stop: mergeStop(nil, ctx), Inject: cfg.Inject, Telemetry: cfg.Telemetry}
 	levels := []level{{h: h}}
 	res.LevelCells = append(res.LevelCells, h.NumCells())
 	cur := h
@@ -336,6 +354,8 @@ func buildHierarchy(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, r
 		}
 		var c *hypergraph.Clustering
 		var coarseH *hypergraph.Hypergraph
+		cfg.Telemetry.SetLevel(len(levels) - 1)
+		timer := cfg.Telemetry.StartTimer(telemetry.StageCoarsen)
 		gerr := Guard("coarsen", len(levels)-1, func() error {
 			var err error
 			c, err = coarsen.Match(cur, matchCfg, rng)
@@ -349,6 +369,7 @@ func buildHierarchy(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, r
 			}
 			return err
 		})
+		timer.Stop()
 		if gerr != nil {
 			res.Levels = len(levels) - 1
 			res.CoarsestCells = cur.NumCells()
@@ -371,6 +392,7 @@ func buildHierarchy(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, r
 				return levels, res, fmt.Errorf("core: level %d: %w", len(levels)-1, err)
 			}
 		}
+		cfg.Telemetry.RecordLevel(coarseH.NumCells(), coarseH.NumNets(), coarseH.NumPins(), coarseH.MaxCellArea())
 		levels[len(levels)-1].c = c
 		levels = append(levels, level{h: coarseH})
 		res.LevelCells = append(res.LevelCells, coarseH.NumCells())

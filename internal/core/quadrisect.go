@@ -11,6 +11,7 @@ import (
 	"mlpart/internal/faultinject"
 	"mlpart/internal/hypergraph"
 	"mlpart/internal/kway"
+	"mlpart/internal/telemetry"
 )
 
 // QuadConfig parameterizes multilevel k-way partitioning (§III.C,
@@ -40,6 +41,10 @@ type QuadConfig struct {
 	// attempt (sites coarsen.match, kway.refine, core.project,
 	// core.rebalance), as in Config.Inject.
 	Inject *faultinject.Injector
+	// Telemetry optionally collects per-level coarsening stats,
+	// per-pass refinement stats, rebalance counters and stage
+	// timings for this attempt, as in Config.Telemetry.
+	Telemetry *telemetry.Collector
 }
 
 // Normalize fills defaults and validates.
@@ -124,6 +129,7 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 	}
 	cfg.Refine.Stop = mergeStop(cfg.Refine.Stop, ctx)
 	cfg.Refine.Inject = cfg.Inject
+	cfg.Refine.Telemetry = cfg.Telemetry
 	if cfg.Fixed != nil {
 		if len(cfg.Fixed) != h.NumCells() || len(cfg.Preassign) != h.NumCells() {
 			return nil, QuadResult{}, fmt.Errorf("core: Fixed/Preassign length mismatch with %d cells", h.NumCells())
@@ -174,14 +180,17 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 		// Fixed cells are excluded from matching (always singleton
 		// clusters), so two pads pre-assigned to different blocks can
 		// never be merged.
-		matchCfg := coarsen.Config{Ratio: cfg.Ratio, Exclude: cur.fixed, Stop: mergeStop(nil, ctx), Inject: cfg.Inject}
+		matchCfg := coarsen.Config{Ratio: cfg.Ratio, Exclude: cur.fixed, Stop: mergeStop(nil, ctx), Inject: cfg.Inject, Telemetry: cfg.Telemetry}
 		var coarseH *hypergraph.Hypergraph
 		var c *hypergraph.Clustering
+		cfg.Telemetry.SetLevel(len(levels) - 1)
+		timer := cfg.Telemetry.StartTimer(telemetry.StageCoarsen)
 		gerr := Guard("coarsen", len(levels)-1, func() error {
 			var err error
 			coarseH, c, err = coarsen.Coarsen(cur.h, matchCfg, rng)
 			return err
 		})
+		timer.Stop()
 		if gerr != nil {
 			pe, ok := AsPanicError(gerr)
 			if !ok {
@@ -202,6 +211,7 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 				return nil, res, fmt.Errorf("core: level %d: %w", len(levels)-1, err)
 			}
 		}
+		cfg.Telemetry.RecordLevel(coarseH.NumCells(), coarseH.NumNets(), coarseH.NumPins(), coarseH.MaxCellArea())
 		cur.c = c
 		next := qlevel{h: coarseH}
 		if cur.fixed != nil {
@@ -232,6 +242,8 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 	engineOK := true
 	var best *hypergraph.Partition
 	bestCost := 0
+	cfg.Telemetry.SetLevel(len(levels) - 1)
+	rtimer := cfg.Telemetry.StartTimer(telemetry.StageRefine)
 	gerr := Guard("coarsest-partition", len(levels)-1, func() error {
 		for s := 0; s < cfg.CoarsestStarts; s++ {
 			var p *hypergraph.Partition
@@ -262,6 +274,7 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 		}
 		return nil
 	})
+	rtimer.Stop()
 	if gerr != nil {
 		pe, ok := AsPanicError(gerr)
 		if !ok {
@@ -293,6 +306,8 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 	cancelled := false
 	for i := len(levels) - 2; i >= 0; i-- {
 		var act faultinject.Action
+		cfg.Telemetry.SetLevel(i)
+		ptimer := cfg.Telemetry.StartTimer(telemetry.StageProject)
 		gerr := Guard("project", i, func() error {
 			if cfg.Inject != nil {
 				act = cfg.Inject.Fire(faultinject.SiteCoreProject)
@@ -304,6 +319,7 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 			p = p2
 			return nil
 		})
+		ptimer.Stop()
 		if gerr != nil {
 			// Unrecoverable for this attempt: no fine-level solution
 			// exists yet. The supervisor's retry path handles it.
@@ -353,10 +369,14 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 		if lv.fixed == nil {
 			bound := hypergraph.Balance(lv.h, refCfg.K, refCfg.Tolerance)
 			if !p.IsBalanced(lv.h, bound) {
-				p.Rebalance(lv.h, bound, rng)
+				btimer := cfg.Telemetry.StartTimer(telemetry.StageRebalance)
+				moved := p.Rebalance(lv.h, bound, rng)
+				btimer.Stop()
+				cfg.Telemetry.RecordRebalance(moved)
 			}
 		}
 		if engineOK && !cancelled {
+			rtimer := cfg.Telemetry.StartTimer(telemetry.StageRefine)
 			gerr := Guard("refine", i, func() error {
 				r, err := kway.Refine(lv.h, p, c2, rng)
 				if r.Interrupted {
@@ -364,6 +384,7 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 				}
 				return err
 			})
+			rtimer.Stop()
 			if gerr != nil {
 				pe, ok := AsPanicError(gerr)
 				if !ok {
@@ -379,7 +400,8 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 				if lv.fixed == nil {
 					bound := hypergraph.Balance(lv.h, refCfg.K, refCfg.Tolerance)
 					if !p.IsBalanced(lv.h, bound) {
-						p.Rebalance(lv.h, bound, rng)
+						moved := p.Rebalance(lv.h, bound, rng)
+						cfg.Telemetry.RecordRebalance(moved)
 					}
 				}
 			}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mlpart/internal/faultinject"
+	"mlpart/internal/telemetry"
 )
 
 // Outcome classifies how one start of a multi-start run ended.
@@ -110,6 +111,12 @@ type SuperOptions struct {
 	// Plan optionally arms deterministic fault injection; each attempt
 	// gets its own derived injector.
 	Plan *faultinject.Plan
+	// Telemetry optionally collects per-start statistics. Each attempt
+	// gets its own child collector (so pool workers never share one);
+	// the kept children are merged into this parent in start order
+	// after the pool drains, which keeps the report bit-identical
+	// across Parallelism values. Nil costs one pointer check.
+	Telemetry *telemetry.Collector
 }
 
 // DeriveSeed maps (base seed, start, retry) to the attempt's seed.
@@ -147,7 +154,7 @@ func DeriveSeed(base int64, start, retry int) int64 {
 // (ok/retried/timed-out); otherwise it is the lowest-start recovered
 // *PanicError (alongside the best recovered solution), or the first
 // failure.
-func RunStarts[S any](ctx context.Context, o SuperOptions, run func(ctx context.Context, seed int64, inj *faultinject.Injector) Attempt[S]) (S, int, []StartReport, error) {
+func RunStarts[S any](ctx context.Context, o SuperOptions, run func(ctx context.Context, seed int64, inj *faultinject.Injector, tel *telemetry.Collector) Attempt[S]) (S, int, []StartReport, error) {
 	if o.Starts < 1 {
 		o.Starts = 1
 	}
@@ -165,8 +172,26 @@ func RunStarts[S any](ctx context.Context, o SuperOptions, run func(ctx context.
 
 	reports := make([]StartReport, o.Starts)
 	sols := make([]Attempt[S], o.Starts)
+	// Per-start telemetry children and wall-clock, merged into the
+	// parent in start order after the pool drains (never from pool
+	// workers — the parent collector is single-goroutine).
+	var tels []*telemetry.Collector
+	var startNS []int64
+	if o.Telemetry != nil {
+		tels = make([]*telemetry.Collector, o.Starts)
+		startNS = make([]int64, o.Starts)
+	}
 	runStart := func(s int) {
-		reports[s] = superviseStart(ctx, o, s, retries, run, &sols[s])
+		var t0 time.Time
+		if o.Telemetry != nil {
+			t0 = time.Now()
+		}
+		var tel *telemetry.Collector
+		reports[s], tel = superviseStart(ctx, o, s, retries, run, &sols[s])
+		if o.Telemetry != nil {
+			tels[s] = tel
+			startNS[s] = time.Since(t0).Nanoseconds()
+		}
 	}
 
 	if par == 1 {
@@ -193,6 +218,13 @@ func RunStarts[S any](ctx context.Context, o SuperOptions, run func(ctx context.
 		}
 		close(idx)
 		wg.Wait()
+	}
+
+	if o.Telemetry != nil {
+		for s := range reports {
+			r := reports[s]
+			o.Telemetry.AttachStart(tels[s].TakeStart(s, r.Outcome.String(), r.Attempts, r.Cost, startNS[s]))
+		}
 	}
 
 	// Deterministic reduction: lowest cost wins, ties to the lowest
@@ -239,23 +271,29 @@ func RunStarts[S any](ctx context.Context, o SuperOptions, run func(ctx context.
 
 // superviseStart runs one start: attempt, classify, retry. The kept
 // solution (if any) is written to *keep and signalled by a
-// non-negative Cost in the report.
-func superviseStart[S any](ctx context.Context, o SuperOptions, s, retries int, run func(ctx context.Context, seed int64, inj *faultinject.Injector) Attempt[S], keep *Attempt[S]) StartReport {
+// non-negative Cost in the report. The returned collector is the
+// child that observed the classified attempt (nil when telemetry is
+// disabled or the start was skipped).
+func superviseStart[S any](ctx context.Context, o SuperOptions, s, retries int, run func(ctx context.Context, seed int64, inj *faultinject.Injector, tel *telemetry.Collector) Attempt[S], keep *Attempt[S]) (StartReport, *telemetry.Collector) {
 	rep := StartReport{Start: s, Cost: -1}
 	if s > 0 && ctx.Err() != nil {
 		rep.Outcome = OutcomeCancelled
-		return rep
+		return rep, nil
 	}
 	var firstErr error
+	var tel *telemetry.Collector
 	for attempt := 0; attempt <= retries; attempt++ {
 		rep.Attempts = attempt + 1
 		inj := o.Plan.NewInjector(s, attempt)
+		// Fresh child per attempt, so a kept retry's stats are not
+		// polluted by the failed attempt before it.
+		tel = o.Telemetry.NewChild()
 		actx := ctx
 		var cancel context.CancelFunc
 		if o.AttemptTimeout > 0 {
 			actx, cancel = context.WithTimeout(ctx, o.AttemptTimeout)
 		}
-		a := runIsolated(actx, DeriveSeed(o.Seed, s, attempt), inj, run)
+		a := runIsolated(actx, DeriveSeed(o.Seed, s, attempt), inj, tel, run)
 		timedOut := cancel != nil && errors.Is(actx.Err(), context.DeadlineExceeded) && ctx.Err() == nil
 		if cancel != nil {
 			cancel()
@@ -275,7 +313,7 @@ func superviseStart[S any](ctx context.Context, o SuperOptions, s, retries int, 
 			default:
 				rep.Outcome = OutcomeOK
 			}
-			return rep
+			return rep, tel
 		}
 		if _, ok := AsPanicError(a.Err); ok && a.HasSol {
 			// Recovered panic with a feasible degraded solution: keep
@@ -285,7 +323,7 @@ func superviseStart[S any](ctx context.Context, o SuperOptions, s, retries int, 
 			rep.Cost = a.Cost
 			rep.Outcome = OutcomeRecovered
 			rep.Err = a.Err
-			return rep
+			return rep, tel
 		}
 		if firstErr == nil {
 			firstErr = a.Err
@@ -294,7 +332,7 @@ func superviseStart[S any](ctx context.Context, o SuperOptions, s, retries int, 
 			// Never retry once the caller has cancelled.
 			rep.Outcome = OutcomeCancelled
 			rep.Err = firstErr
-			return rep
+			return rep, tel
 		}
 	}
 	rep.Outcome = OutcomeFailed
@@ -302,17 +340,17 @@ func superviseStart[S any](ctx context.Context, o SuperOptions, s, retries int, 
 		firstErr = errors.New("core: start produced no solution")
 	}
 	rep.Err = firstErr
-	return rep
+	return rep, tel
 }
 
 // runIsolated is the belt-and-braces panic barrier around one attempt:
 // the stage Guards inside the pipeline recover their own panics, but
 // nothing run on a pool worker may ever escape and kill the process.
-func runIsolated[S any](ctx context.Context, seed int64, inj *faultinject.Injector, run func(ctx context.Context, seed int64, inj *faultinject.Injector) Attempt[S]) (a Attempt[S]) {
+func runIsolated[S any](ctx context.Context, seed int64, inj *faultinject.Injector, tel *telemetry.Collector, run func(ctx context.Context, seed int64, inj *faultinject.Injector, tel *telemetry.Collector) Attempt[S]) (a Attempt[S]) {
 	defer func() {
 		if v := recover(); v != nil {
 			a = Attempt[S]{Err: &PanicError{Stage: "start", Level: -1, Value: v, Stack: debug.Stack()}}
 		}
 	}()
-	return run(ctx, seed, inj)
+	return run(ctx, seed, inj, tel)
 }

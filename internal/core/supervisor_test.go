@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"mlpart/internal/faultinject"
+	"mlpart/internal/telemetry"
 )
 
 func TestDeriveSeedIdentityAtOrigin(t *testing.T) {
@@ -34,7 +35,7 @@ func TestDeriveSeedIdentityAtOrigin(t *testing.T) {
 func TestRunStartsReductionDeterministic(t *testing.T) {
 	// Synthetic run: cost is a pure function of the derived seed, so
 	// every Parallelism value must reduce to the same winner.
-	run := func(ctx context.Context, seed int64, inj *faultinject.Injector) Attempt[int64] {
+	run := func(ctx context.Context, seed int64, inj *faultinject.Injector, _ *telemetry.Collector) Attempt[int64] {
 		cost := int(uint64(seed) % 1000)
 		return Attempt[int64]{Sol: seed, Cost: cost, HasSol: true}
 	}
@@ -64,7 +65,7 @@ func TestRunStartsReductionDeterministic(t *testing.T) {
 }
 
 func TestRunStartsTieBreaksToLowestStart(t *testing.T) {
-	run := func(ctx context.Context, seed int64, inj *faultinject.Injector) Attempt[string] {
+	run := func(ctx context.Context, seed int64, inj *faultinject.Injector, _ *telemetry.Collector) Attempt[string] {
 		return Attempt[string]{Sol: "x", Cost: 7, HasSol: true}
 	}
 	_, best, _, err := RunStarts(context.Background(),
@@ -77,7 +78,7 @@ func TestRunStartsTieBreaksToLowestStart(t *testing.T) {
 func TestRunStartsRecoveredPanicIsolated(t *testing.T) {
 	// A panic escaping one start must not kill the others or surface
 	// as the top-level error when a clean start exists.
-	run := func(ctx context.Context, seed int64, inj *faultinject.Injector) Attempt[int] {
+	run := func(ctx context.Context, seed int64, inj *faultinject.Injector, _ *telemetry.Collector) Attempt[int] {
 		if seed == DeriveSeed(9, 1, 0) {
 			panic("boom")
 		}
@@ -110,7 +111,7 @@ func TestRunStartsRecoveredSolutionKept(t *testing.T) {
 	// recovered, no retry spent); with no clean start anywhere, the
 	// top-level error is the best start's recovered panic.
 	perr := &PanicError{Stage: "refine", Level: 2, Value: "inv"}
-	run := func(ctx context.Context, seed int64, inj *faultinject.Injector) Attempt[int] {
+	run := func(ctx context.Context, seed int64, inj *faultinject.Injector, _ *telemetry.Collector) Attempt[int] {
 		return Attempt[int]{Sol: 5, Cost: 11, HasSol: true, Err: perr}
 	}
 	sol, best, reports, err := RunStarts(context.Background(),
@@ -130,7 +131,7 @@ func TestRunStartsRecoveredSolutionKept(t *testing.T) {
 
 func TestRunStartsRetryConsumesAttempts(t *testing.T) {
 	var calls atomic.Int32
-	run := func(ctx context.Context, seed int64, inj *faultinject.Injector) Attempt[int] {
+	run := func(ctx context.Context, seed int64, inj *faultinject.Injector, _ *telemetry.Collector) Attempt[int] {
 		n := calls.Add(1)
 		if n == 1 {
 			return Attempt[int]{Err: errors.New("transient")}
@@ -150,7 +151,7 @@ func TestRunStartsRetryConsumesAttempts(t *testing.T) {
 func TestRunStartsNoRetryAfterCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var calls atomic.Int32
-	run := func(rctx context.Context, seed int64, inj *faultinject.Injector) Attempt[int] {
+	run := func(rctx context.Context, seed int64, inj *faultinject.Injector, _ *telemetry.Collector) Attempt[int] {
 		calls.Add(1)
 		cancel() // the caller goes away mid-attempt
 		return Attempt[int]{Err: errors.New("transient")}
@@ -175,7 +176,7 @@ func TestRunStartsNoRetryAfterCancel(t *testing.T) {
 
 func TestRunStartsAllFailedSurfacesFirstError(t *testing.T) {
 	sentinel := errors.New("first failure")
-	run := func(ctx context.Context, seed int64, inj *faultinject.Injector) Attempt[int] {
+	run := func(ctx context.Context, seed int64, inj *faultinject.Injector, _ *telemetry.Collector) Attempt[int] {
 		if seed == DeriveSeed(5, 0, 0) {
 			return Attempt[int]{Err: sentinel}
 		}

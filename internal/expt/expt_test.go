@@ -87,8 +87,8 @@ func TestOptionsCircuitFilter(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 21 {
-		t.Errorf("registry has %d experiments, want 21", len(exps))
+	if len(exps) != 22 {
+		t.Errorf("registry has %d experiments, want 22", len(exps))
 	}
 	ids := map[string]bool{}
 	for _, e := range exps {

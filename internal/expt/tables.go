@@ -40,6 +40,7 @@ func Experiments() []Experiment {
 		{"ablation-vcycle", "iterated multilevel (V-cycles) on top of ML_C", AblationVCycle},
 		{"ablation-baselines", "§II — every bipartitioning engine side by side", AblationBaselines},
 		{"placement-hpwl", "[24] — quadrisection-driven placement vs GORDIAN (HPWL)", PlacementHPWL},
+		{"stage-profile", "telemetry — ML_C per-stage work and wall-clock split", StageProfile},
 		{"repro-check", "scorecard — programmatic check of the paper's shape claims", ReproCheck},
 	}
 }

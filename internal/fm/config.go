@@ -18,6 +18,7 @@ import (
 
 	"mlpart/internal/faultinject"
 	"mlpart/internal/gainbucket"
+	"mlpart/internal/telemetry"
 )
 
 // Engine selects the iterative-improvement gain scheme.
@@ -111,6 +112,10 @@ type Config struct {
 	// Inject optionally arms deterministic fault injection at the
 	// fm.pass site (pass boundaries); nil costs one pointer check.
 	Inject *faultinject.Injector
+	// Telemetry optionally records per-pass statistics (cut
+	// before/after, moves tried/kept, rollback depth) and rebalance
+	// counts; nil costs one pointer check per pass.
+	Telemetry *telemetry.Collector
 }
 
 // Normalize fills in defaults and validates ranges.

@@ -134,6 +134,9 @@ func (r *propRefiner) run() Result {
 			break
 		}
 		improved, applied, tried := r.runPass()
+		// PROP keeps no incremental cut counter; -1 marks the cut
+		// fields unavailable rather than paying a recount per pass.
+		r.cfg.Telemetry.RecordPass(r.cfg.Engine.String(), res.Passes, -1, -1, tried, applied)
 		res.Passes++
 		res.Moves += applied
 		res.MovesTried += tried

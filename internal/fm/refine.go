@@ -36,7 +36,8 @@ func Partition(h *hypergraph.Hypergraph, initial *hypergraph.Partition, cfg Conf
 	}
 	bound := hypergraph.Balance(h, 2, cfg.Tolerance)
 	if !p.IsBalanced(h, bound) {
-		p.Rebalance(h, bound, rng)
+		moved := p.Rebalance(h, bound, rng)
+		cfg.Telemetry.RecordRebalance(moved)
 	}
 	res, err := Refine(h, p, cfg, rng)
 	return p, res, err
@@ -134,7 +135,9 @@ func (r *refiner) run() Result {
 		if r.cfg.Inject != nil && r.fireFault(&res) {
 			break
 		}
+		cutBefore := r.activeCut
 		improved, applied, tried := r.runPass()
+		r.cfg.Telemetry.RecordPass(r.cfg.Engine.String(), res.Passes, cutBefore, r.activeCut, tried, applied)
 		res.Passes++
 		res.Moves += applied
 		res.MovesTried += tried

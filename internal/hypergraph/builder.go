@@ -239,3 +239,73 @@ func (b *Builder) MustBuild() *Hypergraph {
 	}
 	return h
 }
+
+// BuildRawForTest finalizes the hypergraph WITHOUT the Build-time
+// sanitization: pins are kept in insertion order with duplicates, and
+// degenerate nets (fewer than two pins) are retained. Build makes such
+// nets unreachable through the public API, so regression tests for
+// code that must tolerate them (e.g. the 1/(|e|−1) connectivity term
+// in coarsen.Conn) need this hook. Never call it outside tests.
+func (b *Builder) BuildRawForTest() (*Hypergraph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	h := &Hypergraph{
+		numCells: b.numCells,
+		numNets:  len(b.nets),
+		area:     b.area,
+		names:    b.names,
+	}
+	for _, w := range b.weights {
+		if w != 1 {
+			h.netWeight = b.weights
+			break
+		}
+	}
+	numPins := 0
+	for _, net := range b.nets {
+		numPins += len(net)
+	}
+	if numPins > math.MaxInt32 {
+		return nil, fmt.Errorf("hypergraph: %d pins overflow the int32 CSR index space", numPins)
+	}
+	h.netStart = make([]int32, len(b.nets)+1)
+	h.netPins = make([]int32, numPins)
+	at := int32(0)
+	for e, net := range b.nets {
+		h.netStart[e] = at
+		copy(h.netPins[at:], net)
+		at += int32(len(net)) //mllint:ignore unchecked-narrow len(net) <= numPins, checked against MaxInt32 above
+	}
+	h.netStart[len(b.nets)] = at
+	deg := make([]int32, b.numCells+1)
+	for _, net := range b.nets {
+		for _, p := range net {
+			deg[p+1]++
+		}
+	}
+	h.cellStart = make([]int32, b.numCells+1)
+	for v := 0; v < b.numCells; v++ {
+		h.cellStart[v+1] = h.cellStart[v] + deg[v+1]
+	}
+	h.cellNets = make([]int32, numPins)
+	fill := make([]int32, b.numCells)
+	copy(fill, h.cellStart[:b.numCells])
+	for e, net := range b.nets {
+		for _, p := range net {
+			h.cellNets[fill[p]] = int32(e)
+			fill[p]++
+		}
+	}
+	for _, a := range b.area {
+		total, err := addArea(h.totalArea, a)
+		if err != nil {
+			return nil, err
+		}
+		h.totalArea = total
+		if a > h.maxArea {
+			h.maxArea = a
+		}
+	}
+	return h, nil
+}

@@ -16,6 +16,7 @@ import (
 	"mlpart/internal/fm"
 	"mlpart/internal/gainbucket"
 	"mlpart/internal/hypergraph"
+	"mlpart/internal/telemetry"
 )
 
 // Objective selects the k-way gain computation (§III.C).
@@ -71,6 +72,10 @@ type Config struct {
 	// Inject optionally arms deterministic fault injection at the
 	// kway.refine site (pass boundaries); nil costs one pointer check.
 	Inject *faultinject.Injector
+	// Telemetry optionally records per-pass statistics (objective
+	// before/after, moves tried/kept) and rebalance counts; nil costs
+	// one pointer check per pass.
+	Telemetry *telemetry.Collector
 }
 
 // Normalize fills defaults and validates.
@@ -156,7 +161,8 @@ func Partition(h *hypergraph.Hypergraph, initial *hypergraph.Partition, cfg Conf
 	}
 	bound := hypergraph.Balance(h, cfg.K, cfg.Tolerance)
 	if !p.IsBalanced(h, bound) && cfg.Fixed == nil {
-		p.Rebalance(h, bound, rng)
+		moved := p.Rebalance(h, bound, rng)
+		cfg.Telemetry.RecordRebalance(moved)
 	}
 	res, err := Refine(h, p, cfg, rng)
 	return p, res, err

@@ -247,7 +247,7 @@ func TestPassGainMatchesObjectiveDelta(t *testing.T) {
 		r := newRefiner(h, p, cfg, rng)
 		r.computeCounts()
 		before := r.cost
-		improved, _ := r.runPass()
+		improved, _, _ := r.runPass()
 		if got := before - r.cost; got != improved {
 			t.Fatalf("seed %d: pass gain %d but cost fell by %d", seed, improved, got)
 		}

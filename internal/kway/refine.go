@@ -96,7 +96,9 @@ func (r *refiner) run() Result {
 		if r.cfg.Inject != nil && r.fireFault(&res) {
 			break
 		}
-		improved, applied := r.runPass()
+		costBefore := r.cost
+		improved, applied, tried := r.runPass()
+		r.cfg.Telemetry.RecordPass("kway-"+r.cfg.Engine.String(), res.Passes, costBefore, r.cost, tried, applied)
 		res.Passes++
 		res.Moves += applied
 		if improved <= 0 {
@@ -371,8 +373,8 @@ func (r *refiner) moveNetUpdate(e int, v, from, to int32) {
 }
 
 // runPass executes one multi-way pass with rollback to the best
-// prefix; returns (realized gain, moves kept).
-func (r *refiner) runPass() (improved, applied int) {
+// prefix; returns (realized gain, moves kept, moves tried).
+func (r *refiner) runPass() (improved, applied, tried int) {
 	r.initPass()
 	bestGain, cumGain := 0, 0
 	bestLen := 0
@@ -388,12 +390,13 @@ func (r *refiner) runPass() (improved, applied int) {
 			bestLen = len(r.moveCells)
 		}
 	}
+	tried = len(r.moveCells)
 	for i := len(r.moveCells) - 1; i >= bestLen; i-- {
 		r.undoMove(r.moveCells[i], r.moveFrom[i])
 	}
 	r.moveCells = r.moveCells[:bestLen]
 	r.moveFrom = r.moveFrom[:bestLen]
-	return bestGain, bestLen
+	return bestGain, bestLen, tried
 }
 
 // undoMove reverses a logged move of v back to block orig. Gains are

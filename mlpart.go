@@ -20,6 +20,7 @@ import (
 	"mlpart/internal/placement"
 	"mlpart/internal/placer"
 	"mlpart/internal/spectral"
+	"mlpart/internal/telemetry"
 )
 
 // Re-exported data types. Aliases keep the internal packages private
@@ -66,6 +67,24 @@ type (
 	FaultEntry = faultinject.Entry
 	// FaultKind is the fault injected when an entry triggers.
 	FaultKind = faultinject.Kind
+
+	// Telemetry is the per-run statistics collector (Options.Telemetry).
+	// A nil *Telemetry is the disabled state: every instrumented site
+	// costs one pointer check. Create one per run with NewTelemetry and
+	// read the assembled Report after the run completes.
+	Telemetry = telemetry.Collector
+	// Report is the machine-readable run report assembled by an armed
+	// Telemetry collector: per-level coarsening stats, per-pass
+	// refinement stats, rebalance counters, and per-stage wall-clock
+	// timings, per start. Everything except the timing fields is
+	// bit-identical across Parallelism values; Report.StripTimings
+	// zeroes the timings for byte-for-byte comparison.
+	Report = telemetry.Report
+	// ReportStartStats, ReportLevelStat and ReportPassStat are the
+	// nested Report record types.
+	ReportStartStats = telemetry.StartStats
+	ReportLevelStat  = telemetry.LevelStat
+	ReportPassStat   = telemetry.PassStat
 
 	// FMConfig configures the FM/CLIP refinement engine.
 	FMConfig = fm.Config
@@ -211,6 +230,11 @@ type Options struct {
 	// site. See ParseFaultSpec and the README's fault-injection
 	// section.
 	Inject *FaultPlan
+	// Telemetry, when non-nil, collects per-level, per-pass and
+	// per-stage statistics for the run; read the assembled report with
+	// Telemetry.Report() afterwards. Use a fresh collector per run.
+	// Nil (the default) costs one pointer check per instrumented site.
+	Telemetry *Telemetry
 }
 
 func (o Options) normalize() (Options, error) {
@@ -251,8 +275,13 @@ func (o Options) supervisor() core.SuperOptions {
 		AttemptTimeout: o.AttemptTimeout,
 		Seed:           o.Seed,
 		Plan:           o.Inject,
+		Telemetry:      o.Telemetry,
 	}
 }
+
+// NewTelemetry returns an armed statistics collector for
+// Options.Telemetry. One collector serves one run.
+func NewTelemetry() *Telemetry { return telemetry.New() }
 
 // Info reports the outcome of a one-call partitioning run.
 type Info struct {
@@ -277,6 +306,34 @@ type Info struct {
 	StartReports []StartReport
 }
 
+// errInfo is the Info returned on option-validation failures, before
+// any start runs. Both entry points use it so the error paths cannot
+// drift.
+func errInfo() Info { return Info{BestStart: -1} }
+
+// assembleInfo is the single Info/Report assembly path shared by
+// BipartitionCtx and QuadrisectCtx: Levels, BestStart, StartReports
+// and the telemetry Report header are populated identically for both
+// entry points (including the BestStart < 0 no-solution case, where
+// the objective arguments are zero values). Keeping one code path is
+// what guarantees the telemetry Report cannot diverge between the
+// bipartition and quadrisection APIs.
+func (o Options) assembleInfo(ctx context.Context, k, bestStart int, reports []StartReport, cut, sumDegrees, levels int) Info {
+	info := Info{
+		Starts:       o.Starts,
+		BestStart:    bestStart,
+		StartReports: reports,
+		Interrupted:  ctx.Err() != nil,
+	}
+	if bestStart >= 0 {
+		info.Cut = cut
+		info.SumDegrees = sumDegrees
+		info.Levels = levels
+	}
+	o.Telemetry.FinishRun(k, o.Seed, o.Starts, bestStart, info.Cut, info.SumDegrees, info.Levels)
+	return info
+}
+
 // Bipartition runs the ML algorithm (Fig. 2) on h and returns the
 // best bipartitioning over opt.Starts independent runs.
 func Bipartition(h *Hypergraph, opt Options) (*Partition, Info, error) {
@@ -298,7 +355,7 @@ func Bipartition(h *Hypergraph, opt Options) (*Partition, Info, error) {
 func BipartitionCtx(ctx context.Context, h *Hypergraph, opt Options) (*Partition, Info, error) {
 	opt, err := opt.normalize()
 	if err != nil {
-		return nil, Info{BestStart: -1}, err
+		return nil, errInfo(), err
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -314,9 +371,10 @@ func BipartitionCtx(ctx context.Context, h *Hypergraph, opt Options) (*Partition
 		res core.Result
 	}
 	best, bestStart, reports, rerr := core.RunStarts(ctx, opt.supervisor(),
-		func(actx context.Context, seed int64, inj *faultinject.Injector) core.Attempt[sol] {
+		func(actx context.Context, seed int64, inj *faultinject.Injector, tel *Telemetry) core.Attempt[sol] {
 			c := cfg
 			c.Inject = inj
+			c.Telemetry = tel
 			p, res, err := core.BipartitionCtx(actx, h, c, rand.New(rand.NewSource(seed)))
 			return core.Attempt[sol]{
 				Sol:         sol{p: p, res: res},
@@ -326,18 +384,10 @@ func BipartitionCtx(ctx context.Context, h *Hypergraph, opt Options) (*Partition
 				Err:         err,
 			}
 		})
-	info := Info{
-		Starts:       opt.Starts,
-		BestStart:    bestStart,
-		StartReports: reports,
-		Interrupted:  ctx.Err() != nil,
-	}
+	info := opt.assembleInfo(ctx, 2, bestStart, reports, best.res.Cut, best.res.Cut, best.res.Levels)
 	if bestStart < 0 {
 		return nil, info, rerr
 	}
-	info.Cut = best.res.Cut
-	info.SumDegrees = best.res.Cut
-	info.Levels = best.res.Levels
 	return best.p, info, rerr
 }
 
@@ -355,7 +405,7 @@ func Quadrisect(h *Hypergraph, opt Options) (*Partition, Info, error) {
 func QuadrisectCtx(ctx context.Context, h *Hypergraph, opt Options) (*Partition, Info, error) {
 	opt, err := opt.normalize()
 	if err != nil {
-		return nil, Info{BestStart: -1}, err
+		return nil, errInfo(), err
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -381,9 +431,10 @@ func QuadrisectCtx(ctx context.Context, h *Hypergraph, opt Options) (*Partition,
 		res core.QuadResult
 	}
 	best, bestStart, reports, rerr := core.RunStarts(ctx, opt.supervisor(),
-		func(actx context.Context, seed int64, inj *faultinject.Injector) core.Attempt[sol] {
+		func(actx context.Context, seed int64, inj *faultinject.Injector, tel *Telemetry) core.Attempt[sol] {
 			c := cfg
 			c.Inject = inj
+			c.Telemetry = tel
 			p, res, err := core.QuadrisectCtx(actx, h, c, rand.New(rand.NewSource(seed)))
 			return core.Attempt[sol]{
 				Sol:         sol{p: p, res: res},
@@ -393,18 +444,10 @@ func QuadrisectCtx(ctx context.Context, h *Hypergraph, opt Options) (*Partition,
 				Err:         err,
 			}
 		})
-	info := Info{
-		Starts:       opt.Starts,
-		BestStart:    bestStart,
-		StartReports: reports,
-		Interrupted:  ctx.Err() != nil,
-	}
+	info := opt.assembleInfo(ctx, 4, bestStart, reports, best.res.CutNets, best.res.SumDegrees, best.res.Levels)
 	if bestStart < 0 {
 		return nil, info, rerr
 	}
-	info.Cut = best.res.CutNets
-	info.SumDegrees = best.res.SumDegrees
-	info.Levels = best.res.Levels
 	return best.p, info, rerr
 }
 
