@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint chaos fuzz-smoke stats-smoke check
+.PHONY: all build vet test race lint chaos fuzz-smoke stats-smoke bench-smoke oracle check
 
 all: build
 
@@ -55,4 +55,19 @@ stats-smoke:
 	$(GO) run ./cmd/statscheck -in /tmp/mlpart-stats-p4.json -strip > /tmp/mlpart-stats-p4.stripped.json
 	cmp /tmp/mlpart-stats-p1.stripped.json /tmp/mlpart-stats-p4.stripped.json
 
-check: build vet test race lint chaos fuzz-smoke stats-smoke
+# Benchmark regression gate: cmd/benchrun sweeps the pinned netgen
+# instances, writes BENCH_<date>.json, and gates cuts (exact) and
+# allocs/op (tolerance) against the checked-in bench_baseline.json.
+# Timings are recorded but never gated. Two measured iterations keep
+# the smoke fast; regenerate the baseline deliberately with
+# `go run ./cmd/benchrun -update`.
+bench-smoke:
+	$(GO) run ./cmd/benchrun -iters 2 -out /tmp/mlpart-bench-smoke.json
+
+# Differential oracle suite: the optimized pipeline against the slow
+# from-scratch reference (internal/oracle), twice to catch state
+# leaking between runs, under the race detector.
+oracle:
+	$(GO) test -race -run Oracle -count=2 . ./internal/fm ./internal/oracle
+
+check: build vet test race lint chaos fuzz-smoke stats-smoke oracle bench-smoke

@@ -162,6 +162,27 @@ func BenchmarkMLBipartition2k(b *testing.B) {
 	}
 }
 
+// BenchmarkVCycleMedium is the allocation-regression benchmark of the
+// per-level inner loops: iterated multilevel refinement on the medium
+// netgen instance re-runs Match, Induce, Project and the FM engine at
+// every level of every cycle, so allocs/op here measures exactly the
+// scratch memory the workspace layer is meant to eliminate. Run with
+// -benchmem; cmd/benchrun gates the same loops end to end.
+func BenchmarkVCycleMedium(b *testing.B) {
+	c := benchCircuit(b, 10000, 10500, 34000)
+	p, _, err := Bipartition(c.H, Options{Seed: 1997})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := VCycle(c.H, p, 2, MLConfig{}, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMLBipartition2kTelemetryOff/On quantify the telemetry
 // layer's cost: Off is the production path (nil collector, one pointer
 // check per site) and must sit within noise of BenchmarkMLBipartition2k;

@@ -90,6 +90,7 @@ func AllChecks() []Check {
 		CtxThread{},
 		FaultSite{},
 		TelemetryThread{},
+		WorkspaceRetain{},
 	}
 }
 
@@ -122,6 +123,8 @@ var deterministicPkgs = []string{
 //   - telemetry-thread: every package — the no-global-collector rule
 //     applies universally; the no-telemetry.New rule fires only in
 //     the deterministic pipeline packages (scoped inside the check).
+//   - workspace-retain: every package — reusable scratch workspaces
+//     must never be retained in package-level variables, anywhere.
 func checksFor(modulePath, importPath string) []Check {
 	internal := strings.Contains(importPath, "/internal/") ||
 		strings.HasPrefix(importPath, "internal/")
@@ -152,7 +155,7 @@ func checksFor(modulePath, importPath string) []Check {
 			if strings.HasSuffix(importPath, "internal/hypergraph") {
 				out = append(out, c)
 			}
-		case FaultSite, TelemetryThread:
+		case FaultSite, TelemetryThread, WorkspaceRetain:
 			out = append(out, c)
 		}
 	}

@@ -144,6 +144,14 @@ func TestTelemetryThreadGolden(t *testing.T) {
 		"telemetrythreaddet", []Check{TelemetryThread{}})
 }
 
+// TestWorkspaceRetainGolden covers the workspace-retain rule:
+// workspace-named scratch types in package-level variables (direct,
+// pointer, container) are flagged; locals, struct fields and
+// interfaces stay clean.
+func TestWorkspaceRetainGolden(t *testing.T) {
+	runGolden(t, "workspaceretain", []Check{WorkspaceRetain{}})
+}
+
 // TestIgnoreDirectives exercises the suppression machinery directly:
 // reasons silence (own-line and trailing), a missing reason is a
 // diagnostic and suppresses nothing, and a directive for the wrong
@@ -187,12 +195,12 @@ func TestChecksForScope(t *testing.T) {
 		path string
 		want []string
 	}{
-		{"mlpart/internal/fm", []string{"nondet-rand", "nondet-maporder", "float-eq", "ctx-thread", "faultsite", "telemetry-thread"}},
-		{"mlpart/internal/hypergraph", []string{"nondet-rand", "nondet-maporder", "float-eq", "unchecked-narrow", "ctx-thread", "faultsite", "telemetry-thread"}},
-		{"mlpart/internal/netgen", []string{"nondet-rand", "float-eq", "ctx-thread", "faultsite", "telemetry-thread"}},
-		{"mlpart", []string{"float-eq", "faultsite", "telemetry-thread"}},
-		{"mlpart/cmd/mlpart", []string{"faultsite", "telemetry-thread"}},
-		{"mlpart/examples/quickstart", []string{"faultsite", "telemetry-thread"}},
+		{"mlpart/internal/fm", []string{"nondet-rand", "nondet-maporder", "float-eq", "ctx-thread", "faultsite", "telemetry-thread", "workspace-retain"}},
+		{"mlpart/internal/hypergraph", []string{"nondet-rand", "nondet-maporder", "float-eq", "unchecked-narrow", "ctx-thread", "faultsite", "telemetry-thread", "workspace-retain"}},
+		{"mlpart/internal/netgen", []string{"nondet-rand", "float-eq", "ctx-thread", "faultsite", "telemetry-thread", "workspace-retain"}},
+		{"mlpart", []string{"float-eq", "faultsite", "telemetry-thread", "workspace-retain"}},
+		{"mlpart/cmd/mlpart", []string{"faultsite", "telemetry-thread", "workspace-retain"}},
+		{"mlpart/examples/quickstart", []string{"faultsite", "telemetry-thread", "workspace-retain"}},
 	}
 	for _, tc := range cases {
 		got := names(checksFor("mlpart", tc.path))

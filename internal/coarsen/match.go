@@ -49,6 +49,11 @@ type Config struct {
 	// Telemetry optionally records the pairing outcome of each Match
 	// (matched pairs vs. singletons); nil costs one pointer check.
 	Telemetry *telemetry.Collector
+	// WS optionally supplies reusable scratch memory for the matching
+	// sweep, making Match allocation-free in steady state (only the
+	// returned Clustering is freshly allocated). A Workspace must not
+	// be shared across goroutines; nil allocates scratch per call.
+	WS *Workspace
 }
 
 // Normalize fills defaults and validates.
@@ -138,11 +143,12 @@ func Match(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*hypergraph.Cl
 	if n == 0 {
 		return c, nil
 	}
-	perm := rng.Perm(n)
+	ws := cfg.grab()
+	ws.perm = permInto(ws.perm, n, rng)
+	perm := ws.perm
 	// conn accumulator indexed by module, reset via the neighbor set
 	// after each pairing (the Conn-array technique of §III.A).
-	connAcc := make([]float64, n)
-	neighbors := make([]int32, 0, 64)
+	connAcc, neighbors := ws.scoreBuffers(n)
 
 	k := int32(0)
 	nMatch := 0
@@ -210,6 +216,7 @@ func Match(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*hypergraph.Cl
 		}
 	}
 	c.NumClusters = int(k)
+	ws.neighbors = neighbors // keep any growth for the next call
 	if act == faultinject.ActCorrupt {
 		corruptClustering(c, cfg.Exclude)
 	}

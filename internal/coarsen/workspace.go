@@ -1,0 +1,64 @@
+package coarsen
+
+import "math/rand"
+
+// Workspace holds the per-vertex scratch memory of Match: the visit
+// permutation, the candidate-score accumulator and the neighbor list.
+// Threading one Workspace through the Match calls of a multilevel run
+// makes the matching sweep allocation-free in steady state — only the
+// returned Clustering (which the hierarchy retains) is freshly
+// allocated per call.
+//
+// Ownership rule: a Workspace belongs to exactly one goroutine and one
+// pipeline attempt at a time. It must never be stored in a package
+// level variable or shared across concurrent attempts; the multi-start
+// supervisor creates one per attempt. The zero value is ready to use.
+type Workspace struct {
+	perm      []int
+	connAcc   []float64
+	neighbors []int32
+}
+
+// permInto fills buf with the same permutation rand.Perm(n) would
+// return, consuming exactly the same rng values (one Intn per element,
+// replicating rand.Perm's insertion algorithm). Keeping the RNG stream
+// identical is what makes the workspace path bit-identical to the
+// allocating one.
+func permInto(buf []int, n int, rng *rand.Rand) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		buf[i] = buf[j]
+		buf[j] = i
+	}
+	return buf
+}
+
+// grab returns the workspace to use for one Match call: the caller's,
+// or a throwaway one so the non-workspace path shares the same code.
+func (c Config) grab() *Workspace {
+	if c.WS != nil {
+		return c.WS
+	}
+	return &Workspace{}
+}
+
+// scoreBuffers sizes the accumulator and neighbor list for n cells.
+// The accumulator relies on an invariant rather than a clear: Match
+// zeroes every touched entry during the best-candidate scan, so
+// between calls the array is all zeros; only growth allocates (and
+// make() zero-fills). The differential oracle tests pin the invariant
+// by comparing workspace and workspace-free runs bit for bit.
+func (w *Workspace) scoreBuffers(n int) (connAcc []float64, neighbors []int32) {
+	if cap(w.connAcc) < n {
+		w.connAcc = make([]float64, n)
+	}
+	w.connAcc = w.connAcc[:n]
+	if w.neighbors == nil {
+		w.neighbors = make([]int32, 0, 64)
+	}
+	return w.connAcc, w.neighbors[:0]
+}

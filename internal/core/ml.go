@@ -153,8 +153,12 @@ func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, r
 	cfg.Refine.Stop = mergeStop(cfg.Refine.Stop, ctx)
 	cfg.Refine.Inject = cfg.Inject
 	cfg.Refine.Telemetry = cfg.Telemetry
+	// One workspace bundle per attempt: every level of the run reuses
+	// the same scratch memory, single-goroutine by construction.
+	ws := &pipelineWS{}
+	cfg.Refine.WS = &ws.refine
 
-	levels, res, err := buildHierarchy(ctx, h, cfg, rng)
+	levels, res, err := buildHierarchy(ctx, h, cfg, rng, ws)
 	var firstErr *PanicError
 	if err != nil {
 		pe, ok := AsPanicError(err)
@@ -208,104 +212,113 @@ func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, r
 	// are projected and rebalanced without engine passes (the engine
 	// state is no longer trusted).
 	cancelled := false
-	for i := len(levels) - 2; i >= 0; i-- {
-		var act faultinject.Action
-		cfg.Telemetry.SetLevel(i)
-		ptimer := cfg.Telemetry.StartTimer(telemetry.StageProject)
-		gerr := Guard("project", i, func() error {
-			if cfg.Inject != nil {
-				act = cfg.Inject.Fire(faultinject.SiteCoreProject)
-			}
-			p2, err := hypergraph.Project(levels[i].c, p)
-			if err != nil {
-				return err
-			}
-			p = p2
-			return nil
-		})
-		ptimer.Stop()
-		if gerr != nil {
-			// A projection failure (or an injected panic before it) is
-			// unrecoverable for this attempt: no fine-level solution
-			// exists yet. The supervisor's retry path handles it.
-			return nil, res, gerr
-		}
-		fineH := levels[i].h
-		switch act {
-		case faultinject.ActCancel:
-			// Synthetic cancellation: degrade exactly like a real one.
-			cancelled = true
-			res.Interrupted = true
-		case faultinject.ActCorrupt:
-			// Perturb the projected solution; it stays valid, and the
-			// rebalance/refinement below absorbs the damage.
-			p.Part[rng.Intn(len(p.Part))] ^= 1
-		}
-		if cfg.Inject != nil {
-			gerr := Guard("rebalance", i, func() error {
-				switch cfg.Inject.Fire(faultinject.SiteCoreRebalance) {
-				case faultinject.ActCancel:
-					cancelled = true
-					res.Interrupted = true
-				case faultinject.ActCorrupt:
-					p.Part[rng.Intn(len(p.Part))] ^= 1
+	if len(levels) > 1 {
+		// Move the coarsest solution into a pre-sized buffer; the
+		// sweep then alternates two buffers via ProjectInto instead of
+		// allocating a partition per level.
+		buf, scratch := projectionBuffers(h.NumCells(), 2)
+		copyInto(buf, p)
+		p = buf
+		for i := len(levels) - 2; i >= 0; i-- {
+			var act faultinject.Action
+			cfg.Telemetry.SetLevel(i)
+			ptimer := cfg.Telemetry.StartTimer(telemetry.StageProject)
+			gerr := Guard("project", i, func() error {
+				if cfg.Inject != nil {
+					act = cfg.Inject.Fire(faultinject.SiteCoreProject)
 				}
+				if err := hypergraph.ProjectInto(levels[i].c, p, scratch); err != nil {
+					return err
+				}
+				p, scratch = scratch, p
 				return nil
 			})
+			ptimer.Stop()
 			if gerr != nil {
-				// Only a panic can surface here; degrade to the
-				// project-and-rebalance path, which keeps feasibility.
-				pe, _ := AsPanicError(gerr)
-				if firstErr == nil {
-					firstErr = pe
-				}
-				engineOK = false
+				// A projection failure (or an injected panic before it) is
+				// unrecoverable for this attempt: no fine-level solution
+				// exists yet. The supervisor's retry path handles it.
+				return nil, res, gerr
 			}
-		}
-		engineRan := false
-		if engineOK && !cancelled {
-			// The projected solution may violate the balance bound for
-			// H_i (A(v*) can decrease during uncoarsening, §III.B);
-			// FMPartition rebalances before refining.
-			var p2 *hypergraph.Partition
-			rtimer := cfg.Telemetry.StartTimer(telemetry.StageRefine)
-			gerr := Guard("refine", i, func() error {
-				var err error
-				p2, rres, err = fm.Partition(fineH, p, cfg.Refine, rng)
-				return err
-			})
-			rtimer.Stop()
-			if gerr != nil {
-				pe, ok := AsPanicError(gerr)
-				if !ok {
-					return nil, res, gerr
-				}
-				if firstErr == nil {
-					firstErr = pe
-				}
-				engineOK = false
-			} else {
-				engineRan = true
-				p = p2
-				if rres.Interrupted {
-					res.Interrupted = true
-				}
-				res.RefineResults = append(res.RefineResults, rres)
+			fineH := levels[i].h
+			switch act {
+			case faultinject.ActCancel:
+				// Synthetic cancellation: degrade exactly like a real one.
+				cancelled = true
+				res.Interrupted = true
+			case faultinject.ActCorrupt:
+				// Perturb the projected solution; it stays valid, and the
+				// rebalance/refinement below absorbs the damage.
+				p.Part[rng.Intn(len(p.Part))] ^= 1
 			}
-		}
-		if !engineRan {
-			bound := hypergraph.Balance(fineH, 2, cfg.Refine.Tolerance)
-			if !p.IsBalanced(fineH, bound) {
-				btimer := cfg.Telemetry.StartTimer(telemetry.StageRebalance)
-				moved := p.Rebalance(fineH, bound, rng)
-				btimer.Stop()
-				cfg.Telemetry.RecordRebalance(moved)
+			if cfg.Inject != nil {
+				gerr := Guard("rebalance", i, func() error {
+					switch cfg.Inject.Fire(faultinject.SiteCoreRebalance) {
+					case faultinject.ActCancel:
+						cancelled = true
+						res.Interrupted = true
+					case faultinject.ActCorrupt:
+						p.Part[rng.Intn(len(p.Part))] ^= 1
+					}
+					return nil
+				})
+				if gerr != nil {
+					// Only a panic can surface here; degrade to the
+					// project-and-rebalance path, which keeps feasibility.
+					pe, _ := AsPanicError(gerr)
+					if firstErr == nil {
+						firstErr = pe
+					}
+					engineOK = false
+				}
 			}
-			rres = fm.Result{Cut: p.WeightedCut(fineH), InitialCut: p.WeightedCut(fineH), ActiveCut: -1}
-		}
-		if cfg.Audit {
-			if err := auditRefined(fineH, p, cfg, rres, engineRan); err != nil {
-				return p, res, fmt.Errorf("core: level %d: %w", i, err)
+			engineRan := false
+			if engineOK && !cancelled {
+				// The projected solution may violate the balance bound for
+				// H_i (A(v*) can decrease during uncoarsening, §III.B);
+				// RefineBalanced rebalances before refining, in place — the
+				// Partition-style clone would defeat the buffer reuse. A
+				// recovered mid-refine panic leaves p partially refined;
+				// it stays a valid bipartition and the degraded path below
+				// restores the balance bound.
+				rtimer := cfg.Telemetry.StartTimer(telemetry.StageRefine)
+				gerr := Guard("refine", i, func() error {
+					var err error
+					rres, err = fm.RefineBalanced(fineH, p, cfg.Refine, rng)
+					return err
+				})
+				rtimer.Stop()
+				if gerr != nil {
+					pe, ok := AsPanicError(gerr)
+					if !ok {
+						return nil, res, gerr
+					}
+					if firstErr == nil {
+						firstErr = pe
+					}
+					engineOK = false
+				} else {
+					engineRan = true
+					if rres.Interrupted {
+						res.Interrupted = true
+					}
+					res.RefineResults = append(res.RefineResults, rres)
+				}
+			}
+			if !engineRan {
+				bound := hypergraph.Balance(fineH, 2, cfg.Refine.Tolerance)
+				if !p.IsBalanced(fineH, bound) {
+					btimer := cfg.Telemetry.StartTimer(telemetry.StageRebalance)
+					moved := p.Rebalance(fineH, bound, rng)
+					btimer.Stop()
+					cfg.Telemetry.RecordRebalance(moved)
+				}
+				rres = fm.Result{Cut: p.WeightedCut(fineH), InitialCut: p.WeightedCut(fineH), ActiveCut: -1}
+			}
+			if cfg.Audit {
+				if err := auditRefined(fineH, p, cfg, rres, engineRan); err != nil {
+					return p, res, fmt.Errorf("core: level %d: %w", i, err)
+				}
 			}
 		}
 	}
@@ -341,9 +354,9 @@ func auditRefined(h *hypergraph.Hypergraph, p *hypergraph.Partition, cfg Config,
 // Cancellation stops coarsening early (marking Result.Interrupted);
 // a panic inside Match/Induce is recovered and returned as a
 // *PanicError alongside the valid hierarchy prefix built so far.
-func buildHierarchy(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) ([]level, Result, error) {
+func buildHierarchy(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand, ws *pipelineWS) ([]level, Result, error) {
 	res := Result{}
-	matchCfg := coarsen.Config{Ratio: cfg.Ratio, Stop: mergeStop(nil, ctx), Inject: cfg.Inject, Telemetry: cfg.Telemetry}
+	matchCfg := coarsen.Config{Ratio: cfg.Ratio, Stop: mergeStop(nil, ctx), Inject: cfg.Inject, Telemetry: cfg.Telemetry, WS: &ws.match}
 	levels := []level{{h: h}}
 	res.LevelCells = append(res.LevelCells, h.NumCells())
 	cur := h
@@ -363,9 +376,9 @@ func buildHierarchy(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, r
 				return err
 			}
 			if cfg.MergeParallelNets {
-				coarseH, err = hypergraph.InduceMerged(cur, c)
+				coarseH, err = hypergraph.InduceMergedWS(cur, c, &ws.induce)
 			} else {
-				coarseH, err = hypergraph.Induce(cur, c)
+				coarseH, err = hypergraph.InduceWS(cur, c, &ws.induce)
 			}
 			return err
 		})
@@ -434,7 +447,7 @@ func Hierarchy(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) ([]*hypergr
 		return nil, nil, err
 	}
 	//mllint:ignore ctx-thread Hierarchy is a non-cancellable inspection helper; coarsening alone is cheap
-	levels, _, err := buildHierarchy(context.Background(), h, cfg, rng)
+	levels, _, err := buildHierarchy(context.Background(), h, cfg, rng, &pipelineWS{})
 	if err != nil {
 		return nil, nil, err
 	}

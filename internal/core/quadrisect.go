@@ -142,6 +142,9 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 	}
 
 	res := QuadResult{}
+	// One workspace bundle per attempt; the k-way engine manages its
+	// own arrays, so only the coarsening side is threaded here.
+	ws := &pipelineWS{}
 
 	// Coarsening phase; track fixed flags and pre-assignments
 	// through the hierarchy (a coarse cell is fixed to block b if any
@@ -180,14 +183,18 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 		// Fixed cells are excluded from matching (always singleton
 		// clusters), so two pads pre-assigned to different blocks can
 		// never be merged.
-		matchCfg := coarsen.Config{Ratio: cfg.Ratio, Exclude: cur.fixed, Stop: mergeStop(nil, ctx), Inject: cfg.Inject, Telemetry: cfg.Telemetry}
+		matchCfg := coarsen.Config{Ratio: cfg.Ratio, Exclude: cur.fixed, Stop: mergeStop(nil, ctx), Inject: cfg.Inject, Telemetry: cfg.Telemetry, WS: &ws.match}
 		var coarseH *hypergraph.Hypergraph
 		var c *hypergraph.Clustering
 		cfg.Telemetry.SetLevel(len(levels) - 1)
 		timer := cfg.Telemetry.StartTimer(telemetry.StageCoarsen)
 		gerr := Guard("coarsen", len(levels)-1, func() error {
 			var err error
-			coarseH, c, err = coarsen.Coarsen(cur.h, matchCfg, rng)
+			c, err = coarsen.Match(cur.h, matchCfg, rng)
+			if err != nil {
+				return err
+			}
+			coarseH, err = hypergraph.InduceWS(cur.h, c, &ws.induce)
 			return err
 		})
 		timer.Stop()
@@ -304,6 +311,16 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 	// panic (or a synthetic cancellation) the remaining levels are
 	// projected and rebalanced without engine passes.
 	cancelled := false
+	// Alternate two pre-sized buffers down the hierarchy instead of
+	// allocating a partition per level; p escapes to the caller, so the
+	// buffers are per-call locals, not workspace members.
+	var scratch *hypergraph.Partition
+	if len(levels) > 1 {
+		var buf *hypergraph.Partition
+		buf, scratch = projectionBuffers(h.NumCells(), p.K)
+		copyInto(buf, p)
+		p = buf
+	}
 	for i := len(levels) - 2; i >= 0; i-- {
 		var act faultinject.Action
 		cfg.Telemetry.SetLevel(i)
@@ -312,11 +329,10 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 			if cfg.Inject != nil {
 				act = cfg.Inject.Fire(faultinject.SiteCoreProject)
 			}
-			p2, err := hypergraph.Project(levels[i].c, p)
-			if err != nil {
+			if err := hypergraph.ProjectInto(levels[i].c, p, scratch); err != nil {
 				return err
 			}
-			p = p2
+			p, scratch = scratch, p
 			return nil
 		})
 		ptimer.Stop()

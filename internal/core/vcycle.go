@@ -45,13 +45,19 @@ func VCycleCtx(ctx context.Context, h *hypergraph.Hypergraph, p *hypergraph.Part
 	if maxCycles < 1 {
 		maxCycles = 1
 	}
+	// One workspace bundle shared by every cycle: the restricted
+	// hierarchies have the same shape, so the scratch arrays stabilize
+	// after the first cycle. Projection buffers stay per-cycle locals —
+	// the winning candidate escapes into best below.
+	ws := &pipelineWS{}
+	cfg.Refine.WS = &ws.refine
 	best := p.Clone()
 	bestCut := best.WeightedCut(h)
 	for cycle := 0; cycle < maxCycles; cycle++ {
 		if ctx.Err() != nil {
 			break
 		}
-		cand, err := oneVCycle(ctx, h, best, cfg, rng)
+		cand, err := oneVCycle(ctx, h, best, cfg, rng, ws)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -65,7 +71,7 @@ func VCycleCtx(ctx context.Context, h *hypergraph.Hypergraph, p *hypergraph.Part
 }
 
 // oneVCycle rebuilds a restricted hierarchy around p and refines.
-func oneVCycle(ctx context.Context, h *hypergraph.Hypergraph, p *hypergraph.Partition, cfg Config, rng *rand.Rand) (*hypergraph.Partition, error) {
+func oneVCycle(ctx context.Context, h *hypergraph.Hypergraph, p *hypergraph.Partition, cfg Config, rng *rand.Rand, ws *pipelineWS) (*hypergraph.Partition, error) {
 	type lv struct {
 		h *hypergraph.Hypergraph
 		c *hypergraph.Clustering
@@ -78,16 +84,16 @@ func oneVCycle(ctx context.Context, h *hypergraph.Hypergraph, p *hypergraph.Part
 		if ctx.Err() != nil {
 			break
 		}
-		mc := coarsen.Config{Ratio: cfg.Ratio, SameBlockOnly: curP, Stop: mergeStop(nil, ctx)}
+		mc := coarsen.Config{Ratio: cfg.Ratio, SameBlockOnly: curP, Stop: mergeStop(nil, ctx), WS: &ws.match}
 		c, err := coarsen.Match(cur, mc, rng)
 		if err != nil {
 			return nil, err
 		}
 		var coarse *hypergraph.Hypergraph
 		if cfg.MergeParallelNets {
-			coarse, err = hypergraph.InduceMerged(cur, c)
+			coarse, err = hypergraph.InduceMergedWS(cur, c, &ws.induce)
 		} else {
-			coarse, err = hypergraph.Induce(cur, c)
+			coarse, err = hypergraph.InduceWS(cur, c, &ws.induce)
 		}
 		if err != nil {
 			return nil, err
@@ -113,17 +119,21 @@ func oneVCycle(ctx context.Context, h *hypergraph.Hypergraph, p *hypergraph.Part
 	if _, err = fm.Refine(levels[len(levels)-1].h, sol, cfg.Refine, rng); err != nil {
 		return nil, err
 	}
-	for i := len(levels) - 2; i >= 0; i-- {
-		sol, err = hypergraph.Project(levels[i].c, sol)
-		if err != nil {
-			return nil, err
+	if len(levels) > 1 {
+		// Alternate two per-cycle buffers down the hierarchy; sol
+		// escapes to the caller, so these cannot live in ws.
+		buf, scratch := projectionBuffers(h.NumCells(), sol.K)
+		copyInto(buf, sol)
+		sol = buf
+		for i := len(levels) - 2; i >= 0; i-- {
+			if err = hypergraph.ProjectInto(levels[i].c, sol, scratch); err != nil {
+				return nil, err
+			}
+			sol, scratch = scratch, sol
+			if _, err = fm.RefineBalanced(levels[i].h, sol, cfg.Refine, rng); err != nil {
+				return nil, err
+			}
 		}
-		var refined *hypergraph.Partition
-		refined, _, err = fm.Partition(levels[i].h, sol, cfg.Refine, rng)
-		if err != nil {
-			return nil, err
-		}
-		sol = refined
 	}
 	return sol, nil
 }

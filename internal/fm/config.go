@@ -116,6 +116,12 @@ type Config struct {
 	// before/after, moves tried/kept, rollback depth) and rebalance
 	// counts; nil costs one pointer check per pass.
 	Telemetry *telemetry.Collector
+	// WS optionally supplies reusable scratch memory (gain arrays,
+	// bucket structures, move logs) shared across successive runs,
+	// making refinement allocation-free in steady state. Results are
+	// bit-identical with or without it. A Workspace must not be shared
+	// across goroutines; nil allocates scratch per run.
+	WS *Workspace
 }
 
 // Normalize fills in defaults and validates ranges.

@@ -43,6 +43,7 @@ type propRefiner struct {
 	p   *hypergraph.Partition
 	cfg Config
 	rng *rand.Rand
+	ws  *Workspace
 
 	bound hypergraph.BalanceBound
 	areas [2]int64
@@ -85,22 +86,38 @@ func (h *propHeap) Pop() interface{} {
 
 func newPropRefiner(h *hypergraph.Hypergraph, p *hypergraph.Partition, cfg Config, rng *rand.Rand) *propRefiner {
 	n := h.NumCells()
+	ws := cfg.grab()
+	// As in newRefiner: buffers are grown on the workspace and
+	// aliased, and every one is rewritten in full before any read
+	// (computeCounts/initPass), so no clearing is needed on reuse.
+	ws.active = growBool(ws.active, h.NumNets())
+	ws.locked = growBool(ws.locked, n)
+	ws.gainF = growFloat64(ws.gainF, n)
+	ws.version = growInt32(ws.version, n)
+	ws.pc[0] = growInt32(ws.pc[0], h.NumNets())
+	ws.pc[1] = growInt32(ws.pc[1], h.NumNets())
+	ws.lc[0] = growInt32(ws.lc[0], h.NumNets())
+	ws.lc[1] = growInt32(ws.lc[1], h.NumNets())
+	ws.moveCells = growInt32(ws.moveCells, n)
 	r := &propRefiner{
-		h: h, p: p, cfg: cfg, rng: rng,
+		h: h, p: p, cfg: cfg, rng: rng, ws: ws,
 		bound:   hypergraph.Balance(h, 2, cfg.Tolerance),
-		active:  make([]bool, h.NumNets()),
-		locked:  make([]bool, n),
+		active:  ws.active,
+		locked:  ws.locked,
 		p0:      cfg.InitialProb,
-		gain:    make([]float64, n),
-		version: make([]int32, n),
+		gain:    ws.gainF,
+		version: ws.version,
 	}
 	if r.p0 == 0 {
 		r.p0 = DefaultInitialProb
 	}
-	r.pc[0] = make([]int32, h.NumNets())
-	r.pc[1] = make([]int32, h.NumNets())
-	r.lc[0] = make([]int32, h.NumNets())
-	r.lc[1] = make([]int32, h.NumNets())
+	r.pc[0] = ws.pc[0]
+	r.pc[1] = ws.pc[1]
+	r.lc[0] = ws.lc[0]
+	r.lc[1] = ws.lc[1]
+	r.moveCells = ws.moveCells[:0]
+	r.heaps[0] = ws.heaps[0][:0]
+	r.heaps[1] = ws.heaps[1][:0]
 	maxNet := 2
 	for e := 0; e < h.NumNets(); e++ {
 		r.active[e] = cfg.MaxNetSize < 0 || h.NetSize(e) <= cfg.MaxNetSize
@@ -108,13 +125,15 @@ func newPropRefiner(h *hypergraph.Hypergraph, p *hypergraph.Partition, cfg Confi
 			maxNet = h.NetSize(e)
 		}
 	}
-	r.pows = make([]float64, maxNet+1)
+	ws.pows = growFloat64(ws.pows, maxNet+1)
+	r.pows = ws.pows
 	r.pows[0] = 1
 	for k := 1; k <= maxNet; k++ {
 		r.pows[k] = r.pows[k-1] * r.p0
 	}
 	if cfg.Engine == EngineCLIPPROP {
-		r.initKey = make([]float64, n)
+		ws.initKeyF = growFloat64(ws.initKeyF, n)
+		r.initKey = ws.initKeyF
 	}
 	return r
 }
@@ -146,6 +165,10 @@ func (r *propRefiner) run() Result {
 	}
 	res.Cut = r.p.WeightedCut(r.h)
 	res.ActiveCut = -1 // PROP keeps no incremental cut counter
+	// Heap entries grow past n via lazy deletion; keep the growth.
+	r.ws.heaps[0] = r.heaps[0]
+	r.ws.heaps[1] = r.heaps[1]
+	r.ws.moveCells = r.moveCells
 	return res
 }
 

@@ -34,13 +34,34 @@ func Partition(h *hypergraph.Hypergraph, initial *hypergraph.Partition, cfg Conf
 		}
 		p = initial.Clone()
 	}
+	res, err := RefineBalanced(h, p, cfg, rng)
+	return p, res, err
+}
+
+// RefineBalanced is Partition without the initial-solution clone: it
+// rebalances p in place if the balance bound is violated (as a
+// projected solution may be, §III.B), then refines in place. For
+// callers that own p outright — the multilevel projection loop — this
+// avoids one partition allocation per level; the result is
+// bit-identical to Partition on the same inputs (Clone consumes no
+// randomness).
+func RefineBalanced(h *hypergraph.Hypergraph, p *hypergraph.Partition, cfg Config, rng *rand.Rand) (Result, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	if p.K != 2 {
+		return Result{}, fmt.Errorf("fm: initial partition has K=%d, want 2", p.K)
+	}
+	if err := p.Validate(h.NumCells()); err != nil {
+		return Result{}, err
+	}
 	bound := hypergraph.Balance(h, 2, cfg.Tolerance)
 	if !p.IsBalanced(h, bound) {
 		moved := p.Rebalance(h, bound, rng)
 		cfg.Telemetry.RecordRebalance(moved)
 	}
-	res, err := Refine(h, p, cfg, rng)
-	return p, res, err
+	return Refine(h, p, cfg, rng)
 }
 
 // Refine improves the bipartition p in place using the configured
@@ -65,14 +86,16 @@ func Refine(h *hypergraph.Hypergraph, p *hypergraph.Partition, cfg Config, rng *
 }
 
 // refiner holds all per-run state. It is rebuilt for each Refine
-// call; within a run, buckets are rebuilt per pass (the paper's
-// implementation reinitializes the entire bucket structure before
-// each pass; faster reinitialization is listed as future work).
+// call, but the backing arrays live in a Workspace (the caller's via
+// Config.WS, or a throwaway) so repeated calls reuse memory; within a
+// run, buckets are rebuilt per pass (the paper's implementation
+// reinitializes the entire bucket structure before each pass).
 type refiner struct {
 	h   *hypergraph.Hypergraph
 	p   *hypergraph.Partition
 	cfg Config
 	rng *rand.Rand
+	ws  *Workspace
 
 	bound hypergraph.BalanceBound
 	areas [2]int64
@@ -93,19 +116,33 @@ type refiner struct {
 
 func newRefiner(h *hypergraph.Hypergraph, p *hypergraph.Partition, cfg Config, rng *rand.Rand) *refiner {
 	n := h.NumCells()
+	ws := cfg.grab()
+	// Every buffer is grown in place on the workspace and aliased by
+	// the refiner, so growth is retained across runs. None of them
+	// need clearing: active, pc, gain and locked are rewritten in full
+	// before any read (newRefiner/computePinCounts/initPass), and the
+	// move log starts each run truncated to zero length.
+	ws.active = growBool(ws.active, h.NumNets())
+	ws.gain = growInt32(ws.gain, n)
+	ws.locked = growBool(ws.locked, n)
+	ws.moveCells = growInt32(ws.moveCells, n)
+	ws.moveGains = growInt32(ws.moveGains, n)
+	ws.pc[0] = growInt32(ws.pc[0], h.NumNets())
+	ws.pc[1] = growInt32(ws.pc[1], h.NumNets())
 	r := &refiner{
-		h: h, p: p, cfg: cfg, rng: rng,
+		h: h, p: p, cfg: cfg, rng: rng, ws: ws,
 		bound:     hypergraph.Balance(h, 2, cfg.Tolerance),
-		active:    make([]bool, h.NumNets()),
-		gain:      make([]int32, n),
-		locked:    make([]bool, n),
-		moveCells: make([]int32, 0, n),
-		moveGains: make([]int32, 0, n),
+		active:    ws.active,
+		gain:      ws.gain,
+		locked:    ws.locked,
+		moveCells: ws.moveCells[:0],
+		moveGains: ws.moveGains[:0],
 	}
-	r.pc[0] = make([]int32, h.NumNets())
-	r.pc[1] = make([]int32, h.NumNets())
+	r.pc[0] = ws.pc[0]
+	r.pc[1] = ws.pc[1]
 	if cfg.Engine == EngineCLIP {
-		r.initKey = make([]int32, n)
+		ws.initKey = growInt32(ws.initKey, n)
+		r.initKey = ws.initKey
 	}
 	for e := 0; e < h.NumNets(); e++ {
 		r.active[e] = cfg.MaxNetSize < 0 || h.NetSize(e) <= cfg.MaxNetSize
@@ -115,8 +152,8 @@ func newRefiner(h *hypergraph.Hypergraph, p *hypergraph.Partition, cfg Config, r
 	if cfg.Engine == EngineCLIP {
 		bucketRange = 2 * maxDeg // §II.B: the range of bucket indices must double
 	}
-	r.buckets[0] = gainbucket.New(n, bucketRange, cfg.Order, rng)
-	r.buckets[1] = gainbucket.New(n, bucketRange, cfg.Order, rng)
+	r.buckets[0] = ws.bucket(0, n, bucketRange, cfg.Order, rng)
+	r.buckets[1] = ws.bucket(1, n, bucketRange, cfg.Order, rng)
 	return r
 }
 
@@ -147,6 +184,10 @@ func (r *refiner) run() Result {
 	}
 	res.Cut = r.p.WeightedCut(r.h)
 	res.ActiveCut = r.activeCut
+	// Hand any move-log growth back to the workspace (appends stay
+	// within the pre-grown capacity today, but do not rely on it).
+	r.ws.moveCells = r.moveCells
+	r.ws.moveGains = r.moveGains
 	return res
 }
 

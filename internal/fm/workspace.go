@@ -1,0 +1,92 @@
+package fm
+
+import (
+	"math/rand"
+
+	"mlpart/internal/gainbucket"
+)
+
+// Workspace holds the per-run scratch memory of the refinement
+// engines: activity flags, pin counters, gain arrays, the move log,
+// the two gain-bucket structures of the FM/CLIP engines, and the
+// heap/probability state of the PROP engines. Threading one Workspace
+// through the Refine/Partition calls of a multilevel run makes
+// refinement allocation-free in steady state: each hierarchy level
+// reuses the previous level's (larger) buffers instead of
+// reallocating them.
+//
+// Ownership rule: a Workspace belongs to exactly one goroutine and one
+// pipeline attempt at a time. It must never be stored in a package
+// level variable or shared across concurrent attempts; the multi-start
+// supervisor creates one per attempt. The zero value is ready to use.
+// Reuse never changes results: every buffer is either fully
+// reinitialized per run or grown with make (which zero-fills), and the
+// RNG consumption is untouched, so runs with and without a Workspace
+// are bit-identical (pinned by the oracle differential tests).
+type Workspace struct {
+	// FM/CLIP engine state (refine.go).
+	active    []bool
+	pc        [2][]int32
+	gain      []int32
+	initKey   []int32
+	locked    []bool
+	moveCells []int32
+	moveGains []int32
+	buckets   [2]*gainbucket.Structure
+
+	// PROP engine state (prop.go).
+	lc       [2][]int32
+	gainF    []float64
+	initKeyF []float64
+	version  []int32
+	pows     []float64
+	heaps    [2]propHeap
+}
+
+// grab returns the workspace to use for one run: the caller's, or a
+// throwaway one so the allocating path shares the same code.
+func (c Config) grab() *Workspace {
+	if c.WS != nil {
+		return c.WS
+	}
+	return &Workspace{}
+}
+
+// bucket returns the side-s gain bucket sized for this run, reusing
+// the stored structure's arrays via Reset when one exists.
+func (w *Workspace) bucket(s, numCells, maxGain int, order gainbucket.Order, rng *rand.Rand) *gainbucket.Structure {
+	if w.buckets[s] == nil {
+		w.buckets[s] = gainbucket.New(numCells, maxGain, order, rng)
+	} else {
+		w.buckets[s].Reset(numCells, maxGain, order, rng)
+	}
+	return w.buckets[s]
+}
+
+// growBool returns a length-n bool slice reusing buf when possible.
+// Contents are unspecified: callers reinitialize every entry they read
+// (initPass rewrites locked and active in full before any use).
+func growBool(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+// growInt32 returns a length-n int32 slice reusing buf when possible.
+// Contents are unspecified.
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// growFloat64 returns a length-n float64 slice reusing buf when
+// possible. Contents are unspecified.
+func growFloat64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}

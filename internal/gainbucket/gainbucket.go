@@ -66,22 +66,32 @@ type Structure struct {
 // [-maxGain, maxGain] and the given bucket order. rng is required for
 // Order Random and ignored otherwise.
 func New(numCells, maxGain int, order Order, rng *rand.Rand) *Structure {
+	s := &Structure{}
+	s.Reset(numCells, maxGain, order, rng)
+	return s
+}
+
+// Reset reinitializes the structure for a (possibly different) cell
+// count, gain range and order, reusing the backing arrays when they
+// are large enough. A reset structure is indistinguishable from a
+// freshly built one; it is how the fm workspace reuses bucket memory
+// across hierarchy levels instead of reallocating per level.
+func (s *Structure) Reset(numCells, maxGain int, order Order, rng *rand.Rand) {
 	if maxGain < 0 {
 		maxGain = 0
 	}
-	s := &Structure{
-		order:  order,
-		rng:    rng,
-		offset: maxGain,
-		heads:  make([]int32, 2*maxGain+1),
-		prev:   make([]int32, numCells),
-		next:   make([]int32, numCells),
-		bucket: make([]int32, numCells),
-		maxIdx: -1,
-	}
+	s.order = order
+	s.rng = rng
+	s.offset = maxGain
+	s.heads = growCells(s.heads, 2*maxGain+1)
 	if order == FIFO {
-		s.tails = make([]int32, 2*maxGain+1)
+		s.tails = growCells(s.tails, 2*maxGain+1)
+	} else {
+		s.tails = nil
 	}
+	s.prev = growCells(s.prev, numCells)
+	s.next = growCells(s.next, numCells)
+	s.bucket = growCells(s.bucket, numCells)
 	for i := range s.heads {
 		s.heads[i] = nilCell
 		if s.tails != nil {
@@ -91,7 +101,18 @@ func New(numCells, maxGain int, order Order, rng *rand.Rand) *Structure {
 	for i := range s.bucket {
 		s.bucket[i] = nilCell
 	}
-	return s
+	s.maxIdx = -1
+	s.size = 0
+}
+
+// growCells returns a slice of exactly length n, reusing buf's backing
+// array when it has the capacity. Contents are unspecified; Reset
+// refills every array it needs initialized.
+func growCells(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
 }
 
 // Len returns the number of cells currently stored.

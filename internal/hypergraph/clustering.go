@@ -91,37 +91,7 @@ func Compose(c, d *Clustering) (*Clustering, error) {
 // separately), so the ML algorithm calls Induce with
 // mergeParallel=false.
 func Induce(h *Hypergraph, c *Clustering) (*Hypergraph, error) {
-	if err := c.Validate(h.NumCells()); err != nil {
-		return nil, err
-	}
-	b := NewBuilder(c.NumClusters)
-	areas := make([]int64, c.NumClusters)
-	for v := 0; v < h.NumCells(); v++ {
-		areas[c.CellToCluster[v]] += h.Area(v)
-	}
-	for k, a := range areas {
-		b.SetArea(k, a)
-	}
-	// mark[] avoids per-net map allocation: stamp per net id.
-	mark := make([]int32, c.NumClusters)
-	for i := range mark {
-		mark[i] = -1
-	}
-	coarse := make([]int32, 0, 16)
-	for e := 0; e < h.NumNets(); e++ {
-		coarse = coarse[:0]
-		for _, p := range h.Pins(e) {
-			k := c.CellToCluster[p]
-			if mark[k] != int32(e) {
-				mark[k] = int32(e)
-				coarse = append(coarse, k)
-			}
-		}
-		if len(coarse) >= 2 {
-			b.AddWeightedNet32(h.NetWeight(e), coarse)
-		}
-	}
-	return b.Build()
+	return InduceWS(h, c, nil)
 }
 
 // InduceMerged is Induce with parallel-net merging: identical coarse
@@ -131,7 +101,14 @@ func Induce(h *Hypergraph, c *Clustering) (*Hypergraph, error) {
 // shrinks the coarse netlists, which speeds refinement — the standard
 // hMETIS-era optimization that the paper's Definition 1 forgoes.
 func InduceMerged(h *Hypergraph, c *Clustering) (*Hypergraph, error) {
-	plain, err := Induce(h, c)
+	return InduceMergedWS(h, c, nil)
+}
+
+// InduceMergedWS is InduceMerged with caller-supplied scratch for the
+// inner Induce step (the merge itself goes through a Builder: merged
+// coarse netlists are small and the sort dominates anyway).
+func InduceMergedWS(h *Hypergraph, c *Clustering, ws *InduceWorkspace) (*Hypergraph, error) {
+	plain, err := InduceWS(h, c, ws)
 	if err != nil {
 		return nil, err
 	}

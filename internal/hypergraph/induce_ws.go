@@ -1,0 +1,178 @@
+package hypergraph
+
+// InduceWorkspace holds the scratch memory of InduceWS: the per-net
+// dedup stamps and the growable pin/offset/weight accumulators the
+// coarse CSR is assembled from. Threading one workspace through the
+// Induce calls of a multilevel run reduces each level's allocations to
+// the handful of arrays the returned Hypergraph actually retains
+// (areas, the two CSR directions, optional weights) — the Builder path
+// allocates one slice per net instead.
+//
+// Ownership rule: an InduceWorkspace belongs to exactly one goroutine
+// and one pipeline attempt at a time; never store one in a package
+// level variable or share it across concurrent attempts. The zero
+// value is ready to use.
+type InduceWorkspace struct {
+	mark    []int32 // per cluster: id of the last fine net that touched it
+	pins    []int32 // coarse pins of all kept nets, concatenated
+	starts  []int32 // CSR offsets into pins, len keptNets+1
+	weights []int32 // weight per kept net
+	fill    []int32 // cell→net CSR fill cursors
+}
+
+// InduceWS is Induce with caller-supplied scratch memory; nil ws
+// behaves exactly like Induce (it is Induce's implementation). The
+// returned hypergraph is freshly allocated and independent of ws —
+// reusing the workspace for the next level never aliases a previously
+// returned hypergraph.
+//
+// The construction is bit-identical to building through Builder: nets
+// keep fine-net order, pins are sorted ascending and deduplicated,
+// coarse nets with fewer than two pins are dropped, and the weighted
+// flag is set iff any kept net has weight ≠ 1.
+func InduceWS(h *Hypergraph, c *Clustering, ws *InduceWorkspace) (*Hypergraph, error) {
+	if err := c.Validate(h.NumCells()); err != nil {
+		return nil, err
+	}
+	if ws == nil {
+		ws = &InduceWorkspace{}
+	}
+	k := c.NumClusters
+
+	// Cluster areas are retained by the result: allocate fresh.
+	area := make([]int64, k)
+	for v := 0; v < h.NumCells(); v++ {
+		area[c.CellToCluster[v]] += h.Area(v)
+	}
+
+	// Accumulate the kept coarse nets into the workspace: mark[] stamp
+	// dedup per net (no per-net map or slice), in-place sort of each
+	// net's pin window.
+	if cap(ws.mark) < k {
+		ws.mark = make([]int32, k)
+	}
+	mark := ws.mark[:k]
+	for i := range mark {
+		mark[i] = -1
+	}
+	pins := ws.pins[:0]
+	starts := append(ws.starts[:0], 0)
+	weights := ws.weights[:0]
+	weighted := false
+	for e := 0; e < h.NumNets(); e++ {
+		base := len(pins)
+		for _, p := range h.Pins(e) {
+			kk := c.CellToCluster[p]
+			if mark[kk] != int32(e) {
+				mark[kk] = int32(e)
+				pins = append(pins, kk)
+			}
+		}
+		if len(pins)-base < 2 {
+			// |e*| = 1: dropped per Definition 1 / the net definition.
+			pins = pins[:base]
+			continue
+		}
+		sortPinWindow(pins[base:])
+		w := h.NetWeight(e)
+		weights = append(weights, w)
+		if w != 1 {
+			weighted = true
+		}
+		//mllint:ignore unchecked-narrow coarse pin total ≤ fine pin total, which Build/parse already capped at MaxInt32
+		starts = append(starts, int32(len(pins)))
+	}
+	ws.pins, ws.starts, ws.weights = pins, starts, weights
+
+	numNets := len(weights)
+	hh := &Hypergraph{
+		numCells: k,
+		numNets:  numNets,
+		area:     area,
+		// Clusters partition the cells, so the coarse total is exactly
+		// the fine total (already overflow-checked at fine build time).
+		totalArea: h.totalArea,
+	}
+	for _, a := range area {
+		if a > hh.maxArea {
+			hh.maxArea = a
+		}
+	}
+	hh.netStart = make([]int32, numNets+1)
+	copy(hh.netStart, starts)
+	hh.netPins = make([]int32, len(pins))
+	copy(hh.netPins, pins)
+	if weighted {
+		hh.netWeight = make([]int32, numNets)
+		copy(hh.netWeight, weights)
+	}
+
+	// Cell→net CSR: count, prefix-sum, fill in net order — the same
+	// procedure (and therefore the same arrays) as Builder.Build.
+	hh.cellStart = make([]int32, k+1)
+	for _, p := range pins {
+		hh.cellStart[p+1]++
+	}
+	for v := 0; v < k; v++ {
+		hh.cellStart[v+1] += hh.cellStart[v]
+	}
+	hh.cellNets = make([]int32, len(pins))
+	if cap(ws.fill) < k {
+		ws.fill = make([]int32, k)
+	}
+	fill := ws.fill[:k]
+	copy(fill, hh.cellStart[:k])
+	for e := 0; e < numNets; e++ {
+		for _, p := range pins[starts[e]:starts[e+1]] {
+			hh.cellNets[fill[p]] = int32(e)
+			fill[p]++
+		}
+	}
+	return hh, nil
+}
+
+// sortPinWindow sorts one net's pin window ascending, in place and
+// without allocating: insertion sort for the short lists coarsening
+// overwhelmingly produces, in-place heapsort beyond that. Pins are
+// distinct (mark-stamp dedup), so any correct sort yields the same
+// sequence Builder's sort.Slice would.
+func sortPinWindow(a []int32) {
+	if len(a) <= 24 {
+		for i := 1; i < len(a); i++ {
+			v := a[i]
+			j := i - 1
+			for j >= 0 && a[j] > v {
+				a[j+1] = a[j]
+				j--
+			}
+			a[j+1] = v
+		}
+		return
+	}
+	// Heapsort: no recursion, no scratch.
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownPins(a, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftDownPins(a, 0, end)
+	}
+}
+
+func siftDownPins(a []int32, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && a[child+1] > a[child] {
+			child++
+		}
+		if a[root] >= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}

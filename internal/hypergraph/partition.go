@@ -228,18 +228,36 @@ func RandomPartition(h *Hypergraph, k int, r float64, rng *rand.Rand) *Partition
 // onto the fine hypergraph, following Definition 2: a fine cell lands
 // in the block of its cluster.
 func Project(c *Clustering, coarse *Partition) (*Partition, error) {
+	fine := &Partition{}
+	if err := ProjectInto(c, coarse, fine); err != nil {
+		return nil, err
+	}
+	return fine, nil
+}
+
+// ProjectInto is Project writing the fine solution into an existing
+// partition, reusing fine.Part's backing array when it is large
+// enough. It is how the multilevel uncoarsening loop alternates two
+// partition buffers instead of allocating one per level. fine must not
+// alias coarse.
+func ProjectInto(c *Clustering, coarse *Partition, fine *Partition) error {
 	if coarse.K < 1 {
-		return nil, fmt.Errorf("partition: project with K = %d", coarse.K)
+		return fmt.Errorf("partition: project with K = %d", coarse.K)
 	}
 	if len(coarse.Part) != c.NumClusters {
-		return nil, fmt.Errorf("partition: project: coarse has %d cells, clustering has %d clusters",
+		return fmt.Errorf("partition: project: coarse has %d cells, clustering has %d clusters",
 			len(coarse.Part), c.NumClusters)
 	}
-	fine := NewPartition(len(c.CellToCluster), coarse.K)
+	n := len(c.CellToCluster)
+	if cap(fine.Part) < n {
+		fine.Part = make([]int32, n)
+	}
+	fine.Part = fine.Part[:n]
+	fine.K = coarse.K
 	for v, k := range c.CellToCluster {
 		fine.Part[v] = coarse.Part[k]
 	}
-	return fine, nil
+	return nil
 }
 
 // Rebalance restores the balance bound on p (in place) by repeatedly

@@ -1,0 +1,152 @@
+// Package oracle provides deliberately slow reference implementations
+// of the quantities the optimized pipeline maintains incrementally:
+// cut, FM gain, block areas and balance. Everything is recomputed from
+// scratch with the most literal data structures available (one map per
+// net, no early exits, no shared state), so the package has no
+// workspace, no buffer reuse and no incremental update to get wrong.
+//
+// The differential tests ("Oracle" tests, run with -count=2 in CI)
+// assert that the optimized paths — gain buckets, incremental cut
+// maintenance, workspace-reusing induce/project — agree with these
+// recomputations bit-for-bit across seeds, parallelism levels and
+// fault-injection plans. Keep this package boring: its only job is to
+// be obviously correct.
+package oracle
+
+import (
+	"mlpart/internal/hypergraph"
+)
+
+// blocksOf returns the set of blocks net e touches, via a map — the
+// most literal reading of "the blocks a net spans".
+func blocksOf(h *hypergraph.Hypergraph, p *hypergraph.Partition, e int) map[int32]bool {
+	blocks := make(map[int32]bool)
+	for _, v := range h.Pins(e) {
+		blocks[p.Part[v]] = true
+	}
+	return blocks
+}
+
+// Cut recounts the number of nets spanning more than one block.
+func Cut(h *hypergraph.Hypergraph, p *hypergraph.Partition) int {
+	cut := 0
+	for e := 0; e < h.NumNets(); e++ {
+		if len(blocksOf(h, p, e)) > 1 {
+			cut++
+		}
+	}
+	return cut
+}
+
+// WeightedCut recounts the total weight of nets spanning more than one
+// block.
+func WeightedCut(h *hypergraph.Hypergraph, p *hypergraph.Partition) int {
+	cut := 0
+	for e := 0; e < h.NumNets(); e++ {
+		if len(blocksOf(h, p, e)) > 1 {
+			cut += int(h.NetWeight(e))
+		}
+	}
+	return cut
+}
+
+// SumOfDegrees recounts Σ_e (span(e) − 1), the k-way objective of
+// §III.C.
+func SumOfDegrees(h *hypergraph.Hypergraph, p *hypergraph.Partition) int {
+	total := 0
+	for e := 0; e < h.NumNets(); e++ {
+		if span := len(blocksOf(h, p, e)); span > 1 {
+			total += span - 1
+		}
+	}
+	return total
+}
+
+// WeightedSumOfDegrees recounts Σ_e weight(e)·(span(e) − 1).
+func WeightedSumOfDegrees(h *hypergraph.Hypergraph, p *hypergraph.Partition) int {
+	total := 0
+	for e := 0; e < h.NumNets(); e++ {
+		if span := len(blocksOf(h, p, e)); span > 1 {
+			total += int(h.NetWeight(e)) * (span - 1)
+		}
+	}
+	return total
+}
+
+// BlockAreas recomputes the per-block areas by summing cell areas.
+func BlockAreas(h *hypergraph.Hypergraph, p *hypergraph.Partition) []int64 {
+	areas := make([]int64, p.K)
+	for v := 0; v < h.NumCells(); v++ {
+		areas[p.Part[v]] += h.Area(v)
+	}
+	return areas
+}
+
+// Balanced reports whether every block area lies inside the §III.B
+// bound for tolerance r, recomputing areas and the bound from scratch.
+func Balanced(h *hypergraph.Hypergraph, p *hypergraph.Partition, r float64) bool {
+	bound := Bound(h, p.K, r)
+	for _, a := range BlockAreas(h, p) {
+		if a < bound.Lo || a > bound.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// Bound recomputes the §III.B balance bound from first principles:
+// each block within max(A(v*), r·A(V)/k) of the perfect share A(V)/k.
+func Bound(h *hypergraph.Hypergraph, k int, r float64) hypergraph.BalanceBound {
+	var total, biggest int64
+	for v := 0; v < h.NumCells(); v++ {
+		a := h.Area(v)
+		total += a
+		if a > biggest {
+			biggest = a
+		}
+	}
+	target := total / int64(k)
+	slack := int64(r * float64(total) / float64(k))
+	if biggest > slack {
+		slack = biggest
+	}
+	lo := target - slack
+	if lo < 0 {
+		lo = 0
+	}
+	return hypergraph.BalanceBound{Lo: lo, Hi: target + slack}
+}
+
+// Gain recomputes the FM gain of moving cell v to the other block of a
+// bipartition: the weighted cut decrease, i.e. WeightedCut(before) −
+// WeightedCut(after), evaluated by literally performing the move on a
+// copy. Quadratic per call; that is the point.
+func Gain(h *hypergraph.Hypergraph, p *hypergraph.Partition, v int) int {
+	before := WeightedCut(h, p)
+	q := p.Clone()
+	q.Part[v] ^= 1
+	return before - WeightedCut(h, q)
+}
+
+// Gains recomputes the FM gain of every cell of a bipartition.
+func Gains(h *hypergraph.Hypergraph, p *hypergraph.Partition) []int {
+	g := make([]int, h.NumCells())
+	for v := range g {
+		g[v] = Gain(h, p, v)
+	}
+	return g
+}
+
+// Validate re-checks that p is a well-formed partition of h with the
+// expected K, without delegating to Partition.Validate.
+func Validate(h *hypergraph.Hypergraph, p *hypergraph.Partition, k int) bool {
+	if p == nil || p.K != k || len(p.Part) != h.NumCells() {
+		return false
+	}
+	for _, b := range p.Part {
+		if b < 0 || int(b) >= k {
+			return false
+		}
+	}
+	return true
+}

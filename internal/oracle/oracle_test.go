@@ -1,0 +1,162 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlpart/internal/hypergraph"
+)
+
+// tiny builds the 4-cell, 3-net example used by the hand-computed
+// checks:
+//
+//	net 0: {0,1}   net 1: {1,2,3}   net 2: {0,3}  (weight 5)
+func tiny(t *testing.T) *hypergraph.Hypergraph {
+	t.Helper()
+	b := hypergraph.NewBuilder(4)
+	b.SetArea(2, 3)
+	b.AddNet(0, 1)
+	b.AddNet(1, 2, 3)
+	b.AddWeightedNet(5, 0, 3)
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestOracleHandComputed(t *testing.T) {
+	h := tiny(t)
+	p := &hypergraph.Partition{Part: []int32{0, 0, 1, 1}, K: 2}
+	// net 0 uncut, net 1 cut, net 2 cut.
+	if got := Cut(h, p); got != 2 {
+		t.Errorf("Cut = %d, want 2", got)
+	}
+	if got := WeightedCut(h, p); got != 6 {
+		t.Errorf("WeightedCut = %d, want 6", got)
+	}
+	if got := SumOfDegrees(h, p); got != 2 {
+		t.Errorf("SumOfDegrees = %d, want 2", got)
+	}
+	if got := WeightedSumOfDegrees(h, p); got != 6 {
+		t.Errorf("WeightedSumOfDegrees = %d, want 6", got)
+	}
+	areas := BlockAreas(h, p)
+	if areas[0] != 2 || areas[1] != 4 {
+		t.Errorf("BlockAreas = %v, want [2 4]", areas)
+	}
+	// Moving cell 1 to block 1 cuts net 0 but uncuts net 1: gain 0.
+	if got := Gain(h, p, 1); got != 0 {
+		t.Errorf("Gain(1) = %d, want 0", got)
+	}
+	// Moving cell 3 to block 0 uncuts net 2 (weight 5), net 1 stays
+	// cut: gain +5.
+	if got := Gain(h, p, 3); got != 5 {
+		t.Errorf("Gain(3) = %d, want 5", got)
+	}
+	if !Validate(h, p, 2) {
+		t.Error("Validate rejected a valid partition")
+	}
+	if Validate(h, p, 4) {
+		t.Error("Validate accepted the wrong K")
+	}
+	if Validate(h, &hypergraph.Partition{Part: []int32{0, 0, 2, 1}, K: 2}, 2) {
+		t.Error("Validate accepted an out-of-range block")
+	}
+}
+
+// randomInstance builds a random weighted hypergraph and a random
+// K-way partition of it.
+func randomInstance(t *testing.T, rng *rand.Rand, cells, nets, k int) (*hypergraph.Hypergraph, *hypergraph.Partition) {
+	t.Helper()
+	b := hypergraph.NewBuilder(cells)
+	for v := 0; v < cells; v++ {
+		b.SetArea(v, int64(1+rng.Intn(4)))
+	}
+	for e := 0; e < nets; e++ {
+		size := 2 + rng.Intn(5)
+		pins := make([]int, 0, size)
+		seen := map[int]bool{}
+		for len(pins) < size {
+			v := rng.Intn(cells)
+			if !seen[v] {
+				seen[v] = true
+				pins = append(pins, v)
+			}
+		}
+		weights := []int32{2, 3, 5, 7}
+		if rng.Intn(3) == 0 {
+			b.AddWeightedNet(weights[rng.Intn(len(weights))], pins...)
+		} else {
+			b.AddNet(pins...)
+		}
+	}
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &hypergraph.Partition{Part: make([]int32, cells), K: k}
+	for v := range p.Part {
+		p.Part[v] = int32(rng.Intn(k)) //mllint:ignore unchecked-narrow small test block count
+	}
+	return h, p
+}
+
+// TestOracleAgreesWithOptimizedPartitionMethods is the base
+// differential test: the optimized Partition methods (early-exit cut
+// loops, stamp-based span counting) must agree with the map-based
+// oracle recomputations on random weighted instances.
+func TestOracleAgreesWithOptimizedPartitionMethods(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(3)
+		h, p := randomInstance(t, rng, 40+rng.Intn(60), 60+rng.Intn(60), k)
+		if got, want := p.Cut(h), Cut(h, p); got != want {
+			t.Fatalf("seed %d: Cut %d != oracle %d", seed, got, want)
+		}
+		if got, want := p.WeightedCut(h), WeightedCut(h, p); got != want {
+			t.Fatalf("seed %d: WeightedCut %d != oracle %d", seed, got, want)
+		}
+		if got, want := p.SumOfDegrees(h), SumOfDegrees(h, p); got != want {
+			t.Fatalf("seed %d: SumOfDegrees %d != oracle %d", seed, got, want)
+		}
+		if got, want := p.WeightedSumOfDegrees(h), WeightedSumOfDegrees(h, p); got != want {
+			t.Fatalf("seed %d: WeightedSumOfDegrees %d != oracle %d", seed, got, want)
+		}
+		oa := BlockAreas(h, p)
+		for b, a := range p.BlockAreas(h) {
+			if a != oa[b] {
+				t.Fatalf("seed %d: block %d area %d != oracle %d", seed, b, a, oa[b])
+			}
+		}
+		for _, r := range []float64{0.1, 0.25} {
+			want := Bound(h, k, r)
+			if got := hypergraph.Balance(h, k, r); got != want {
+				t.Fatalf("seed %d: Balance(%v) = %+v != oracle %+v", seed, r, got, want)
+			}
+			if got, want := p.IsBalanced(h, hypergraph.Balance(h, k, r)), Balanced(h, p, r); got != want {
+				t.Fatalf("seed %d: IsBalanced(%v) = %v != oracle %v", seed, r, got, want)
+			}
+		}
+	}
+}
+
+// TestOracleGainIsCutDelta pins the defining property of the FM gain
+// on bipartitions: performing the move changes the weighted cut by
+// exactly −gain, and Gains agrees with per-cell Gain.
+func TestOracleGainIsCutDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h, p := randomInstance(t, rng, 30, 50, 2)
+	gains := Gains(h, p)
+	before := WeightedCut(h, p)
+	for v := 0; v < h.NumCells(); v++ {
+		if gains[v] != Gain(h, p, v) {
+			t.Fatalf("Gains[%d] = %d != Gain %d", v, gains[v], Gain(h, p, v))
+		}
+		q := p.Clone()
+		q.Part[v] ^= 1
+		if got := before - WeightedCut(h, q); got != gains[v] {
+			t.Fatalf("cell %d: cut delta %d != gain %d", v, got, gains[v])
+		}
+	}
+}
