@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint chaos fuzz-smoke stats-smoke bench-smoke oracle check
+.PHONY: all build vet test race lint chaos fuzz-smoke stats-smoke serve-smoke bench-smoke oracle check
 
 all: build
 
@@ -30,11 +30,14 @@ lint:
 
 # Chaos suite: the deterministic fault-injection sweep (every site ×
 # every fault kind × both entry points) plus the parallel multi-start
-# supervisor tests, under the race detector — the recovery paths must
-# be both correct and race-free.
+# supervisor tests and the mlpartd server chaos sweep (faults at
+# server.admit / server.job under a concurrent burst: every accepted
+# job must reach exactly one terminal status), under the race
+# detector — the recovery paths must be both correct and race-free.
 chaos:
 	$(GO) test -race -run 'TestChaos|TestParallelMultiStart|TestRecoveredStart|TestAttemptTimeout|TestOuterCancel|TestRetried|TestRunStarts' . ./internal/core
 	$(GO) test -race ./internal/faultinject
+	$(GO) test -race -run 'TestChaosSweepServer|TestDrainMidBurst|TestQueueFullSheds|TestAdmitPanic|TestJobPanic' ./internal/server
 
 # Short fuzz run over the parser hardening (resource limits, overflow
 # checks). The checked-in corpus under
@@ -55,6 +58,15 @@ stats-smoke:
 	$(GO) run ./cmd/statscheck -in /tmp/mlpart-stats-p4.json -strip > /tmp/mlpart-stats-p4.stripped.json
 	cmp /tmp/mlpart-stats-p1.stripped.json /tmp/mlpart-stats-p4.stripped.json
 
+# Service smoke: mlpartd's loopback self-test drives the daemon over
+# real HTTP (submit / wait / result, byte-identical cache hit, then a
+# self-delivered SIGTERM through the production drain path) and the
+# final service stats are piped into cmd/statscheck, which validates
+# the mlpartd-stats/1 accounting ledger from stdin.
+serve-smoke:
+	$(GO) build -o /tmp/mlpartd-smoke ./cmd/mlpartd
+	/tmp/mlpartd-smoke -smoke -in cmd/mlpart/testdata/smoke.hgr | $(GO) run ./cmd/statscheck
+
 # Benchmark regression gate: cmd/benchrun sweeps the pinned netgen
 # instances, writes BENCH_<date>.json, and gates cuts (exact) and
 # allocs/op (tolerance) against the checked-in bench_baseline.json.
@@ -70,4 +82,4 @@ bench-smoke:
 oracle:
 	$(GO) test -race -run Oracle -count=2 . ./internal/fm ./internal/oracle
 
-check: build vet test race lint chaos fuzz-smoke stats-smoke oracle bench-smoke
+check: build vet test race lint chaos fuzz-smoke stats-smoke serve-smoke oracle bench-smoke

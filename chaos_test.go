@@ -16,13 +16,17 @@ import (
 )
 
 // siteFires reports whether a site can trigger on the given entry
-// point (fm.pass is bipartition-only, kway.refine quadrisection-only).
+// point (fm.pass is bipartition-only, kway.refine quadrisection-only;
+// the server.* sites live in mlpartd's admission/job paths and are
+// never reached through the library entry points).
 func siteFires(site faultinject.Site, k int) bool {
 	switch site {
 	case faultinject.SiteFMPass:
 		return k == 2
 	case faultinject.SiteKwayRefine:
 		return k == 4
+	case faultinject.SiteServerAdmit, faultinject.SiteServerJob:
+		return false
 	}
 	return true
 }

@@ -1,0 +1,296 @@
+// Command mlpartd serves the ML multilevel partitioner as a
+// fault-tolerant HTTP service with admission control, per-job
+// deadlines, result caching, and graceful drain.
+//
+// Usage:
+//
+//	mlpartd [-addr :7997] [-queue 64] [-workers 0] [-cache 256]
+//	        [-default-timeout 30s] [-max-timeout 5m] [-drain-timeout 10s]
+//	        [-retries 1] [-chaos site:kind:n[:start]] [-chaos-seed 1]
+//	        [-smoke] [-in circuit.hgr]
+//
+// API (JSON):
+//
+//	POST   /v1/jobs             submit {"hgr": "...", "k": 2|4,
+//	                            "options": {...}, "timeout_ms": n,
+//	                            "stats": bool}; 202 + job document, or
+//	                            429 (+Retry-After) when the admission
+//	                            queue is full, 503 while draining.
+//	GET    /v1/jobs/{id}        job state; ?wait_ms=N long-polls for a
+//	                            terminal status.
+//	DELETE /v1/jobs/{id}        cancel; the job keeps its best-so-far
+//	                            solution.
+//	GET    /v1/jobs/{id}/result deterministic result document
+//	                            (X-Mlpartd-Cache: hit|miss).
+//	GET    /healthz /readyz     liveness / readiness probes.
+//	GET    /statsz              service counters, schema
+//	                            mlpartd-stats/1 (pipe into statscheck).
+//
+// SIGTERM or SIGINT starts a graceful drain: admission stops (503),
+// in-flight and queued jobs get -drain-timeout to finish, stragglers
+// are cancelled cooperatively into the "drained" status, and the
+// final service stats are written to stdout before exit. Every
+// accepted job reaches exactly one terminal status; the process
+// always exits 0 on a clean drain.
+//
+// -smoke runs the self-test used by `make serve-smoke`: the daemon
+// binds a loopback port, drives a real HTTP client through submit /
+// wait / result, re-submits to verify the cache hit returns a
+// byte-identical result body, then delivers SIGTERM to itself to
+// exercise the production drain path and prints the final stats JSON
+// to stdout.
+//
+// Repeatable -chaos flags arm deterministic fault injection at the
+// server.admit / server.job sites (plus any pipeline site, which then
+// fires inside every job) for chaos testing the recovery paths.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mlpart"
+	"mlpart/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mlpartd:", err)
+		os.Exit(1)
+	}
+}
+
+// chaosFlags collects repeatable -chaos specs.
+type chaosFlags []string
+
+func (c *chaosFlags) String() string     { return strings.Join(*c, ",") }
+func (c *chaosFlags) Set(v string) error { *c = append(*c, v); return nil }
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":7997", "listen address")
+		queue        = flag.Int("queue", 0, "admission queue depth (0 = default 64)")
+		workers      = flag.Int("workers", 0, "concurrent job executors (0 = min(4, GOMAXPROCS))")
+		cache        = flag.Int("cache", 0, "result cache entries (0 = default 256, negative disables)")
+		defTimeout   = flag.Duration("default-timeout", 0, "per-job deadline when the submission names none (0 = default 30s)")
+		maxTimeout   = flag.Duration("max-timeout", 0, "cap on client-requested deadlines (0 = default 5m)")
+		drainTimeout = flag.Duration("drain-timeout", 0, "grace period for in-flight jobs on shutdown (0 = default 10s)")
+		retries      = flag.Int("retries", 0, "extra attempts per failed job (0 = default 1, negative disables)")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for probabilistic -chaos triggers")
+		smoke        = flag.Bool("smoke", false, "run the loopback self-test and exit")
+		in           = flag.String("in", "", "netlist for -smoke (hMETIS .hgr)")
+	)
+	var chaos chaosFlags
+	flag.Var(&chaos, "chaos", "arm a fault: site:kind:n[:start] (repeatable)")
+	flag.Parse()
+
+	plan, err := mlpart.ParseFaultSpec(chaos, *chaosSeed)
+	if err != nil {
+		return err
+	}
+	cfg := server.Config{
+		QueueDepth:     *queue,
+		Workers:        *workers,
+		CacheCap:       *cache,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		DrainTimeout:   *drainTimeout,
+		MaxRetries:     *retries,
+		Inject:         plan,
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	listenAddr := *addr
+	if *smoke {
+		listenAddr = "127.0.0.1:0" // loopback self-test: never a public port
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "mlpartd: listening on %s\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+
+	smokeErr := make(chan error, 1)
+	if *smoke {
+		go func() { smokeErr <- runSmoke(ln.Addr().String(), *in) }()
+	}
+
+	var clientErr error
+	select {
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "mlpartd: %v: draining\n", got)
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case clientErr = <-smokeErr:
+		if clientErr != nil {
+			// The self-test failed before reaching its SIGTERM; still
+			// drain so every accepted job terminates cleanly.
+			fmt.Fprintf(os.Stderr, "mlpartd: smoke failed, draining: %v\n", clientErr)
+		} else {
+			// The self-test SIGTERMs itself; wait for it here so the
+			// drain goes through the production signal path.
+			got := <-sig
+			fmt.Fprintf(os.Stderr, "mlpartd: %v: draining\n", got)
+		}
+	}
+
+	// Stop accepting connections, then drain the job layer: admission
+	// is already refusing (503) the moment Drain is entered.
+	dctx, dcancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer dcancel()
+	if err := srv.Drain(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer scancel()
+	_ = hs.Shutdown(sctx)
+
+	// The final stats snapshot is the drain's flight recorder; -smoke
+	// pipes it into statscheck.
+	rep := srv.Stats()
+	if err := rep.WriteJSON(os.Stdout); err != nil {
+		return err
+	}
+	return clientErr
+}
+
+// runSmoke drives the daemon through a real client flow on addr:
+// submit, wait, fetch the result, re-submit for a byte-identical
+// cache hit, check the probes, then SIGTERM the process to exercise
+// the production drain.
+func runSmoke(addr, in string) error {
+	if in == "" {
+		return fmt.Errorf("-smoke requires -in")
+	}
+	hgr, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	for _, probe := range []string{"/healthz", "/readyz"} {
+		if err := expectOK(client, base+probe); err != nil {
+			return err
+		}
+	}
+
+	body, err := json.Marshal(map[string]any{
+		"hgr":     string(hgr),
+		"k":       2,
+		"options": map[string]any{"seed": 1997, "starts": 2},
+	})
+	if err != nil {
+		return err
+	}
+
+	first, err := smokeJob(client, base, body)
+	if err != nil {
+		return fmt.Errorf("first job: %w", err)
+	}
+	second, err := smokeJob(client, base, body)
+	if err != nil {
+		return fmt.Errorf("second job: %w", err)
+	}
+	if second.cache != "hit" {
+		return fmt.Errorf("second submission: X-Mlpartd-Cache = %q, want \"hit\"", second.cache)
+	}
+	if !bytes.Equal(first.result, second.result) {
+		return fmt.Errorf("cache hit result differs from computed result (%d vs %d bytes)", len(first.result), len(second.result))
+	}
+	fmt.Fprintf(os.Stderr, "mlpartd: smoke ok: %d-byte result, cache %s then %s\n",
+		len(first.result), first.cache, second.cache)
+
+	return syscall.Kill(os.Getpid(), syscall.SIGTERM)
+}
+
+type smokeResult struct {
+	result []byte
+	cache  string
+}
+
+// smokeJob submits body, waits for a terminal status, and fetches the
+// result document.
+func smokeJob(client *http.Client, base string, body []byte) (smokeResult, error) {
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return smokeResult{}, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return smokeResult{}, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return smokeResult{}, fmt.Errorf("submit: %s: %s", resp.Status, data)
+	}
+	var v struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(data, &v); err != nil {
+		return smokeResult{}, err
+	}
+
+	resp, err = client.Get(base + "/v1/jobs/" + v.ID + "?wait_ms=25000")
+	if err != nil {
+		return smokeResult{}, err
+	}
+	data, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return smokeResult{}, err
+	}
+	if err := json.Unmarshal(data, &v); err != nil {
+		return smokeResult{}, err
+	}
+	if v.Status != "completed" {
+		return smokeResult{}, fmt.Errorf("job %s ended %q, want completed: %s", v.ID, v.Status, data)
+	}
+
+	resp, err = client.Get(base + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		return smokeResult{}, err
+	}
+	res, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return smokeResult{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return smokeResult{}, fmt.Errorf("result: %s: %s", resp.Status, res)
+	}
+	return smokeResult{result: res, cache: resp.Header.Get("X-Mlpartd-Cache")}, nil
+}
+
+func expectOK(client *http.Client, url string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return nil
+}

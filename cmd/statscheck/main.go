@@ -1,25 +1,36 @@
-// Command statscheck validates a -stats-json report written by
-// cmd/mlpart against the mlpart-stats/1 schema: header consistency,
-// per-start completeness, internal counter invariants, and non-zero
-// wall-clock totals. It is the validation half of `make stats-smoke`.
+// Command statscheck validates a statistics report: either a
+// -stats-json run report written by cmd/mlpart (schema
+// mlpart-stats/1: header consistency, per-start completeness,
+// internal counter invariants, non-zero wall-clock totals) or a
+// /statsz service snapshot from mlpartd (schema mlpartd-stats/1:
+// accounting invariants — accepted = terminals + queued + running).
+// The schema is detected from the document. It is the validation half
+// of `make stats-smoke` and `make serve-smoke`.
 //
 // Usage:
 //
 //	statscheck -in stats.json [-min-levels 1] [-min-passes 1] [-strip]
+//	mlpartd ... | statscheck
 //
-// -strip additionally prints the report to stdout with every *_ns
+// With -in empty or "-", the report is read from stdin — that is how
+// mlpartd's final stats output is piped straight into validation.
+//
+// -strip additionally prints a run report to stdout with every *_ns
 // timing field zeroed, in the canonical indented encoding — piping two
 // stripped reports through cmp/diff is the cross-parallelism
-// determinism check.
+// determinism check. (Service snapshots are inherently stateful, so
+// -strip applies only to run reports.)
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mlpart"
+	"mlpart/internal/telemetry"
 )
 
 func main() {
@@ -31,35 +42,112 @@ func main() {
 
 func run() error {
 	var (
-		in        = flag.String("in", "", "stats JSON file to validate (required)")
-		minLevels = flag.Int("min-levels", 1, "minimum coarsening levels required of the best start")
-		minPasses = flag.Int("min-passes", 1, "minimum refinement passes required of the best start")
-		strip     = flag.Bool("strip", false, "print the report with timings zeroed to stdout")
+		in        = flag.String("in", "", "stats JSON file (empty or \"-\" reads stdin)")
+		minLevels = flag.Int("min-levels", 1, "minimum coarsening levels required of the best start (run reports)")
+		minPasses = flag.Int("min-passes", 1, "minimum refinement passes required of the best start (run reports)")
+		strip     = flag.Bool("strip", false, "print a run report with timings zeroed to stdout")
 	)
 	flag.Parse()
-	if *in == "" {
-		flag.Usage()
-		return fmt.Errorf("missing -in")
+
+	name := *in
+	var data []byte
+	var err error
+	if name == "" || name == "-" {
+		name = "stdin"
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(name)
 	}
-	data, err := os.ReadFile(*in)
 	if err != nil {
 		return err
 	}
-	var r mlpart.Report
-	if err := json.Unmarshal(data, &r); err != nil {
-		return fmt.Errorf("%s: %v", *in, err)
+
+	// Detect the document kind from its schema field before
+	// committing to a full decode.
+	var head struct {
+		Schema string `json:"schema"`
 	}
-	if err := validate(&r, *minLevels, *minPasses); err != nil {
-		return fmt.Errorf("%s: %v", *in, err)
+	if err := json.Unmarshal(data, &head); err != nil {
+		return fmt.Errorf("%s: %v", name, err)
 	}
-	if *strip {
-		r.StripTimings()
-		if err := r.WriteJSON(os.Stdout); err != nil {
-			return err
+	switch head.Schema {
+	case telemetry.ServiceSchemaVersion: // mlpartd-stats/1
+		var r telemetry.ServiceReport
+		if err := json.Unmarshal(data, &r); err != nil {
+			return fmt.Errorf("%s: %v", name, err)
+		}
+		if err := validateService(&r); err != nil {
+			return fmt.Errorf("%s: %v", name, err)
+		}
+		if *strip {
+			return fmt.Errorf("%s: -strip applies only to %s run reports", name, "mlpart-stats/1")
+		}
+		fmt.Fprintf(os.Stderr, "statscheck: %s ok (service: %d accepted, %d completed, %d rejected, cache %d/%d)\n",
+			name, r.Accepted, r.Completed, r.RejectedQueueFull+r.RejectedDraining,
+			r.CacheHits, r.CacheHits+r.CacheMisses)
+		return nil
+	default:
+		var r mlpart.Report
+		if err := json.Unmarshal(data, &r); err != nil {
+			return fmt.Errorf("%s: %v", name, err)
+		}
+		if err := validate(&r, *minLevels, *minPasses); err != nil {
+			return fmt.Errorf("%s: %v", name, err)
+		}
+		if *strip {
+			r.StripTimings()
+			if err := r.WriteJSON(os.Stdout); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "statscheck: %s ok (%d starts, best %d, cut %d, %d levels)\n",
+			name, r.Starts, r.BestStart, r.Cut, r.Levels)
+		return nil
+	}
+}
+
+// validateService checks the mlpartd-stats/1 accounting invariants.
+func validateService(r *telemetry.ServiceReport) error {
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"accepted", r.Accepted},
+		{"rejected_queue_full", r.RejectedQueueFull},
+		{"rejected_draining", r.RejectedDraining},
+		{"invalid", r.Invalid},
+		{"completed", r.Completed},
+		{"failed", r.Failed},
+		{"cancelled", r.Cancelled},
+		{"deadline_exceeded", r.DeadlineExceeded},
+		{"drained", r.Drained},
+		{"retried", r.Retried},
+		{"cache_hits", r.CacheHits},
+		{"cache_misses", r.CacheMisses},
+		{"queued", r.Queued},
+		{"running", r.Running},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("%s = %d < 0", c.name, c.v)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "statscheck: %s ok (%d starts, best %d, cut %d, %d levels)\n",
-		*in, r.Starts, r.BestStart, r.Cut, r.Levels)
+	if r.QueueCap < 1 {
+		return fmt.Errorf("queue_cap = %d < 1", r.QueueCap)
+	}
+	// The no-lost-jobs ledger: everything admitted is terminal or
+	// still in flight.
+	terminals := r.Completed + r.Failed + r.Cancelled + r.DeadlineExceeded + r.Drained
+	if r.Accepted != terminals+r.Queued+r.Running {
+		return fmt.Errorf("accounting violated: accepted %d != terminals %d + queued %d + running %d",
+			r.Accepted, terminals, r.Queued, r.Running)
+	}
+	// Cache lookups happen once per accepted job.
+	if r.CacheHits+r.CacheMisses > r.Accepted {
+		return fmt.Errorf("cache lookups %d exceed accepted %d", r.CacheHits+r.CacheMisses, r.Accepted)
+	}
+	if r.UptimeNS <= 0 {
+		return fmt.Errorf("uptime_ns = %d, want > 0", r.UptimeNS)
+	}
 	return nil
 }
 

@@ -27,7 +27,7 @@ func buildTools(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, tool := range []string{"mlpart", "benchgen", "experiments", "cutverify", "drawplace", "statscheck"} {
+		for _, tool := range []string{"mlpart", "benchgen", "experiments", "cutverify", "drawplace", "statscheck", "mlpartd"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, tool), "./cmd/"+tool)
 			if out, err := cmd.CombinedOutput(); err != nil {
 				buildErr = err
@@ -388,5 +388,92 @@ func TestCmdExperimentsDeterministic(t *testing.T) {
 	}
 	if a, b := run(), run(); a != b {
 		t.Errorf("same seed produced different experiment output:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestCmdMlpartdSmoke drives the daemon's loopback self-test — a real
+// HTTP submit/wait/result flow, a byte-identical cache hit, and a
+// self-delivered SIGTERM through the production drain path — then
+// pipes the final stats JSON into statscheck via stdin, covering the
+// mlpartd-stats/1 validation path and the stdin input mode at once.
+func TestCmdMlpartdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t)
+	hgr := filepath.Join("cmd", "mlpart", "testdata", "smoke.hgr")
+
+	out, err := exec.Command(filepath.Join(bins, "mlpartd"),
+		"-smoke", "-in", hgr).Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			t.Fatalf("mlpartd -smoke: %v\n%s", err, ee.Stderr)
+		}
+		t.Fatalf("mlpartd -smoke: %v", err)
+	}
+
+	var rep struct {
+		Schema    string `json:"schema"`
+		Accepted  int64  `json:"accepted"`
+		Completed int64  `json:"completed"`
+		CacheHits int64  `json:"cache_hits"`
+		Draining  bool   `json:"draining"`
+	}
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatalf("smoke stats output: %v\n%s", err, out)
+	}
+	if rep.Schema != "mlpartd-stats/1" || rep.Accepted != 2 || rep.Completed != 2 ||
+		rep.CacheHits != 1 || !rep.Draining {
+		t.Errorf("unexpected smoke stats: %+v", rep)
+	}
+
+	// statscheck consumes the service snapshot from stdin.
+	cmd := exec.Command(filepath.Join(bins, "statscheck"))
+	cmd.Stdin = strings.NewReader(string(out))
+	if sout, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("statscheck < mlpartd stats: %v\n%s", err, sout)
+	} else if !strings.Contains(string(sout), "service") {
+		t.Errorf("statscheck did not report the service path:\n%s", sout)
+	}
+
+	// A snapshot violating the accounting ledger must fail.
+	bad := strings.Replace(string(out), `"completed": 2`, `"completed": 1`, 1)
+	if bad == string(out) {
+		t.Fatalf("could not corrupt the snapshot:\n%s", out)
+	}
+	cmd = exec.Command(filepath.Join(bins, "statscheck"), "-in", "-")
+	cmd.Stdin = strings.NewReader(bad)
+	if sout, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("statscheck accepted a ledger-violating snapshot:\n%s", sout)
+	} else if !strings.Contains(string(sout), "accounting") {
+		t.Errorf("unexpected rejection message:\n%s", sout)
+	}
+}
+
+// TestCmdStatscheckStdinRunReport pipes an mlpart run report through
+// statscheck's stdin path: schema auto-detection must route it to the
+// mlpart-stats/1 validator.
+func TestCmdStatscheckStdinRunReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t)
+	dir := t.TempDir()
+	hgr := filepath.Join("cmd", "mlpart", "testdata", "smoke.hgr")
+	stats := filepath.Join(dir, "stats.json")
+	if out, err := exec.Command(filepath.Join(bins, "mlpart"),
+		"-in", hgr, "-out", os.DevNull, "-stats-json", stats).CombinedOutput(); err != nil {
+		t.Fatalf("mlpart -stats-json: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(filepath.Join(bins, "statscheck"))
+	cmd.Stdin = strings.NewReader(string(data))
+	if sout, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("statscheck < run report: %v\n%s", err, sout)
+	} else if !strings.Contains(string(sout), "starts") {
+		t.Errorf("stdin run report not validated as run report:\n%s", sout)
 	}
 }

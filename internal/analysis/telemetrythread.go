@@ -11,9 +11,11 @@ import (
 // internal/telemetry:
 //
 //  1. in every package, no package-level variable may hold a
-//     (*)telemetry.Collector — a global collector is shared mutable
-//     state that breaks per-start isolation and the deterministic
-//     merge; collectors are threaded through Options/Config fields;
+//     (*)telemetry.Collector or (*)telemetry.ServiceCollector — a
+//     global collector is shared mutable state that breaks per-start
+//     isolation and the deterministic merge (and, for the service
+//     counters, hides the daemon's ownership of its stats);
+//     collectors are threaded through Options/Config fields;
 //  2. in the deterministic pipeline packages (internal/coarsen, fm,
 //     kway, gainbucket, core, hypergraph), calling telemetry.New is
 //     forbidden — those packages receive an armed collector via their
@@ -34,8 +36,8 @@ func (TelemetryThread) Doc() string {
 // suffix.
 const telemetryPath = "internal/telemetry"
 
-// isTelemetryCollector reports whether t is telemetry.Collector or a
-// pointer to it.
+// isTelemetryCollector reports whether t is telemetry.Collector or
+// telemetry.ServiceCollector, or a pointer to either.
 func isTelemetryCollector(t types.Type) bool {
 	if ptr, ok := t.(*types.Pointer); ok {
 		t = ptr.Elem()
@@ -45,8 +47,10 @@ func isTelemetryCollector(t types.Type) bool {
 		return false
 	}
 	tn := named.Obj()
-	return tn.Name() == "Collector" && tn.Pkg() != nil &&
-		strings.HasSuffix(tn.Pkg().Path(), telemetryPath)
+	if tn.Name() != "Collector" && tn.Name() != "ServiceCollector" {
+		return false
+	}
+	return tn.Pkg() != nil && strings.HasSuffix(tn.Pkg().Path(), telemetryPath)
 }
 
 // isTelemetryNew reports whether obj is the telemetry package's New

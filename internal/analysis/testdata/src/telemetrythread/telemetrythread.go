@@ -14,8 +14,18 @@ var GlobalValue telemetry.Collector // want "package-level telemetry collector"
 
 var one, two = 1, telemetry.New() // want "package-level telemetry collector"
 
-// NotACollector is fine: only the Collector type is policed.
+// GlobalService is a package-level service collector — the daemon's
+// counters are just as much shared mutable state as the run stats.
+var GlobalService *telemetry.ServiceCollector // want "package-level telemetry collector"
+
+// GlobalServiceValue holds the service collector by value.
+var GlobalServiceValue telemetry.ServiceCollector // want "package-level telemetry collector"
+
+// NotACollector is fine: only the collector types are policed.
 var NotACollector *telemetry.Report
+
+// NotAServiceReport is fine too.
+var NotAServiceReport *telemetry.ServiceReport
 
 // Config threads a collector properly — struct fields are fine.
 type Config struct {

@@ -27,6 +27,17 @@ const (
 	// project-and-rebalance path; corrupt perturbs the projected
 	// solution before the engine sees it.
 	SiteCoreRebalance Site = "core.rebalance"
+	// SiteServerAdmit fires in mlpartd's admission path, before a job
+	// is enqueued. A panic must reject only that submission (the
+	// accept loop survives); cancel sheds the job as if the queue
+	// were full; delay slows admission. Never reached by the library
+	// entry points.
+	SiteServerAdmit Site = "server.admit"
+	// SiteServerJob fires at the head of each mlpartd job execution
+	// attempt. A panic fails the attempt into the job's retry/backoff
+	// path; cancel behaves as a client cancellation; delay eats into
+	// the job's deadline. Never reached by the library entry points.
+	SiteServerJob Site = "server.job"
 )
 
 // AllSites is the registry: every instrumented site, exactly once.
@@ -37,6 +48,8 @@ var AllSites = []Site{
 	SiteKwayRefine,
 	SiteCoreProject,
 	SiteCoreRebalance,
+	SiteServerAdmit,
+	SiteServerJob,
 }
 
 // ValidSite reports whether s is a registered site.

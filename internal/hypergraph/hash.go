@@ -1,0 +1,41 @@
+package hypergraph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// ContentHash returns a stable hex digest of the hypergraph's
+// partitioning-relevant content: cell count, per-cell areas, and the
+// net→pin structure with per-net weights. Cell names are excluded —
+// they never influence a partition — so renaming cells does not split
+// the mlpartd result cache. Two hypergraphs with equal hashes produce
+// identical partitions under equal options.
+//
+// The digest is computed over a fixed little-endian binary walk (not
+// a textual encoding), so it is independent of file-format quirks
+// such as whitespace or the .hgr/.netD distinction: parsing the same
+// netlist from either format hashes identically.
+func (h *Hypergraph) ContentHash() string {
+	d := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		d.Write(buf[:])
+	}
+	writeInt(int64(h.numCells))
+	writeInt(int64(h.numNets))
+	for v := 0; v < h.numCells; v++ {
+		writeInt(h.area[v])
+	}
+	for e := 0; e < h.numNets; e++ {
+		writeInt(int64(h.NetWeight(e)))
+		pins := h.Pins(e)
+		writeInt(int64(len(pins)))
+		for _, p := range pins {
+			writeInt(int64(p))
+		}
+	}
+	return hex.EncodeToString(d.Sum(nil))
+}

@@ -1,0 +1,104 @@
+package hypergraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// buildTriangle returns a tiny 3-cell hypergraph through the Builder.
+func buildTriangle(t *testing.T, areas []int64) *Hypergraph {
+	t.Helper()
+	b := NewBuilder(3)
+	if areas != nil {
+		for v, a := range areas {
+			b.SetArea(v, a)
+		}
+	}
+	b.AddNet(0, 1)
+	b.AddNet(1, 2)
+	b.AddNet(0, 2)
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestContentHashDeterministic(t *testing.T) {
+	h1 := buildTriangle(t, nil)
+	h2 := buildTriangle(t, nil)
+	if h1.ContentHash() != h2.ContentHash() {
+		t.Fatal("equal hypergraphs hash differently")
+	}
+	if len(h1.ContentHash()) != 64 {
+		t.Fatalf("hash %q is not a sha256 hex digest", h1.ContentHash())
+	}
+}
+
+func TestContentHashSensitivity(t *testing.T) {
+	base := buildTriangle(t, nil).ContentHash()
+
+	// Different areas must change the hash.
+	if got := buildTriangle(t, []int64{2, 1, 1}).ContentHash(); got == base {
+		t.Error("area change did not change the hash")
+	}
+
+	// Different structure must change the hash.
+	b := NewBuilder(3)
+	b.AddNet(0, 1)
+	b.AddNet(1, 2)
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ContentHash() == base {
+		t.Error("net removal did not change the hash")
+	}
+
+	// A net weight must change the hash even with equal structure.
+	bw := NewBuilder(3)
+	bw.AddWeightedNet(2, 0, 1)
+	bw.AddNet(1, 2)
+	bw.AddNet(0, 2)
+	hw, err := bw.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.ContentHash() == base {
+		t.Error("net weight did not change the hash")
+	}
+}
+
+// The hash must be a property of the parsed content, not of the file
+// bytes: re-reading a written .hgr and a whitespace-perturbed variant
+// must agree with the original.
+func TestContentHashFormatIndependent(t *testing.T) {
+	h := buildTriangle(t, []int64{3, 1, 2})
+	var buf bytes.Buffer
+	if err := WriteHGR(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := ReadHGR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ContentHash() != h.ContentHash() {
+		t.Error("write/read round trip changed the hash")
+	}
+
+	// Extra spaces between pins are insignificant to the parser and
+	// must therefore be insignificant to the hash.
+	var buf2 bytes.Buffer
+	if err := WriteHGR(&buf2, h); err != nil {
+		t.Fatal(err)
+	}
+	spaced := strings.ReplaceAll(buf2.String(), " ", "  ")
+	r2, err := ReadHGR(strings.NewReader(spaced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ContentHash() != h.ContentHash() {
+		t.Error("whitespace perturbation changed the hash")
+	}
+}

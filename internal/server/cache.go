@@ -1,0 +1,85 @@
+package server
+
+import "container/list"
+
+// cacheKey identifies a deterministic partitioning result: the
+// hypergraph content hash, the canonical options fingerprint, and the
+// block count. Everything that can change the partition is folded
+// into one of the three components; everything that cannot
+// (Parallelism, Audit, submission order, worker count) is excluded,
+// so equivalent jobs share an entry.
+type cacheKey struct {
+	content     string
+	fingerprint string
+	k           int
+}
+
+// resultCache is a bounded LRU of completed job results plus (when
+// the computing job requested stats) their telemetry reports. It is
+// not safe for concurrent use; the server serializes access under its
+// mutex. A nil *resultCache is the disabled state.
+type resultCache struct {
+	cap     int
+	order   *list.List // front = most recent; values are cacheKey
+	entries map[cacheKey]*cacheEntry
+}
+
+type cacheEntry struct {
+	res  Result
+	elem *list.Element
+}
+
+// newResultCache returns a cache bounded to capacity entries, or nil
+// (disabled) when capacity <= 0.
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[cacheKey]*cacheEntry, capacity),
+	}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *resultCache) get(key cacheKey) (Result, bool) {
+	if c == nil {
+		return Result{}, false
+	}
+	e, ok := c.entries[key]
+	if !ok {
+		return Result{}, false
+	}
+	c.order.MoveToFront(e.elem)
+	return e.res, true
+}
+
+// put stores res under key, evicting the least-recently-used entry
+// at capacity.
+func (c *resultCache) put(key cacheKey, res Result) {
+	if c == nil {
+		return
+	}
+	if e, ok := c.entries[key]; ok {
+		e.res = res
+		c.order.MoveToFront(e.elem)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		delete(c.entries, oldest.Value.(cacheKey))
+		c.order.Remove(oldest)
+	}
+	e := &cacheEntry{res: res}
+	e.elem = c.order.PushFront(key)
+	c.entries[key] = e
+}
+
+// len reports the number of cached entries.
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.entries)
+}

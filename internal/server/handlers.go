@@ -1,0 +1,258 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"mlpart"
+	"mlpart/internal/hypergraph"
+)
+
+// jobRequest is the POST /v1/jobs submission document.
+type jobRequest struct {
+	// HGR is the hypergraph in hMETIS text format.
+	HGR string `json:"hgr"`
+	// K is the block count: 2 (bipartition, the default) or 4
+	// (quadrisection).
+	K int `json:"k,omitempty"`
+	// Options is the canonical options document (see
+	// mlpart.ParseOptionsJSON); absent or null selects the defaults.
+	Options json.RawMessage `json:"options,omitempty"`
+	// TimeoutMS is the per-job deadline in milliseconds; 0 selects
+	// the server default, and values above the server maximum are
+	// rejected.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Stats asks the job to collect a telemetry report, served in the
+	// job view's stats field.
+	Stats bool `json:"stats,omitempty"`
+}
+
+// errorBody is the JSON error envelope every non-2xx response uses.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	var b errorBody
+	b.Error.Code = code
+	b.Error.Message = msg
+	writeJSON(w, status, b)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // after WriteHeader there is no better report than the broken pipe itself
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit a job (202 + job view, Location header)
+//	GET    /v1/jobs/{id}        job state (?wait_ms=N blocks for a terminal state)
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/jobs/{id}/result deterministic result document (X-Mlpartd-Cache: hit|miss)
+//	GET    /healthz             liveness (always 200 while the process serves)
+//	GET    /readyz              readiness (503 once draining)
+//	GET    /statsz              service counters (schema mlpartd-stats/1)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleGetResult)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return mux
+}
+
+// handleSubmit is the admission path. The recover barrier is the
+// fault-isolation boundary: a panic anywhere in parsing or admission
+// (including the server.admit fault site) turns into a 500 for this
+// submission only — the process and every other job are unaffected.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if v := recover(); v != nil {
+			writeError(w, http.StatusInternalServerError, "internal",
+				fmt.Sprintf("submission failed: %v", v))
+		}
+	}()
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req jobRequest
+	if err := dec.Decode(&req); err != nil {
+		s.stats.RejectInvalid()
+		writeError(w, http.StatusBadRequest, "bad_request", "invalid job request: "+err.Error())
+		return
+	}
+
+	k := req.K
+	if k == 0 {
+		k = 2
+	}
+	if k != 2 && k != 4 {
+		s.stats.RejectInvalid()
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("k must be 2 or 4, got %d", k))
+		return
+	}
+	if req.TimeoutMS < 0 {
+		s.stats.RejectInvalid()
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("negative timeout_ms %d", req.TimeoutMS))
+		return
+	}
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if timeout > s.cfg.MaxTimeout {
+		s.stats.RejectInvalid()
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("timeout_ms %d exceeds the server maximum %d", req.TimeoutMS, s.cfg.MaxTimeout.Milliseconds()))
+		return
+	}
+
+	opt := mlpart.Options{}
+	if len(req.Options) > 0 && string(req.Options) != "null" {
+		var err error
+		opt, err = mlpart.ParseOptionsJSON(req.Options)
+		if err != nil {
+			s.stats.RejectInvalid()
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+	}
+	fp, err := opt.Fingerprint()
+	if err != nil {
+		s.stats.RejectInvalid()
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+
+	if strings.TrimSpace(req.HGR) == "" {
+		s.stats.RejectInvalid()
+		writeError(w, http.StatusBadRequest, "bad_request", "missing hgr")
+		return
+	}
+	h, err := hypergraph.ReadHGRLimits(strings.NewReader(req.HGR), s.cfg.Limits)
+	if err != nil {
+		s.stats.RejectInvalid()
+		writeError(w, http.StatusBadRequest, "bad_request", "invalid hgr: "+err.Error())
+		return
+	}
+
+	key := cacheKey{content: h.ContentHash(), fingerprint: fp, k: k}
+	j, rej := s.admitJob(h, k, opt, timeout, req.Stats, key)
+	if rej != nil {
+		if rej.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.FormatInt(int64((rej.retryAfter+time.Second-1)/time.Second), 10))
+		}
+		writeError(w, rej.status, rej.code, rej.msg)
+		return
+	}
+
+	s.mu.Lock()
+	v := j.snapshotLocked()
+	s.mu.Unlock()
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if waitMS := r.URL.Query().Get("wait_ms"); waitMS != "" {
+		ms, err := strconv.ParseInt(waitMS, 10, 64)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, "bad_request", "invalid wait_ms")
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+		defer cancel()
+		v, ok, err := s.WaitJob(ctx, id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "not_found", "no such job "+id)
+			return
+		}
+		if err != nil {
+			// Wait expired: fall through to the current snapshot.
+			v, _ = s.Job(id)
+		}
+		writeJSON(w, http.StatusOK, v)
+		return
+	}
+	v, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no such job "+id)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, ok := s.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no such job "+id)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleGetResult serves the deterministic result document. Cache
+// provenance travels in the X-Mlpartd-Cache header, never the body,
+// so hit and miss responses are byte-identical.
+func (s *Server) handleGetResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no such job "+id)
+		return
+	}
+	if !v.Status.Terminal() {
+		writeError(w, http.StatusConflict, "not_ready", fmt.Sprintf("job %s is %s", id, v.Status))
+		return
+	}
+	if v.Result == nil {
+		writeError(w, http.StatusConflict, "no_result", fmt.Sprintf("job %s ended %s without a solution", id, v.Status))
+		return
+	}
+	if v.CacheHit {
+		w.Header().Set("X-Mlpartd-Cache", "hit")
+	} else {
+		w.Header().Set("X-Mlpartd-Cache", "miss")
+	}
+	writeJSON(w, http.StatusOK, v.Result)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.Draining() {
+		w.Header().Set("Retry-After", strconv.FormatInt(int64((s.cfg.RetryAfter+time.Second-1)/time.Second), 10))
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("draining\n"))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ready\n"))
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	rep := s.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = rep.WriteJSON(w)
+}

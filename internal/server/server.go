@@ -1,0 +1,628 @@
+// Package server is mlpartd: the long-running partitioning service
+// built on the deterministic multilevel pipeline. It turns the
+// one-shot library entry points into a job API with the reliability
+// properties a shared daemon needs:
+//
+//   - Admission control at the edge: a bounded queue with explicit
+//     overload shedding. A full queue rejects new submissions with
+//     429 + Retry-After — it never blocks the accept loop and never
+//     drops a job it already accepted, so every accepted job reaches
+//     exactly one terminal status.
+//   - Per-job deadlines and client cancellation, flowing into the
+//     pipeline's context-aware entry points (BipartitionCtx /
+//     QuadrisectCtx); an expired or cancelled job keeps its
+//     best-so-far solution.
+//   - A result cache keyed by (hypergraph content hash, canonical
+//     options fingerprint, k). Results are deterministic, so a cache
+//     hit is byte-identical to a recomputation.
+//   - Fault isolation per job: a panic — internal or injected through
+//     the server.admit / server.job fault sites — fails only the
+//     submission or attempt it hit; attempts are retried with backoff
+//     up to MaxRetries and then reported as a typed ErrorReport.
+//   - Graceful degradation on shutdown: Drain stops admission, gives
+//     in-flight and queued jobs a grace period, then winds the rest
+//     down cooperatively into the drained terminal status.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"mlpart"
+	"mlpart/internal/core"
+	"mlpart/internal/faultinject"
+	"mlpart/internal/hypergraph"
+	"mlpart/internal/telemetry"
+)
+
+// Config tunes the service. The zero value selects production-shaped
+// defaults; see the field comments.
+type Config struct {
+	// QueueDepth bounds the admission queue (default 64). A full
+	// queue sheds new submissions with 429 + Retry-After.
+	QueueDepth int
+	// Workers is the number of concurrent job executors (default
+	// min(4, GOMAXPROCS)). Parallelism *within* a job is the job's
+	// own options.parallelism.
+	Workers int
+	// DefaultTimeout is the per-job deadline applied when a
+	// submission names none (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines (default 5m).
+	MaxTimeout time.Duration
+	// DrainTimeout is the grace period Drain gives in-flight and
+	// queued jobs before cancelling them into the drained status
+	// (default 10s).
+	DrainTimeout time.Duration
+	// RetryAfter is the client backoff hint attached to overload and
+	// draining rejections (default 1s).
+	RetryAfter time.Duration
+	// MaxRetries is how many extra execution attempts a job gets
+	// after an attempt dies without a usable solution (default 1;
+	// negative disables retries).
+	MaxRetries int
+	// RetryBackoff is the base delay between job attempts; the nth
+	// retry waits n*RetryBackoff (default 5ms).
+	RetryBackoff time.Duration
+	// CacheCap bounds the result cache in entries (default 256;
+	// negative disables caching).
+	CacheCap int
+	// MaxBodyBytes bounds a submission's request body (default 64MiB).
+	MaxBodyBytes int64
+	// Limits are the netlist parser resource limits applied to
+	// submitted hypergraphs (zero fields select the defaults).
+	Limits hypergraph.Limits
+	// Inject arms deterministic fault injection at the server.admit
+	// and server.job sites. Per-submission injectors are derived from
+	// the admission sequence number — every submission consumes one,
+	// accepted or not — so a plan entry with Start s targets the s-th
+	// submission; the retry index is the job's attempt number. Nil
+	// adds one pointer check per site.
+	Inject *faultinject.Plan
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers == 0 {
+		c.Workers = min(4, runtime.GOMAXPROCS(0))
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 1
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 5 * time.Millisecond
+	}
+	if c.CacheCap == 0 {
+		c.CacheCap = 256
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Validate rejects nonsensical configurations and malformed fault
+// plans.
+func (c Config) Validate() error {
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("server: negative queue depth %d", c.QueueDepth)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("server: negative worker count %d", c.Workers)
+	}
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"default timeout", c.DefaultTimeout},
+		{"max timeout", c.MaxTimeout},
+		{"drain timeout", c.DrainTimeout},
+		{"retry-after", c.RetryAfter},
+		{"retry backoff", c.RetryBackoff},
+	} {
+		if d.v < 0 {
+			return fmt.Errorf("server: negative %s %v", d.name, d.v)
+		}
+	}
+	return c.Inject.Validate()
+}
+
+// Server is one mlpartd instance. Create it with New, serve Handler,
+// and stop it with Drain (graceful) or Close (prompt).
+type Server struct {
+	cfg Config
+	// stats is owned by the server instance — never package-level
+	// (see the telemetry-thread lint rule).
+	stats *telemetry.ServiceCollector
+	t0    time.Time
+
+	// runCtx gates job execution: it is cancelled when the drain
+	// grace period expires (or on Close), winding running jobs down
+	// cooperatively and short-circuiting still-queued ones into the
+	// drained status.
+	runCtx    context.Context
+	runCancel context.CancelFunc
+
+	// mu guards jobs, seq, draining, every queue send, and every job
+	// state transition.
+	mu       sync.Mutex
+	jobs     map[string]*job
+	seq      int
+	draining bool
+	queue    chan *job
+	cache    *resultCache
+
+	workersDone chan struct{} // closed when every worker has exited
+	drainOnce   sync.Once
+	drained     chan struct{} // closed when a drain has fully finished
+}
+
+// New starts a server; the worker pool is live on return.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	//mllint:ignore ctx-thread the run context is rooted at the server's lifetime, not any request; Drain/Close own its cancellation
+	runCtx, runCancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:         cfg,
+		stats:       &telemetry.ServiceCollector{},
+		t0:          time.Now(),
+		runCtx:      runCtx,
+		runCancel:   runCancel,
+		jobs:        make(map[string]*job),
+		queue:       make(chan *job, cfg.QueueDepth),
+		cache:       newResultCache(cfg.CacheCap),
+		workersDone: make(chan struct{}),
+		drained:     make(chan struct{}),
+	}
+	var wg sync.WaitGroup
+	wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go func() {
+			defer wg.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(s.workersDone)
+	}()
+	return s, nil
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() telemetry.ServiceReport {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	return s.stats.Snapshot(s.cfg.QueueDepth, draining, time.Since(s.t0).Nanoseconds())
+}
+
+// Draining reports whether the server has stopped admitting.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully shuts the service down: stop admitting (new
+// submissions get 503 + Retry-After), give in-flight and queued jobs
+// DrainTimeout to finish, then cancel the rest cooperatively — they
+// end in the drained terminal status with any best-so-far solution
+// attached. Drain returns when every accepted job has reached a
+// terminal status and all workers have exited, or when ctx expires
+// (the wind-down continues in the background). Safe to call more
+// than once; later calls wait for the first drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		// Safe to close here: every send happens under mu after
+		// re-checking draining, so no sender can be mid-send now.
+		close(s.queue)
+		s.mu.Unlock()
+		go func() {
+			grace := time.AfterFunc(s.cfg.DrainTimeout, s.runCancel)
+			<-s.workersDone
+			grace.Stop()
+			s.runCancel()
+			close(s.drained)
+		}()
+	})
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops the service promptly: running jobs are cancelled
+// immediately (they still wind down cooperatively into drained) and
+// queued jobs are drained without running. Every accepted job still
+// reaches a terminal status before Close returns.
+func (s *Server) Close() error {
+	s.runCancel()
+	//mllint:ignore ctx-thread Close blocks until the wind-down completes by contract; there is no caller deadline to honor
+	return s.Drain(context.Background())
+}
+
+// rejection is a structured pre-admission refusal.
+type rejection struct {
+	status     int
+	code       string
+	msg        string
+	retryAfter time.Duration
+}
+
+// admitJob registers and enqueues a submission that has already been
+// parsed and hashed. timeout is the validated per-job deadline (0
+// selects DefaultTimeout). It returns the job on acceptance, or a
+// rejection. A panic out of admitJob (the server.admit fault site)
+// unwinds into the handler's recover barrier and rejects only this
+// submission; mu is released by the deferred Unlock.
+func (s *Server) admitJob(h *mlpart.Hypergraph, k int, opt mlpart.Options, timeout time.Duration, wantStats bool, key cacheKey) (*job, *rejection) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.stats.RejectDraining()
+		return nil, &rejection{status: 503, code: "draining", msg: "server is draining; not accepting jobs", retryAfter: s.cfg.RetryAfter}
+	}
+
+	// Every submission consumes a sequence number, accepted or not:
+	// an injected admission panic must not re-target the next
+	// submission forever.
+	seq := s.seq
+	s.seq++
+
+	if inj := s.cfg.Inject.NewInjector(seq, 0); inj != nil {
+		switch inj.Fire(faultinject.SiteServerAdmit) {
+		case faultinject.ActCancel:
+			// Shed as if the queue were full — the deterministic
+			// overload path.
+			s.stats.RejectQueueFull()
+			return nil, &rejection{status: 429, code: "queue_full", msg: "admission shed (injected)", retryAfter: s.cfg.RetryAfter}
+		case faultinject.ActCorrupt:
+			// Nothing to corrupt at admission; no-op.
+		}
+	}
+
+	j := &job{
+		id:        fmt.Sprintf("j-%06d", seq),
+		seq:       seq,
+		h:         h,
+		k:         k,
+		opt:       opt,
+		key:       key,
+		timeout:   timeout,
+		wantStats: wantStats,
+		status:    StatusQueued,
+		cancelc:   make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+
+	// Admission-time cache lookup: a hit completes the job without
+	// consuming a queue slot.
+	if res, ok := s.cache.get(key); ok && !s.cacheBypassed(seq) {
+		s.jobs[j.id] = j
+		s.stats.Accept()
+		s.stats.CacheHit()
+		j.cacheHit = true
+		r := res
+		s.finishLocked(j, StatusCompleted, &r, nil, true)
+		return j, nil
+	}
+
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.stats.Accept()
+		s.stats.CacheMiss()
+		return j, nil
+	default:
+		s.stats.RejectQueueFull()
+		return nil, &rejection{status: 429, code: "queue_full", msg: fmt.Sprintf("admission queue full (%d jobs)", s.cfg.QueueDepth), retryAfter: s.cfg.RetryAfter}
+	}
+}
+
+// cacheBypassed reports whether the fault plan arms a corrupt fault
+// at server.job for submission seq — interpreted as "treat the cache
+// as untrusted for this job": the job skips the result cache and
+// recomputes (degraded throughput, still-correct result). This is a
+// static scan, not an injector Fire: probing by firing would trigger
+// panic entries outside the attempt's recover barrier.
+func (s *Server) cacheBypassed(seq int) bool {
+	if s.cfg.Inject == nil {
+		return false
+	}
+	for _, e := range s.cfg.Inject.Entries {
+		if e.Site == faultinject.SiteServerJob && e.Kind == faultinject.KindCorrupt &&
+			(e.Start == faultinject.AnyStart || e.Start == seq) {
+			return true
+		}
+	}
+	return false
+}
+
+// finishLocked moves j to a terminal status exactly once; callers
+// hold mu. fromQueue records whether the job never started running.
+func (s *Server) finishLocked(j *job, st Status, res *Result, rep *ErrorReport, fromQueue bool) {
+	if j.status.Terminal() {
+		return
+	}
+	j.status = st
+	j.result = res
+	j.errrep = rep
+	s.stats.FinishJob(string(st), fromQueue)
+	close(j.done)
+}
+
+// Cancel requests client cancellation of a job. A queued job is
+// cancelled immediately; a running one is interrupted cooperatively
+// and keeps its best-so-far solution. Cancelling a terminal job is a
+// no-op. The second return reports whether the job exists.
+func (s *Server) Cancel(id string) (view, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return view{}, false
+	}
+	if !j.status.Terminal() && !j.cancelRequested {
+		j.cancelRequested = true
+		close(j.cancelc)
+		if j.status == StatusQueued {
+			// The worker will observe the terminal status and skip it.
+			s.finishLocked(j, StatusCancelled, nil, nil, true)
+		}
+	}
+	return j.snapshotLocked(), true
+}
+
+// Job returns the current state of a job.
+func (s *Server) Job(id string) (view, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return view{}, false
+	}
+	return j.snapshotLocked(), true
+}
+
+// WaitJob blocks until the job reaches a terminal status or ctx
+// expires. The bool reports whether the job exists.
+func (s *Server) WaitJob(ctx context.Context, id string) (view, bool, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return view{}, false, nil
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return view{}, true, ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.snapshotLocked(), true, nil
+}
+
+// runJob executes one dequeued job to a terminal status.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	if j.status.Terminal() {
+		// Cancelled while queued; already terminal.
+		s.mu.Unlock()
+		return
+	}
+	if s.runCtx.Err() != nil {
+		// The drain grace period expired before the job ran.
+		s.finishLocked(j, StatusDrained, nil, nil, true)
+		s.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	s.stats.StartJob()
+	// Execution-time cache recheck: an identical job may have
+	// completed while this one sat in the queue.
+	if res, ok := s.cache.get(j.key); ok && !s.cacheBypassed(j.seq) {
+		j.cacheHit = true
+		r := res
+		s.finishLocked(j, StatusCompleted, &r, nil, false)
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+
+	// Job context: deadline + client cancellation + drain/stop.
+	deadline := s.cfg.DefaultTimeout
+	if j.timeout > 0 {
+		deadline = j.timeout
+	}
+	dctx, dcancel := context.WithTimeout(s.runCtx, deadline)
+	jctx, jcancel := context.WithCancel(dctx)
+	defer dcancel()
+	defer jcancel()
+	watch := make(chan struct{})
+	defer close(watch)
+	go func() {
+		select {
+		case <-j.cancelc:
+			jcancel()
+		case <-watch:
+		}
+	}()
+
+	st, res, rep, report, interrupted, attempts := s.execute(jctx, dctx, j)
+
+	s.mu.Lock()
+	j.attempts = attempts
+	j.interrupted = interrupted
+	j.report = report
+	if st == StatusCompleted && res != nil && rep == nil && !interrupted {
+		s.cache.put(j.key, *res)
+	}
+	s.finishLocked(j, st, res, rep, false)
+	s.mu.Unlock()
+}
+
+// execute runs the job's attempts to a classification: terminal
+// status, result, error report, telemetry report, interrupted flag,
+// and attempt count.
+func (s *Server) execute(jctx, dctx context.Context, j *job) (Status, *Result, *ErrorReport, *telemetry.Report, bool, int) {
+	retries := s.cfg.MaxRetries
+	if retries < 0 {
+		retries = 0
+	}
+	var firstErr error
+	attempts := 0
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			s.stats.Retry()
+			select {
+			case <-time.After(time.Duration(attempt) * s.cfg.RetryBackoff):
+			case <-jctx.Done():
+			}
+		}
+		attempts = attempt + 1
+
+		p, info, report, err := s.attempt(jctx, j, attempt)
+
+		// Classification order matters: an interruption cause wins
+		// over whatever partial error the wind-down produced, and
+		// client cancel > drain > deadline (when one fires, the
+		// derived contexts all read done).
+		switch {
+		case j.clientCancelled():
+			return StatusCancelled, s.resultOf(j, p, info), nil, report, true, attempts
+		case s.runCtx.Err() != nil:
+			return StatusDrained, s.resultOf(j, p, info), nil, report, true, attempts
+		case errors.Is(dctx.Err(), context.DeadlineExceeded):
+			return StatusDeadlineExceeded, s.resultOf(j, p, info), nil, report, true, attempts
+		case err == nil && p != nil:
+			return StatusCompleted, s.resultOf(j, p, info), nil, report, info.Interrupted, attempts
+		case p != nil:
+			// Recovered fault with a feasible degraded solution: keep
+			// it, report the fault, do not cache (see runJob).
+			return StatusCompleted, s.resultOf(j, p, info), &ErrorReport{
+				Code: errCode(err), Message: err.Error(), Attempts: attempts,
+			}, report, info.Interrupted, attempts
+		default:
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if firstErr == nil {
+		firstErr = errors.New("server: job produced no solution")
+	}
+	return StatusFailed, nil, &ErrorReport{
+		Code: errCode(firstErr), Message: firstErr.Error(), Attempts: attempts,
+	}, nil, false, attempts
+}
+
+// attempt runs one panic-isolated execution attempt.
+func (s *Server) attempt(ctx context.Context, j *job, attempt int) (p *mlpart.Partition, info mlpart.Info, report *telemetry.Report, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			p, report = nil, nil
+			// Same typed error the pipeline's own guards produce, so
+			// the ErrorReport classifies it as "internal".
+			err = &core.PanicError{Stage: "server.job", Level: -1, Value: v, Stack: debug.Stack()}
+		}
+	}()
+
+	// The job fault site. Panic unwinds into the recover above and
+	// consumes one attempt; delay eats into the deadline; cancel
+	// emulates a client cancellation; corrupt is handled at the cache
+	// layer (cacheBypassed), so it is a no-op here.
+	if inj := s.cfg.Inject.NewInjector(j.seq, attempt); inj != nil {
+		if inj.Fire(faultinject.SiteServerJob) == faultinject.ActCancel {
+			s.Cancel(j.id)
+		}
+	}
+
+	opt := j.opt
+	if j.wantStats {
+		opt.Telemetry = mlpart.NewTelemetry()
+	}
+	switch j.k {
+	case 2:
+		p, info, err = mlpart.BipartitionCtx(ctx, j.h, opt)
+	case 4:
+		p, info, err = mlpart.QuadrisectCtx(ctx, j.h, opt)
+	default:
+		return nil, mlpart.Info{}, nil, fmt.Errorf("server: bad k %d", j.k)
+	}
+	if j.wantStats && opt.Telemetry != nil {
+		report = opt.Telemetry.Report()
+	}
+	return p, info, report, err
+}
+
+// resultOf assembles the deterministic result document, or nil when
+// the attempt produced no feasible partition.
+func (s *Server) resultOf(j *job, p *mlpart.Partition, info mlpart.Info) *Result {
+	if p == nil {
+		return nil
+	}
+	parts := make([]int32, len(p.Part))
+	copy(parts, p.Part)
+	return &Result{
+		ContentHash: j.key.content,
+		Fingerprint: j.key.fingerprint,
+		K:           j.k,
+		Cut:         info.Cut,
+		SumDegrees:  info.SumDegrees,
+		Levels:      info.Levels,
+		Partition:   parts,
+	}
+}
+
+// clientCancelled reports whether the client requested cancellation.
+func (j *job) clientCancelled() bool {
+	select {
+	case <-j.cancelc:
+		return true
+	default:
+		return false
+	}
+}
+
+// errCode classifies a pipeline error for the ErrorReport.
+func errCode(err error) string {
+	var ierr *mlpart.InternalError
+	if errors.As(err, &ierr) {
+		return "internal"
+	}
+	var aerr *mlpart.AuditError
+	if errors.As(err, &aerr) {
+		return "audit"
+	}
+	return "error"
+}

@@ -1,0 +1,183 @@
+package telemetry
+
+// Service-level statistics for mlpartd, the long-running partitioning
+// daemon. Unlike the per-run Collector — which is single-goroutine by
+// contract and merged deterministically by the supervisor — the
+// ServiceCollector is hit concurrently by the accept loop, the worker
+// pool, and the drain path, so every counter is atomic and a snapshot
+// is taken with plain loads (the counters are independent; a snapshot
+// is not required to be a consistent cut across all of them).
+//
+// The same threading rule applies as for Collector: never hold one in
+// a package-level variable (the telemetry-thread lint enforces this);
+// the server owns its collector and hands references down.
+
+import (
+	"encoding/json"
+	"io"
+	"sync/atomic"
+)
+
+// ServiceSchemaVersion identifies the /statsz JSON layout; bump on
+// any incompatible field change.
+const ServiceSchemaVersion = "mlpartd-stats/1"
+
+// ServiceReport is the machine-readable service snapshot served at
+// /statsz and validated by cmd/statscheck. Counters are monotonic
+// since process start; gauges describe the instant of the snapshot.
+type ServiceReport struct {
+	// Schema is ServiceSchemaVersion.
+	Schema string `json:"schema"`
+
+	// Accepted counts jobs admitted past the admission queue —
+	// every one of them reaches exactly one terminal status below.
+	Accepted int64 `json:"accepted"`
+	// RejectedQueueFull counts submissions shed with a 429 because
+	// the admission queue was at capacity.
+	RejectedQueueFull int64 `json:"rejected_queue_full"`
+	// RejectedDraining counts submissions refused with a 503 because
+	// the server was draining.
+	RejectedDraining int64 `json:"rejected_draining"`
+	// Invalid counts submissions rejected before admission for
+	// malformed input (bad JSON, bad netlist, bad options).
+	Invalid int64 `json:"invalid"`
+
+	// Terminal-status counters; their sum plus the queued and running
+	// gauges equals Accepted.
+	Completed        int64 `json:"completed"`
+	Failed           int64 `json:"failed"`
+	Cancelled        int64 `json:"cancelled"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	Drained          int64 `json:"drained"`
+
+	// Retried counts job execution attempts beyond each job's first —
+	// the server-side retry/backoff path, not the supervisor's
+	// per-start retries.
+	Retried int64 `json:"retried"`
+
+	// CacheHits / CacheMisses count result-cache lookups for
+	// accepted jobs.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+
+	// Queued and Running are instantaneous gauges; QueueCap is the
+	// admission queue capacity.
+	Queued   int64 `json:"queued"`
+	Running  int64 `json:"running"`
+	QueueCap int   `json:"queue_cap"`
+	// Draining reports that the server has stopped admitting and is
+	// winding down.
+	Draining bool `json:"draining"`
+	// UptimeNS is the wall-clock age of the service at snapshot time.
+	// Like the per-run *_ns fields it is nondeterministic.
+	UptimeNS int64 `json:"uptime_ns"`
+}
+
+// WriteJSON writes the report as indented JSON with a trailing
+// newline — the canonical /statsz encoding, matching Report.WriteJSON.
+func (r *ServiceReport) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ServiceCollector accumulates the service counters. All methods are
+// safe for concurrent use. The zero value is ready to use.
+type ServiceCollector struct {
+	accepted          atomic.Int64
+	rejectedQueueFull atomic.Int64
+	rejectedDraining  atomic.Int64
+	invalid           atomic.Int64
+	completed         atomic.Int64
+	failed            atomic.Int64
+	cancelled         atomic.Int64
+	deadlineExceeded  atomic.Int64
+	drained           atomic.Int64
+	retried           atomic.Int64
+	cacheHits         atomic.Int64
+	cacheMisses       atomic.Int64
+	queued            atomic.Int64
+	running           atomic.Int64
+}
+
+// Accept records one admitted job entering the queue.
+func (s *ServiceCollector) Accept() {
+	s.accepted.Add(1)
+	s.queued.Add(1)
+}
+
+// RejectQueueFull records one submission shed at a full queue.
+func (s *ServiceCollector) RejectQueueFull() { s.rejectedQueueFull.Add(1) }
+
+// RejectDraining records one submission refused during drain.
+func (s *ServiceCollector) RejectDraining() { s.rejectedDraining.Add(1) }
+
+// RejectInvalid records one malformed submission.
+func (s *ServiceCollector) RejectInvalid() { s.invalid.Add(1) }
+
+// StartJob moves one job from queued to running.
+func (s *ServiceCollector) StartJob() {
+	s.queued.Add(-1)
+	s.running.Add(1)
+}
+
+// Retry records one job execution attempt beyond the first.
+func (s *ServiceCollector) Retry() { s.retried.Add(1) }
+
+// CacheHit / CacheMiss record one result-cache lookup.
+func (s *ServiceCollector) CacheHit()  { s.cacheHits.Add(1) }
+func (s *ServiceCollector) CacheMiss() { s.cacheMisses.Add(1) }
+
+// FinishJob records a running job reaching the named terminal status
+// ("completed", "failed", "cancelled", "deadline-exceeded", or
+// "drained"); fromQueue finishes a job that never started running
+// (drained or cancelled while still queued).
+func (s *ServiceCollector) FinishJob(status string, fromQueue bool) {
+	if fromQueue {
+		s.queued.Add(-1)
+	} else {
+		s.running.Add(-1)
+	}
+	switch status {
+	case "completed":
+		s.completed.Add(1)
+	case "failed":
+		s.failed.Add(1)
+	case "cancelled":
+		s.cancelled.Add(1)
+	case "deadline-exceeded":
+		s.deadlineExceeded.Add(1)
+	case "drained":
+		s.drained.Add(1)
+	}
+}
+
+// Snapshot assembles a report from the current counter values.
+// queueCap, draining and uptimeNS are server state owned by the
+// caller.
+func (s *ServiceCollector) Snapshot(queueCap int, draining bool, uptimeNS int64) ServiceReport {
+	return ServiceReport{
+		Schema:            ServiceSchemaVersion,
+		Accepted:          s.accepted.Load(),
+		RejectedQueueFull: s.rejectedQueueFull.Load(),
+		RejectedDraining:  s.rejectedDraining.Load(),
+		Invalid:           s.invalid.Load(),
+		Completed:         s.completed.Load(),
+		Failed:            s.failed.Load(),
+		Cancelled:         s.cancelled.Load(),
+		DeadlineExceeded:  s.deadlineExceeded.Load(),
+		Drained:           s.drained.Load(),
+		Retried:           s.retried.Load(),
+		CacheHits:         s.cacheHits.Load(),
+		CacheMisses:       s.cacheMisses.Load(),
+		Queued:            s.queued.Load(),
+		Running:           s.running.Load(),
+		QueueCap:          queueCap,
+		Draining:          draining,
+		UptimeNS:          uptimeNS,
+	}
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestServiceCollectorLifecycle(t *testing.T) {
+	var s ServiceCollector
+
+	// Three accepted jobs: one completes, one fails after a retry,
+	// one is drained straight out of the queue.
+	s.Accept()
+	s.Accept()
+	s.Accept()
+	s.CacheMiss()
+	s.StartJob()
+	s.FinishJob("completed", false)
+	s.CacheMiss()
+	s.StartJob()
+	s.Retry()
+	s.FinishJob("failed", false)
+	s.FinishJob("drained", true)
+	s.RejectQueueFull()
+	s.RejectDraining()
+	s.RejectInvalid()
+	s.CacheHit()
+
+	r := s.Snapshot(8, true, 123)
+	if r.Schema != ServiceSchemaVersion {
+		t.Errorf("schema %q", r.Schema)
+	}
+	want := ServiceReport{
+		Schema: ServiceSchemaVersion, Accepted: 3,
+		RejectedQueueFull: 1, RejectedDraining: 1, Invalid: 1,
+		Completed: 1, Failed: 1, Drained: 1, Retried: 1,
+		CacheHits: 1, CacheMisses: 2,
+		QueueCap: 8, Draining: true, UptimeNS: 123,
+	}
+	if r != want {
+		t.Errorf("snapshot = %+v, want %+v", r, want)
+	}
+	if sum := r.Completed + r.Failed + r.Cancelled + r.DeadlineExceeded + r.Drained + r.Queued + r.Running; sum != r.Accepted {
+		t.Errorf("terminal+gauge sum %d != accepted %d", sum, r.Accepted)
+	}
+}
+
+func TestServiceCollectorConcurrent(t *testing.T) {
+	var s ServiceCollector
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Accept()
+				s.StartJob()
+				s.FinishJob("completed", false)
+			}
+		}()
+	}
+	wg.Wait()
+	r := s.Snapshot(1, false, 1)
+	if r.Accepted != workers*per || r.Completed != workers*per {
+		t.Errorf("accepted %d completed %d, want %d", r.Accepted, r.Completed, workers*per)
+	}
+	if r.Queued != 0 || r.Running != 0 {
+		t.Errorf("gauges queued %d running %d, want 0", r.Queued, r.Running)
+	}
+}
+
+func TestServiceReportWriteJSON(t *testing.T) {
+	var s ServiceCollector
+	s.Accept()
+	s.StartJob()
+	s.FinishJob("completed", false)
+	r := s.Snapshot(4, false, 99)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Bytes()[buf.Len()-1] != '\n' {
+		t.Error("missing trailing newline")
+	}
+	var back ServiceReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		t.Errorf("round trip: %+v != %+v", back, r)
+	}
+}
