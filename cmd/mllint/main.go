@@ -4,61 +4,139 @@
 //
 // Usage:
 //
-//	mllint [-list] [packages]
+//	mllint [-list] [-json] [-checks a,b] [packages]
 //
 // Packages default to ./... relative to the enclosing module.
 // Diagnostics print as file:line:col: check: message (fix: hint);
-// the exit status is 1 when any diagnostic fires, 2 on load errors.
-// Suppress a finding with //mllint:ignore <check> <reason> on the
-// offending line or the line above it — the reason is mandatory.
+// the exit status is 1 when any unsuppressed diagnostic fires, 2 on
+// load errors. -json emits every diagnostic — suppressed ones
+// included and marked — as a JSON array (schema mllint-diag/1), for
+// CI artifacts and suppression audits. -checks runs only the named
+// subset; the per-package scope rules still apply. Suppress a
+// finding with //mllint:ignore <check> <reason> on the offending
+// line, the line above it, or above the statement it belongs to —
+// the reason is mandatory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"mlpart/internal/analysis"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list the checks and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: mllint [-list] [packages]\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonDiag is one element of the -json array. The schema field names
+// the wire format so downstream tooling can reject what it does not
+// understand.
+type jsonDiag struct {
+	Schema     string `json:"schema"`
+	Pos        string `json:"pos"`
+	Check      string `json:"check"`
+	Message    string `json:"message"`
+	Hint       string `json:"hint,omitempty"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+const diagSchema = "mllint-diag/1"
+
+// run is main with the process edges injected, so the CLI is testable
+// end to end in-process. It returns the exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mllint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the checks and exit")
+	jsonOut := fs.Bool("json", false, "emit all diagnostics (suppressed included, marked) as a JSON array, schema "+diagSchema)
+	subset := fs.String("checks", "", "comma-separated subset of checks to run (scope rules still apply)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mllint [-list] [-json] [-checks a,b] [packages]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, c := range analysis.AllChecks() {
-			fmt.Printf("%-18s %s\n", c.Name(), c.Doc())
+			fmt.Fprintf(stdout, "%-18s %s\n", c.Name(), c.Doc())
 		}
-		return
+		return 0
+	}
+
+	var only []string
+	if *subset != "" {
+		known := make(map[string]bool)
+		for _, c := range analysis.AllChecks() {
+			known[c.Name()] = true
+		}
+		for _, name := range strings.Split(*subset, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !known[name] {
+				fmt.Fprintf(stderr, "mllint: unknown check %q (see -list)\n", name)
+				return 2
+			}
+			only = append(only, name)
+		}
 	}
 
 	moduleDir, err := findModuleDir()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mllint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "mllint:", err)
+		return 2
 	}
-	diags, err := analysis.Run(moduleDir, flag.Args())
+	diags, err := analysis.RunFiltered(moduleDir, fs.Args(), only)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mllint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "mllint:", err)
+		return 2
 	}
-	for _, d := range diags {
-		// Print module-relative paths so diagnostics are stable
-		// across checkouts.
-		if rel, rerr := filepath.Rel(moduleDir, d.Pos.Filename); rerr == nil {
-			d.Pos.Filename = rel
+	// Print module-relative paths so diagnostics are stable across
+	// checkouts.
+	for i := range diags {
+		if rel, rerr := filepath.Rel(moduleDir, diags[i].Pos.Filename); rerr == nil {
+			diags[i].Pos.Filename = rel
 		}
-		fmt.Println(d)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "mllint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+	active := analysis.Active(diags)
+
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				Schema:     diagSchema,
+				Pos:        fmt.Sprintf("%s:%d:%d", d.Pos.Filename, d.Pos.Line, d.Pos.Column),
+				Check:      d.Check,
+				Message:    d.Message,
+				Hint:       d.Hint,
+				Suppressed: d.Suppressed,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "mllint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range active {
+			fmt.Fprintln(stdout, d)
+		}
 	}
+	if len(active) > 0 {
+		fmt.Fprintf(stderr, "mllint: %d finding(s)\n", len(active))
+		return 1
+	}
+	return 0
 }
 
 // findModuleDir walks up from the working directory to the nearest

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestListFlag pins -list to the full registry: every check name
+// appears once with its doc line.
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("mllint -list exited %d, stderr: %s", code, stderr.String())
+	}
+	for _, name := range []string{
+		"nondet-rand", "nondet-maporder", "float-eq", "unchecked-narrow",
+		"ctx-thread", "faultsite", "telemetry-thread", "workspace-retain",
+		"goroutine-capture", "lock-balance", "waitgroup-discipline",
+		"chan-close", "par-purity",
+	} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output is missing check %q", name)
+		}
+	}
+}
+
+// TestTextModeCleanTree is the default CLI path end to end: a clean
+// package produces no stdout at all and exit 0.
+func TestTextModeCleanTree(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./internal/hypergraph"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("text mode over a clean package must print nothing, got: %s", stdout.String())
+	}
+}
+
+// TestJSONMode runs -json over internal/core, which carries
+// deliberate par-purity suppressions (the telemetry wall-clock reads
+// in the supervisor): the array must parse, every element must carry
+// the schema tag, the suppressed findings must be present and marked,
+// and the exit status must still be 0 because nothing unsuppressed
+// fired.
+func TestJSONMode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "./internal/core"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	suppressed := 0
+	for _, d := range diags {
+		if d.Schema != diagSchema {
+			t.Errorf("element schema = %q, want %q", d.Schema, diagSchema)
+		}
+		if d.Pos == "" || d.Check == "" || d.Message == "" {
+			t.Errorf("element missing required fields: %+v", d)
+		}
+		if !d.Suppressed {
+			t.Errorf("unsuppressed finding in a clean tree: %+v", d)
+		} else {
+			suppressed++
+		}
+	}
+	if suppressed == 0 {
+		t.Error("expected the supervisor's suppressed par-purity findings to appear in -json output")
+	}
+}
+
+// TestJSONModeEmpty pins the empty result to a literal JSON array,
+// not null: consumers get a list either way.
+func TestJSONModeEmpty(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "-checks", "chan-close", "./internal/hypergraph"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("empty -json output = %q, want []", got)
+	}
+}
+
+// TestChecksSubset exercises -checks: a valid subset runs (exit 0 on
+// a clean package) and an unknown name is a usage error, exit 2.
+func TestChecksSubset(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-checks", "float-eq,lock-balance", "./internal/hypergraph"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("valid -checks subset exited %d, stderr: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-checks", "no-such-check", "./internal/hypergraph"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown check name exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown check") {
+		t.Errorf("stderr should name the unknown check, got: %s", stderr.String())
+	}
+}

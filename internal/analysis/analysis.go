@@ -29,12 +29,16 @@ import (
 )
 
 // Diagnostic is one finding: position, the check that fired, a
-// one-line message and a one-line fix hint.
+// one-line message and a one-line fix hint. Suppressed findings (an
+// //mllint:ignore directive with a reason matched them) are kept and
+// marked rather than dropped, so tooling can audit what the
+// directives hide; Active filters them out for gating.
 type Diagnostic struct {
-	Pos     token.Position
-	Check   string
-	Message string
-	Hint    string
+	Pos        token.Position
+	Check      string
+	Message    string
+	Hint       string
+	Suppressed bool
 }
 
 // String renders the diagnostic in the conventional
@@ -61,8 +65,15 @@ type Pass struct {
 
 // Report records a finding at node n.
 func (p *Pass) Report(n ast.Node, check, message, hint string) {
+	p.ReportPos(n.Pos(), check, message, hint)
+}
+
+// ReportPos records a finding at a bare position — for checks whose
+// evidence is a dataflow fact (e.g. "lock still held at exit") rather
+// than a node in hand.
+func (p *Pass) ReportPos(pos token.Pos, check, message, hint string) {
 	p.diags = append(p.diags, Diagnostic{
-		Pos:     p.Fset.Position(n.Pos()),
+		Pos:     p.Fset.Position(pos),
 		Check:   check,
 		Message: message,
 		Hint:    hint,
@@ -91,12 +102,20 @@ func AllChecks() []Check {
 		FaultSite{},
 		TelemetryThread{},
 		WorkspaceRetain{},
+		GoroutineCapture{},
+		LockBalance{},
+		WaitGroupDiscipline{},
+		ChanClose{},
+		ParPurity{},
 	}
 }
 
-// deterministicPkgs are the algorithm packages whose output must be a
-// pure function of (input, seed); map-iteration order must not leak
-// into any ordered result they produce.
+// deterministicPkgs are the packages whose output must be a pure
+// function of their input: the algorithm packages (of (input, seed) —
+// map-iteration order must not leak into any ordered result they
+// produce, and goroutine-reachable code must stay pure) and the
+// analysis framework itself (diagnostics must be byte-stable across
+// runs, so the analyzer is held to its own ordering contract).
 var deterministicPkgs = []string{
 	"internal/coarsen",
 	"internal/fm",
@@ -104,6 +123,8 @@ var deterministicPkgs = []string{
 	"internal/gainbucket",
 	"internal/core",
 	"internal/hypergraph",
+	"internal/analysis",
+	"internal/analysis/cfg",
 }
 
 // checksFor selects which checks apply to the package at importPath.
@@ -125,6 +146,15 @@ var deterministicPkgs = []string{
 //     the deterministic pipeline packages (scoped inside the check).
 //   - workspace-retain: every package — reusable scratch workspaces
 //     must never be retained in package-level variables, anywhere.
+//   - goroutine-capture, lock-balance, waitgroup-discipline,
+//     chan-close: every package — racy captures, leaked locks,
+//     miscounted WaitGroups and double closes are wrong wherever
+//     they appear (cmd/ and examples/ included).
+//   - par-purity: the deterministic packages — intra-run parallelism
+//     lands inside the pipeline, so everything a goroutine there can
+//     reach must already be pure. The analysis packages are in the
+//     deterministic set too (self-analysis): the linter's own output
+//     ordering is a determinism contract.
 func checksFor(modulePath, importPath string) []Check {
 	internal := strings.Contains(importPath, "/internal/") ||
 		strings.HasPrefix(importPath, "internal/")
@@ -155,16 +185,33 @@ func checksFor(modulePath, importPath string) []Check {
 			if strings.HasSuffix(importPath, "internal/hypergraph") {
 				out = append(out, c)
 			}
-		case FaultSite, TelemetryThread, WorkspaceRetain:
+		case FaultSite, TelemetryThread, WorkspaceRetain,
+			GoroutineCapture, LockBalance, WaitGroupDiscipline, ChanClose:
 			out = append(out, c)
+		case ParPurity:
+			if det {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// Active filters out suppressed diagnostics: the set that gates
+// `make lint` and the exit status.
+func Active(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
 		}
 	}
 	return out
 }
 
 // RunChecks applies the given checks to one loaded package and
-// returns the surviving diagnostics (after ignore-directive
-// filtering), sorted by position.
+// returns all diagnostics — suppressed ones marked, not dropped —
+// sorted by position.
 func RunChecks(pkg *LoadedPackage, checks []Check) []Diagnostic {
 	pass := &Pass{
 		Path:  pkg.Path,
@@ -192,9 +239,17 @@ func RunChecks(pkg *LoadedPackage, checks []Check) []Diagnostic {
 
 // Run loads the packages matched by patterns (relative to moduleDir)
 // and runs the scope-filtered suite over each. It returns all
-// diagnostics; a non-nil error means loading or typechecking failed,
-// which is reported separately from findings.
+// diagnostics — suppressed ones marked, not dropped; a non-nil error
+// means loading or typechecking failed, which is reported separately
+// from findings.
 func Run(moduleDir string, patterns []string) ([]Diagnostic, error) {
+	return RunFiltered(moduleDir, patterns, nil)
+}
+
+// RunFiltered is Run restricted to the named checks; nil means all.
+// The scope rules still apply — naming a check does not widen where
+// it runs, only narrows which checks do.
+func RunFiltered(moduleDir string, patterns []string, only []string) ([]Diagnostic, error) {
 	loader, err := NewLoader(moduleDir)
 	if err != nil {
 		return nil, err
@@ -203,9 +258,25 @@ func Run(moduleDir string, patterns []string) ([]Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
+	var allow map[string]bool
+	if only != nil {
+		allow = make(map[string]bool, len(only))
+		for _, name := range only {
+			allow[name] = true
+		}
+	}
 	var all []Diagnostic
 	for _, path := range paths {
 		checks := checksFor(loader.ModulePath, path)
+		if allow != nil {
+			var kept []Check
+			for _, c := range checks {
+				if allow[c.Name()] {
+					kept = append(kept, c)
+				}
+			}
+			checks = kept
+		}
 		if len(checks) == 0 {
 			continue
 		}

@@ -73,7 +73,7 @@ func runGolden(t *testing.T, name string, checks []Check) {
 
 func runGoldenPkg(t *testing.T, pkg *LoadedPackage, name string, checks []Check) {
 	t.Helper()
-	diags := RunChecks(pkg, checks)
+	diags := Active(RunChecks(pkg, checks))
 	want := expectations(t, filepath.Join("testdata", "src", name))
 
 	matched := make(map[string]int) // key -> number of wants satisfied
@@ -152,13 +152,40 @@ func TestWorkspaceRetainGolden(t *testing.T) {
 	runGolden(t, "workspaceretain", []Check{WorkspaceRetain{}})
 }
 
+func TestGoroutineCaptureGolden(t *testing.T) {
+	runGolden(t, "goroutinecapture", []Check{GoroutineCapture{}})
+}
+
+func TestLockBalanceGolden(t *testing.T) {
+	runGolden(t, "lockbalance", []Check{LockBalance{}})
+}
+
+func TestWaitGroupGolden(t *testing.T) {
+	runGolden(t, "waitgroup", []Check{WaitGroupDiscipline{}})
+}
+
+func TestChanCloseGolden(t *testing.T) {
+	runGolden(t, "chanclose", []Check{ChanClose{}})
+}
+
+// TestParPurityGolden loads the fixture under a deterministic-pipeline
+// import path: par-purity only applies to the packages whose
+// goroutine-reachable code must stay pure.
+func TestParPurityGolden(t *testing.T) {
+	runGoldenPkg(t, loadCaseAt(t, "parpurity", "mlpart/internal/coarsen"),
+		"parpurity", []Check{ParPurity{}})
+}
+
 // TestIgnoreDirectives exercises the suppression machinery directly:
-// reasons silence (own-line and trailing), a missing reason is a
-// diagnostic and suppresses nothing, and a directive for the wrong
-// check hides nothing.
+// reasons silence (own-line, trailing, and above a multi-line
+// statement whose finding sits on a continuation line), a missing
+// reason is a diagnostic and suppresses nothing, and a directive for
+// the wrong check hides nothing. Suppressed findings are marked, not
+// dropped.
 func TestIgnoreDirectives(t *testing.T) {
 	pkg := loadCase(t, "ignore")
-	diags := RunChecks(pkg, []Check{FloatEq{}})
+	all := RunChecks(pkg, []Check{FloatEq{}})
+	diags := Active(all)
 
 	byCheck := make(map[string][]Diagnostic)
 	for _, d := range diags {
@@ -169,8 +196,9 @@ func TestIgnoreDirectives(t *testing.T) {
 			n, byCheck["ignore-syntax"])
 	}
 	// float-eq survives in noReason (directive invalid) and
-	// wrongCheck (directive names another check); sentinel and
-	// trailing are suppressed.
+	// wrongCheck (directive names another check); sentinel, trailing
+	// and both comparisons of the multi-line statement are
+	// suppressed.
 	if n := len(byCheck["float-eq"]); n != 2 {
 		t.Errorf("want exactly 2 surviving float-eq diagnostics, got %d: %v",
 			n, byCheck["float-eq"])
@@ -179,6 +207,19 @@ func TestIgnoreDirectives(t *testing.T) {
 		if !strings.Contains(d.Message, "no reason") {
 			t.Errorf("ignore-syntax message should explain the mandatory reason, got %q", d.Message)
 		}
+	}
+	suppressed := 0
+	for _, d := range all {
+		if d.Suppressed {
+			if d.Check != "float-eq" {
+				t.Errorf("unexpected suppressed %s diagnostic: %v", d.Check, d)
+			}
+			suppressed++
+		}
+	}
+	// sentinel + trailing + two comparisons in the multi-line return.
+	if suppressed != 4 {
+		t.Errorf("want 4 suppressed float-eq diagnostics kept and marked, got %d", suppressed)
 	}
 }
 
@@ -191,16 +232,18 @@ func TestChecksForScope(t *testing.T) {
 		}
 		return out
 	}
+	universal := []string{"goroutine-capture", "lock-balance", "waitgroup-discipline", "chan-close"}
 	cases := []struct {
 		path string
 		want []string
 	}{
-		{"mlpart/internal/fm", []string{"nondet-rand", "nondet-maporder", "float-eq", "ctx-thread", "faultsite", "telemetry-thread", "workspace-retain"}},
-		{"mlpart/internal/hypergraph", []string{"nondet-rand", "nondet-maporder", "float-eq", "unchecked-narrow", "ctx-thread", "faultsite", "telemetry-thread", "workspace-retain"}},
-		{"mlpart/internal/netgen", []string{"nondet-rand", "float-eq", "ctx-thread", "faultsite", "telemetry-thread", "workspace-retain"}},
-		{"mlpart", []string{"float-eq", "faultsite", "telemetry-thread", "workspace-retain"}},
-		{"mlpart/cmd/mlpart", []string{"faultsite", "telemetry-thread", "workspace-retain"}},
-		{"mlpart/examples/quickstart", []string{"faultsite", "telemetry-thread", "workspace-retain"}},
+		{"mlpart/internal/fm", append(append([]string{"nondet-rand", "nondet-maporder", "float-eq", "ctx-thread", "faultsite", "telemetry-thread", "workspace-retain"}, universal...), "par-purity")},
+		{"mlpart/internal/hypergraph", append(append([]string{"nondet-rand", "nondet-maporder", "float-eq", "unchecked-narrow", "ctx-thread", "faultsite", "telemetry-thread", "workspace-retain"}, universal...), "par-purity")},
+		{"mlpart/internal/analysis", append(append([]string{"nondet-rand", "nondet-maporder", "float-eq", "ctx-thread", "faultsite", "telemetry-thread", "workspace-retain"}, universal...), "par-purity")},
+		{"mlpart/internal/netgen", append([]string{"nondet-rand", "float-eq", "ctx-thread", "faultsite", "telemetry-thread", "workspace-retain"}, universal...)},
+		{"mlpart", append([]string{"float-eq", "faultsite", "telemetry-thread", "workspace-retain"}, universal...)},
+		{"mlpart/cmd/mlpart", append([]string{"faultsite", "telemetry-thread", "workspace-retain"}, universal...)},
+		{"mlpart/examples/quickstart", append([]string{"faultsite", "telemetry-thread", "workspace-retain"}, universal...)},
 	}
 	for _, tc := range cases {
 		got := names(checksFor("mlpart", tc.path))
@@ -220,7 +263,7 @@ func TestModuleLintsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, d := range diags {
+	for _, d := range Active(diags) {
 		t.Errorf("%s", d)
 	}
 }

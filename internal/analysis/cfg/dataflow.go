@@ -1,0 +1,72 @@
+package cfg
+
+// Lattice defines one forward dataflow analysis over a Graph: a
+// join-semilattice of facts F plus a per-block transfer function.
+//
+// Bottom is the "unvisited" fact and must be the identity of Join —
+// for a may-analysis (union join) that is the empty set; for a
+// must-analysis (intersection join) it is the synthetic
+// everything/unreached element, conventionally represented by a nil
+// map the implementation treats as absorbing. Entry is the fact
+// holding at function entry. Join must be commutative, associative
+// and idempotent, and the lattice must have finite height or Forward
+// will not terminate.
+//
+// Transfer must be pure: it receives the in-fact of a block and
+// returns its out-fact without mutating the input (it runs once per
+// worklist visit, so side effects would fire a data-dependent number
+// of times). Checks report *after* solving, by replaying the
+// transfer over the solved in-facts.
+type Lattice[F any] interface {
+	Bottom() F
+	Entry() F
+	Join(a, b F) F
+	Equal(a, b F) bool
+	Transfer(b *Block, in F) F
+}
+
+// Result holds the fixpoint facts at the start and end of every
+// block.
+type Result[F any] struct {
+	In  map[*Block]F
+	Out map[*Block]F
+}
+
+// Forward solves the analysis to fixpoint with a deterministic
+// worklist (FIFO over block indices, which are themselves a pure
+// function of the source). Unreachable blocks keep Bottom as their
+// in-fact.
+func Forward[F any](g *Graph, lat Lattice[F]) *Result[F] {
+	res := &Result[F]{
+		In:  make(map[*Block]F, len(g.Blocks)),
+		Out: make(map[*Block]F, len(g.Blocks)),
+	}
+	for _, b := range g.Blocks {
+		res.In[b] = lat.Bottom()
+		res.Out[b] = lat.Bottom()
+	}
+	res.In[g.Entry] = lat.Entry()
+
+	queue := []*Block{g.Entry}
+	queued := make(map[*Block]bool, len(g.Blocks))
+	queued[g.Entry] = true
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b] = false
+		out := lat.Transfer(b, res.In[b])
+		res.Out[b] = out
+		for _, s := range b.Succs {
+			joined := lat.Join(res.In[s], out)
+			if lat.Equal(joined, res.In[s]) {
+				continue
+			}
+			res.In[s] = joined
+			if !queued[s] {
+				queued[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return res
+}

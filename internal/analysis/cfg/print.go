@@ -1,0 +1,64 @@
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"strings"
+)
+
+// String renders the graph as a deterministic block/edge listing,
+// one block per line:
+//
+//	func name:
+//	  b0 entry -> b3
+//	  b3 body: [i := 0] -> b4
+//	  b4 for.head: [i < n] -> b5 b6
+//
+// Blocks print in index order. Empty predecessor-less blocks (the
+// panic block of a panic-free function, the unreachable continuation
+// started after a terminator when no dead code follows) are omitted;
+// everything else, including genuinely unreachable dead code, is
+// shown. The output is a pure function of the source, which makes it
+// golden-testable.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s:\n", g.Name)
+	for _, b := range g.Blocks {
+		if len(b.Nodes) == 0 && len(b.Preds) == 0 && (len(b.Succs) == 0 || b.Kind == "unreachable") {
+			continue
+		}
+		fmt.Fprintf(&sb, "  b%d %s", b.Index, b.Kind)
+		if len(b.Nodes) > 0 {
+			parts := make([]string, len(b.Nodes))
+			for i, n := range b.Nodes {
+				parts[i] = g.render(n)
+			}
+			fmt.Fprintf(&sb, ": [%s]", strings.Join(parts, "; "))
+		}
+		if len(b.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range b.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	for _, d := range g.Defers {
+		fmt.Fprintf(&sb, "  defer %s\n", g.render(d.Call))
+	}
+	return sb.String()
+}
+
+// render prints one node as a single line, collapsing any interior
+// newlines (multi-line composite literals, function literals) so the
+// dump stays one-line-per-block-entry.
+func (g *Graph) render(n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, g.Fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	fields := strings.Fields(buf.String())
+	return strings.Join(fields, " ")
+}

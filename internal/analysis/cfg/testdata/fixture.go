@@ -1,0 +1,83 @@
+// Package fixture exercises the CFG builder for the golden dump
+// test: every construct the builder models appears at least once.
+package fixture
+
+func rangeLoop(xs []int) int {
+	sum := 0
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		sum += x
+	}
+	return sum
+}
+
+func labeledLoops(grid [][]int, want int) (int, int) {
+outer:
+	for i := range grid {
+		for j := range grid[i] {
+			if grid[i][j] == want {
+				return i, j
+			}
+			if grid[i][j] < 0 {
+				continue outer
+			}
+			if j > 10 {
+				break outer
+			}
+		}
+	}
+	return -1, -1
+}
+
+func selectDefault(in <-chan int, out chan<- int) bool {
+	select {
+	case v := <-in:
+		out <- v
+		return true
+	case out <- 0:
+		return true
+	default:
+		return false
+	}
+}
+
+func deferPanic(mu interface{ Lock() }, bad bool) {
+	mu.Lock()
+	defer func() { recover() }()
+	if bad {
+		panic("bad input")
+	}
+	mu.Lock()
+}
+
+func switchFallthrough(n int) string {
+	s := ""
+	switch n {
+	case 0:
+		s = "zero"
+		fallthrough
+	case 1:
+		s += "ish"
+	}
+	return s
+}
+
+func gotoRetry(tries int) error {
+	n := 0
+retry:
+	n++
+	if n < tries {
+		goto retry
+	}
+	return nil
+}
+
+func forPost(n int) int {
+	t := 0
+	for i := 0; i < n; i++ {
+		t += i
+	}
+	return t
+}

@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"mlpart/internal/analysis/cfg"
+)
+
+// ChanClose enforces channel-shutdown discipline, the shape that
+// keeps worker pools drainable:
+//
+//  1. no double close: a close(ch) that is reachable after another
+//     close of the same channel on some CFG path panics at runtime;
+//  2. no send after close: a ch <- v reachable after a close of ch in
+//     the same function panics at runtime;
+//  3. the owning/sending side closes: a goroutine spawned from a
+//     function must not close a captured channel that the enclosing
+//     function itself sends on — only the (single) sender can know
+//     when sending is done, so the close belongs next to the sends.
+//
+// Rules 1 and 2 are a forward may-closed dataflow over the
+// function's CFG (join = union: closed on *some* path into this
+// point is enough to panic at runtime on that path). Rule 3 is
+// syntactic over go-statement literals. Channels reached through
+// unstable expressions (map lookups, call results) are skipped.
+type ChanClose struct{}
+
+// Name implements Check.
+func (ChanClose) Name() string { return "chan-close" }
+
+// Doc implements Check.
+func (ChanClose) Doc() string {
+	return "no reachable double close, no send after close, and only the sending side closes"
+}
+
+// chanFact maps a channel key to the position of the close that may
+// have executed. nil = unreached (join identity).
+type chanFact map[string]token.Pos
+
+type chanLattice struct {
+	pass *Pass
+	// report is nil while solving; the reporting replay sets it.
+	report func(n ast.Node, key string, closedAt token.Pos, send bool)
+}
+
+// Bottom implements cfg.Lattice.
+func (chanLattice) Bottom() chanFact { return nil }
+
+// Entry implements cfg.Lattice.
+func (chanLattice) Entry() chanFact { return chanFact{} }
+
+// Join implements cfg.Lattice.
+func (chanLattice) Join(a, b chanFact) chanFact {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(chanFact, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		if prev, ok := out[k]; !ok || v < prev {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Equal implements cfg.Lattice.
+func (chanLattice) Equal(a, b chanFact) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Transfer implements cfg.Lattice. During the reporting replay the
+// same transfer runs once per block over the solved in-facts, firing
+// the report callback at violating nodes.
+func (l chanLattice) Transfer(b *cfg.Block, in chanFact) chanFact {
+	if in == nil {
+		return nil
+	}
+	out := make(chanFact, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	for _, n := range b.Nodes {
+		// A deferred close runs at function exit, not here: sends
+		// after the defer statement happen before the close. Deferred
+		// closes are checked against the exit fact in Run.
+		if _, ok := n.(*ast.DeferStmt); ok {
+			continue
+		}
+		inspectShallow(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.CallExpr:
+				arg, ok := isBuiltinClose(l.pass, m)
+				if !ok || !isChanType(l.pass, arg) {
+					return true
+				}
+				key, ok := exprKey(arg)
+				if !ok {
+					return true
+				}
+				if prev, closed := out[key]; closed && l.report != nil {
+					l.report(m, key, prev, false)
+				}
+				if prev, closed := out[key]; !closed || m.Pos() < prev {
+					out[key] = m.Pos()
+				}
+			case *ast.SendStmt:
+				if !isChanType(l.pass, m.Chan) {
+					return true
+				}
+				key, ok := exprKey(m.Chan)
+				if !ok {
+					return true
+				}
+				if prev, closed := out[key]; closed && l.report != nil {
+					l.report(m, key, prev, true)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// Run implements Check.
+func (c ChanClose) Run(pass *Pass) {
+	forEachFuncBody(pass, func(fb funcBody) {
+		g := cfg.New(pass.Fset, fb.name, fb.body)
+		solve := chanLattice{pass: pass}
+		res := cfg.Forward[chanFact](g, solve)
+
+		// Reporting replay: run the transfer once per reached block
+		// with the callback armed. Each violating node reports once.
+		replay := solve
+		replay.report = func(n ast.Node, key string, closedAt token.Pos, send bool) {
+			at := pass.Fset.Position(closedAt)
+			if send {
+				pass.Report(n, c.Name(),
+					"send on "+key+" is reachable after its close (closed at line "+
+						strconv.Itoa(at.Line)+"); a send on a closed channel panics",
+					"close the channel after the last send — only the sending side knows when that is")
+			} else {
+				pass.Report(n, c.Name(),
+					"close of "+key+" is reachable after an earlier close (line "+
+						strconv.Itoa(at.Line)+"); closing a closed channel panics",
+					"close exactly once, on the owning side; hoist the close out of loops and branches")
+			}
+		}
+		for _, b := range g.Blocks {
+			if res.In[b] != nil {
+				replay.Transfer(b, res.In[b])
+			}
+		}
+
+		// Deferred closes execute at exit: a second deferred close of
+		// the same channel, or a deferred close of a channel already
+		// closed on some path into the exit, is a reachable double
+		// close. Graph.Defers is in source order, so reports are
+		// deterministic.
+		exitFact := res.In[g.Exit]
+		deferredClose := make(map[string]token.Pos)
+		for _, d := range g.Defers {
+			ast.Inspect(d.Call, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				arg, ok := isBuiltinClose(pass, call)
+				if !ok || !isChanType(pass, arg) {
+					return true
+				}
+				key, ok := exprKey(arg)
+				if !ok {
+					return true
+				}
+				prev, dup := deferredClose[key]
+				if !dup {
+					if p, closed := exitFact[key]; closed {
+						prev, dup = p, true
+					}
+				}
+				if dup {
+					at := pass.Fset.Position(prev)
+					pass.Report(call, c.Name(),
+						"deferred close of "+key+" runs after an earlier close (line "+
+							strconv.Itoa(at.Line)+"); closing a closed channel panics",
+						"close exactly once, on the owning side")
+				} else {
+					deferredClose[key] = call.Pos()
+				}
+				return true
+			})
+		}
+
+		// Rule 3: a spawned goroutine closing a channel the enclosing
+		// function sends on. Only direct `go func(){...}()` literals
+		// are inspected; the literal's own sends don't count (the
+		// producer-goroutine `defer close(out)` idiom stays clean).
+		inspectShallow(fb.body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				arg, ok := isBuiltinClose(pass, call)
+				if !ok || !isChanType(pass, arg) {
+					return true
+				}
+				key, ok := exprKey(arg)
+				if !ok {
+					return true
+				}
+				if sendsOutside(pass, fb.body, lit, key) {
+					pass.Report(call, c.Name(),
+						"goroutine closes "+key+" while the enclosing function sends on it; "+
+							"a send racing the close panics",
+						"close on the sending side after the last send, or hand ownership "+
+							"of the channel to exactly one goroutine")
+				}
+				return true
+			})
+			return true
+		})
+	})
+}
+
+// sendsOutside reports whether body contains a send on key outside
+// the given literal.
+func sendsOutside(pass *Pass, body *ast.BlockStmt, lit *ast.FuncLit, key string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == lit || found {
+			return false
+		}
+		s, ok := n.(*ast.SendStmt)
+		if !ok || !isChanType(pass, s.Chan) {
+			return true
+		}
+		if k, ok := exprKey(s.Chan); ok && k == key {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file holds the shared machinery of the concurrency checks
+// (lock-balance, chan-close, waitgroup-discipline, goroutine-capture,
+// par-purity): function-body iteration, FuncLit-shallow inspection,
+// sync-method recognition, and stable expression keys.
+
+// funcBody is one analyzable function: a declaration or a literal.
+type funcBody struct {
+	name string
+	node ast.Node // *ast.FuncDecl or *ast.FuncLit
+	body *ast.BlockStmt
+}
+
+// forEachFuncBody visits every function declaration and every
+// function literal of the package, in source order. Each literal is
+// its own unit: path-sensitive checks analyze a literal's body
+// separately from its enclosing function (the literal may run on
+// another goroutine or after the enclosing frame returned).
+func forEachFuncBody(pass *Pass, visit func(fb funcBody)) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			visit(funcBody{fn.Name.Name, fn, fn.Body})
+			name := fn.Name.Name
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					visit(funcBody{name + ".func", lit, lit.Body})
+				}
+				return true
+			})
+		}
+	}
+}
+
+// inspectShallow walks the subtree rooted at n without descending
+// into function literals: a closure's statements execute when the
+// closure runs, not where it is defined, so flow-sensitive transfer
+// functions must not observe them in the enclosing frame.
+func inspectShallow(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return f(m)
+	})
+}
+
+// exprKey renders a "stable" expression — an identifier or a chain of
+// selections/dereferences over identifiers — as a canonical string
+// usable as a lock/channel identity within one function. Expressions
+// with calls or index operations inside are not stable (the receiver
+// may differ between occurrences); those return ok=false and the
+// checks skip them rather than guess.
+func exprKey(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := exprKey(e.X)
+		return base + "." + e.Sel.Name, ok
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	case *ast.StarExpr:
+		k, ok := exprKey(e.X)
+		return "*" + k, ok
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			k, ok := exprKey(e.X)
+			return "&" + k, ok
+		}
+	}
+	return "", false
+}
+
+// syncCall classifies one call expression as a method call on a sync
+// primitive.
+type syncCall struct {
+	recvKey string // stable key of the receiver expression
+	recv    string // receiver source text, for messages
+	typ     string // "Mutex", "RWMutex", "WaitGroup", "Locker"
+	method  string // "Lock", "Unlock", "RLock", "RUnlock", "Add", "Done", "Wait", …
+}
+
+// classifySyncCall recognizes method calls on sync.Mutex,
+// sync.RWMutex, sync.Locker and sync.WaitGroup values, including
+// promoted methods of embedded mutexes. Calls through unstable
+// receiver expressions (map lookups, function results) return
+// ok=false.
+func classifySyncCall(pass *Pass, call *ast.CallExpr) (syncCall, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return syncCall{}, false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return syncCall{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return syncCall{}, false
+	}
+	rt := sig.Recv().Type()
+	if ptr, isPtr := rt.(*types.Pointer); isPtr {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return syncCall{}, false
+	}
+	key, ok := exprKey(sel.X)
+	if !ok {
+		return syncCall{}, false
+	}
+	return syncCall{
+		recvKey: key,
+		recv:    types.ExprString(sel.X),
+		typ:     named.Obj().Name(),
+		method:  fn.Name(),
+	}, true
+}
+
+// sortedKeys returns the map's keys in sorted order, so reports built
+// from fact maps stay deterministic.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// enclosingFuncName names the function declaration containing pos,
+// for diagnostics ("" if none found).
+func enclosingFuncName(pass *Pass, pos token.Pos) string {
+	for _, f := range pass.Files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && pos >= fn.Pos() && pos <= fn.End() {
+				return fn.Name.Name
+			}
+		}
+	}
+	return ""
+}
+
+// isChanType reports whether the expression has channel type.
+func isChanType(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// isBuiltinClose recognizes close(ch) calls.
+func isBuiltinClose(pass *Pass, call *ast.CallExpr) (ast.Expr, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || len(call.Args) != 1 {
+		return nil, false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	if !ok || b.Name() != "close" {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// describeLock renders "mu.Lock()" / "mu.RLock()" for messages.
+func describeLock(recv, method string) string {
+	return recv + "." + method + "()"
+}
+
+// matchingUnlock maps an acquire method to its release method.
+func matchingUnlock(method string) string {
+	if strings.HasPrefix(method, "R") {
+		return "RUnlock"
+	}
+	return "Unlock"
+}

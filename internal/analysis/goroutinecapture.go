@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineCapture flags closures whose captured state makes the
+// spawn racy or implicit:
+//
+//  1. a goroutine or deferred closure captures an iteration variable
+//     of an enclosing loop. Go ≥1.22 gives each iteration its own
+//     variable, so the classic last-value bug is gone — but the
+//     dependence on spawn-time loop state is still invisible at the
+//     closure and silently changes meaning if the loop is refactored
+//     (hoisted variable, reused counter). Passing the value as an
+//     argument makes the snapshot explicit.
+//  2. a go-statement closure writes a free variable that the
+//     enclosing function also writes: an unsynchronized shared write,
+//     the exact shape the race detector only catches when the
+//     schedule cooperates. (Writes through distinct slice elements
+//     or via mutex-guarded sections can be suppressed with a reason.)
+type GoroutineCapture struct{}
+
+// Name implements Check.
+func (GoroutineCapture) Name() string { return "goroutine-capture" }
+
+// Doc implements Check.
+func (GoroutineCapture) Doc() string {
+	return "goroutine/defer closures must not capture loop variables or share unsynchronized writes"
+}
+
+// Run implements Check.
+func (c GoroutineCapture) Run(pass *Pass) {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch s := n.(type) {
+			case *ast.GoStmt:
+				c.checkSpawn(pass, s.Call, stack, true)
+			case *ast.DeferStmt:
+				c.checkSpawn(pass, s.Call, stack, false)
+			}
+			return true
+		})
+	}
+}
+
+// loopVarsInScope collects the iteration-variable objects of every
+// loop on the enclosing-node stack.
+func loopVarsInScope(pass *Pass, stack []ast.Node) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	addDef := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	for _, n := range stack {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			if s.Tok == token.DEFINE {
+				addDef(s.Key)
+				if s.Value != nil {
+					addDef(s.Value)
+				}
+			}
+		case *ast.ForStmt:
+			if init, ok := s.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					addDef(lhs)
+				}
+			}
+		}
+	}
+	return vars
+}
+
+// enclosingFunc finds the innermost function node on the stack
+// (excluding the spawn call itself).
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// checkSpawn inspects one go/defer call whose function is a literal.
+func (c GoroutineCapture) checkSpawn(pass *Pass, call *ast.CallExpr, stack []ast.Node, isGo bool) {
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		// `go fn(args)`: arguments are evaluated at spawn time on the
+		// spawning goroutine — nothing is captured.
+		return
+	}
+	kind := "goroutine"
+	if !isGo {
+		kind = "deferred closure"
+	}
+
+	// Rule 1: loop-variable capture. Report the first use of each
+	// captured iteration variable.
+	loopVars := loopVarsInScope(pass, stack)
+	reported := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || !loopVars[obj] || reported[obj] {
+			return true
+		}
+		reported[obj] = true
+		pass.Report(id, c.Name(),
+			kind+" captures the loop variable "+id.Name,
+			"pass "+id.Name+" as an argument so the spawn-time snapshot is explicit")
+		return true
+	})
+
+	if !isGo {
+		// Deferred closures run on the same goroutine after the frame
+		// returns; writing captured locals there is the idiom for
+		// named-result adjustment, not a race.
+		return
+	}
+
+	// Rule 2: unsynchronized shared writes. A free variable written
+	// inside the goroutine and also written in the enclosing function
+	// outside the literal races unless externally synchronized.
+	enc := enclosingFunc(stack[:len(stack)-1])
+	if enc == nil {
+		return
+	}
+	insideWrites := writeSites(pass, lit.Body)
+	for obj, firstWrite := range insideWrites {
+		if loopVars[obj] || reported[obj] {
+			continue
+		}
+		if !freeIn(obj, lit) || obj.Parent() == pass.Pkg.Scope() {
+			continue
+		}
+		if writtenOutside(pass, enc, lit, obj) {
+			pass.ReportPos(firstWrite, c.Name(),
+				"goroutine writes captured variable "+obj.Name()+
+					", which the enclosing function also writes — unsynchronized shared write",
+				"communicate the value over a channel, guard both writes with a mutex, "+
+					"or give the goroutine its own variable")
+		}
+	}
+}
+
+// writeSites maps each variable object written in the subtree
+// (assignment or ++/--, through a plain identifier) to its first
+// write position. Declarations (`:=`, var) are not writes for this
+// purpose — they create the variable.
+func writeSites(pass *Pass, root ast.Node) map[types.Object]token.Pos {
+	writes := make(map[types.Object]token.Pos)
+	record := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		// Uses (not Defs): a declaring identifier is the variable's
+		// birth, not a shared write.
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok {
+			return
+		}
+		if prev, seen := writes[obj]; !seen || id.Pos() < prev {
+			writes[obj] = id.Pos()
+		}
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(s.X)
+		}
+		return true
+	})
+	return writes
+}
+
+// freeIn reports whether obj is declared outside the literal (a free
+// variable of the closure).
+func freeIn(obj types.Object, lit *ast.FuncLit) bool {
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}
+
+// writtenOutside reports whether the enclosing function writes obj
+// somewhere outside the literal.
+func writtenOutside(pass *Pass, enc ast.Node, lit *ast.FuncLit, obj types.Object) bool {
+	found := false
+	ast.Inspect(enc, func(n ast.Node) bool {
+		if n == lit || found {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := s.X.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"go/ast"
 	"go/token"
 	"strings"
 )
@@ -61,11 +62,15 @@ func collectIgnores(pkg *LoadedPackage) ([]ignoreDirective, []Diagnostic) {
 	return dirs, bad
 }
 
-// applyIgnores filters diags through the package's ignore
-// directives. A directive suppresses diagnostics of its check in the
-// same file on the directive's own line and on the line directly
-// below it (so it can trail the offending statement or sit on its own
-// line above).
+// applyIgnores marks diags that the package's ignore directives
+// suppress. A directive covers diagnostics of its check in the same
+// file on the directive's own line and on the line directly below it
+// (so it can trail the offending statement or sit on its own line
+// above). A finding inside a multi-line statement is attached to the
+// *enclosing statement's first line* as well as its own: a directive
+// above `x := a &&\n\tb == c` suppresses the finding on the
+// continuation line, because the directive plainly governs the whole
+// statement.
 func applyIgnores(pkg *LoadedPackage, diags []Diagnostic) []Diagnostic {
 	dirs, bad := collectIgnores(pkg)
 	type key struct {
@@ -80,10 +85,46 @@ func applyIgnores(pkg *LoadedPackage, diags []Diagnostic) []Diagnostic {
 	}
 	out := bad
 	for _, d := range diags {
-		if suppressed[key{d.Pos.Filename, d.Pos.Line, d.Check}] {
-			continue
+		hit := suppressed[key{d.Pos.Filename, d.Pos.Line, d.Check}]
+		if !hit {
+			if anchor := stmtAnchorLine(pkg, d.Pos); anchor != 0 && anchor != d.Pos.Line {
+				hit = suppressed[key{d.Pos.Filename, anchor, d.Check}]
+			}
 		}
+		d.Suppressed = hit
 		out = append(out, d)
 	}
 	return out
+}
+
+// stmtAnchorLine returns the first line of the innermost statement
+// enclosing pos, or 0 when no statement contains it (package-level
+// declarations).
+func stmtAnchorLine(pkg *LoadedPackage, pos token.Position) int {
+	for _, f := range pkg.Files {
+		start := pkg.Fset.Position(f.Pos())
+		if start.Filename != pos.Filename {
+			continue
+		}
+		anchor := 0
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			np, ne := pkg.Fset.Position(n.Pos()), pkg.Fset.Position(n.End())
+			if pos.Line < np.Line || pos.Line > ne.Line {
+				return false
+			}
+			if _, ok := n.(ast.Stmt); ok {
+				// Keep descending: the innermost enclosing statement
+				// wins, so later (deeper) matches overwrite.
+				anchor = np.Line
+			}
+			return true
+		})
+		if anchor != 0 {
+			return anchor
+		}
+	}
+	return 0
 }

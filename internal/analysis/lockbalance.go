@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+
+	"mlpart/internal/analysis/cfg"
+)
+
+// LockBalance is the CFG path-sensitive lock pairing check: every
+// mu.Lock() / mu.RLock() must be matched by the corresponding
+// Unlock/RUnlock on *every* path to a normal return — early returns
+// are exactly where imbalances hide. `defer mu.Unlock()` is the
+// preferred discharge and is recognized path-sensitively (a defer
+// registered only on one branch releases only that branch). Read and
+// write locks pair independently: RLock discharged by Unlock (or
+// vice versa) still reports.
+//
+// The analysis is a forward may-held dataflow over the function's
+// CFG: the fact is the set of (receiver, mode) locks held on some
+// path, with join = union (held on any path into the exit ⇒ that
+// path leaks). A reached `defer mu.Unlock()` discharges the hold in
+// the path fact itself — defers run at every exit from that point on
+// — so a defer registered on only one branch leaves the other branch
+// held, which is exactly the bug. Locks acquired through unstable
+// receiver expressions (map lookups, call results) are skipped
+// rather than guessed at. Panic exits are not checked — any call can
+// panic, and flagging every lock held across a call would drown the
+// signal; defers discharge panic paths too, so the defer form stays
+// the fix.
+type LockBalance struct{}
+
+// Name implements Check.
+func (LockBalance) Name() string { return "lock-balance" }
+
+// Doc implements Check.
+func (LockBalance) Doc() string {
+	return "every Lock/RLock must reach its Unlock/RUnlock on all return paths; defer recognized path-sensitively"
+}
+
+// lockInfo describes one held lock for reporting.
+type lockInfo struct {
+	pos  token.Pos // the acquiring call
+	desc string    // "s.mu.Lock()"
+}
+
+// lockFact is the dataflow fact: the set of locks held on some path
+// into this point. A nil map with reached=false means "block not yet
+// reached" — the identity of the join. held is may-union; the
+// earliest acquisition wins so reports land on the first suspicious
+// Lock.
+type lockFact struct {
+	reached bool
+	held    map[string]lockInfo
+}
+
+type lockLattice struct {
+	pass *Pass
+}
+
+// Bottom implements cfg.Lattice.
+func (lockLattice) Bottom() lockFact { return lockFact{} }
+
+// Entry implements cfg.Lattice.
+func (lockLattice) Entry() lockFact {
+	return lockFact{reached: true, held: map[string]lockInfo{}}
+}
+
+// Join implements cfg.Lattice.
+func (lockLattice) Join(a, b lockFact) lockFact {
+	if !a.reached {
+		return b
+	}
+	if !b.reached {
+		return a
+	}
+	out := lockFact{
+		reached: true,
+		held:    make(map[string]lockInfo, len(a.held)+len(b.held)),
+	}
+	for k, v := range a.held {
+		out.held[k] = v
+	}
+	for k, v := range b.held {
+		if prev, ok := out.held[k]; !ok || v.pos < prev.pos {
+			out.held[k] = v
+		}
+	}
+	return out
+}
+
+// Equal implements cfg.Lattice.
+func (lockLattice) Equal(a, b lockFact) bool {
+	if a.reached != b.reached || len(a.held) != len(b.held) {
+		return false
+	}
+	for k, v := range a.held {
+		if w, ok := b.held[k]; !ok || w.pos != v.pos {
+			return false
+		}
+	}
+	return true
+}
+
+// Transfer implements cfg.Lattice.
+func (l lockLattice) Transfer(b *cfg.Block, in lockFact) lockFact {
+	if !in.reached {
+		return in
+	}
+	out := lockFact{
+		reached: true,
+		held:    make(map[string]lockInfo, len(in.held)),
+	}
+	for k, v := range in.held {
+		out.held[k] = v
+	}
+	for _, n := range b.Nodes {
+		l.apply(&out, n)
+	}
+	return out
+}
+
+// lockKey builds the fact key for one classified call: read locks
+// live in their own pairing space.
+func lockKey(sc syncCall) (string, bool) {
+	switch sc.typ {
+	case "Mutex", "RWMutex", "Locker":
+	default:
+		return "", false
+	}
+	switch sc.method {
+	case "Lock", "Unlock":
+		return sc.recvKey, true
+	case "RLock", "RUnlock":
+		return sc.recvKey + "/R", true
+	}
+	return "", false
+}
+
+// apply folds one CFG node into the fact: acquires add to held,
+// releases remove. A deferred release also removes — once the defer
+// statement has executed, every exit from this point on (returns and
+// panics alike) runs the unlock, so the hold is discharged on this
+// path. Function literals are opaque here — a closure's body runs
+// when it is called, on whatever goroutine calls it — except inside
+// a defer, where `defer func() { mu.Unlock() }()` is a common
+// discharge shape worth recognizing.
+func (l lockLattice) apply(out *lockFact, n ast.Node) {
+	if d, ok := n.(*ast.DeferStmt); ok {
+		ast.Inspect(d.Call, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sc, ok := classifySyncCall(l.pass, call)
+			if !ok {
+				return true
+			}
+			if key, ok := lockKey(sc); ok && (sc.method == "Unlock" || sc.method == "RUnlock") {
+				delete(out.held, key)
+			}
+			return true
+		})
+		return
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sc, ok := classifySyncCall(l.pass, call)
+		if !ok {
+			return true
+		}
+		key, ok := lockKey(sc)
+		if !ok {
+			return true
+		}
+		switch sc.method {
+		case "Lock", "RLock":
+			if _, dup := out.held[key]; !dup {
+				out.held[key] = lockInfo{pos: call.Pos(), desc: describeLock(sc.recv, sc.method)}
+			}
+		case "Unlock", "RUnlock":
+			delete(out.held, key)
+		}
+		return true
+	})
+}
+
+// Run implements Check.
+func (c LockBalance) Run(pass *Pass) {
+	forEachFuncBody(pass, func(fb funcBody) {
+		g := cfg.New(pass.Fset, fb.name, fb.body)
+		res := cfg.Forward[lockFact](g, lockLattice{pass})
+		exit := res.In[g.Exit]
+		if !exit.reached {
+			return
+		}
+		for _, key := range sortedKeys(exit.held) {
+			info := exit.held[key]
+			pass.ReportPos(info.pos, c.Name(),
+				info.desc+" is not released on every path to return in "+fb.name,
+				"add the missing Unlock on the early-return path, or use defer "+
+					"immediately after acquiring so panic exits are covered too")
+		}
+	})
+}

@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// ParPurity is the parallel-readiness purity check for the
+// deterministic pipeline packages (internal/coarsen, fm, kway,
+// gainbucket, hypergraph, core — the scope is applied by checksFor):
+// any function reachable from a goroutine spawn in the package must
+// not
+//
+//   - write package-level state (parallel attempts would race, and
+//     even benign races make runs schedule-dependent),
+//   - call time.Now or time.Since (wall-clock reads inside parallel
+//     workers leak scheduling into results; telemetry timing is the
+//     caller's job and is stripped before determinism comparisons),
+//   - use global randomness: package-level math/rand functions or a
+//     package-level *rand.Rand (every worker must draw from its own
+//     seed-derived stream; this is the goroutine-scoped companion of
+//     nondet-rand).
+//
+// Reachability is a package-local call-graph walk: roots are the
+// functions spawned by go statements (literals, named functions, and
+// single-assignment local closures), and edges follow direct calls
+// to same-package functions and methods. Calls through function
+// values that cross package boundaries are out of scope — the callee
+// package is linted on its own.
+type ParPurity struct{}
+
+// Name implements Check.
+func (ParPurity) Name() string { return "par-purity" }
+
+// Doc implements Check.
+func (ParPurity) Doc() string {
+	return "goroutine-reachable pipeline code must not write globals, read the wall clock, or use global rand"
+}
+
+// purityWalker accumulates the reachable bodies.
+type purityWalker struct {
+	pass *Pass
+	// decls maps package functions/methods to their declarations.
+	decls map[*types.Func]*ast.FuncDecl
+	// bindings maps local variables to the single function literal
+	// assigned to them (nil when reassigned — then unresolvable).
+	bindings map[types.Object]*ast.FuncLit
+	visited  map[ast.Node]bool
+	queue    []ast.Node // bodies pending a scan
+}
+
+// Run implements Check.
+func (c ParPurity) Run(pass *Pass) {
+	w := &purityWalker{
+		pass:     pass,
+		decls:    make(map[*types.Func]*ast.FuncDecl),
+		bindings: make(map[types.Object]*ast.FuncLit),
+		visited:  make(map[ast.Node]bool),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+				w.decls[obj] = fn
+			}
+		}
+	}
+	// Collect closure bindings and goroutine roots in one sweep.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range s.Rhs {
+					lit, ok := rhs.(*ast.FuncLit)
+					if !ok || i >= len(s.Lhs) {
+						continue
+					}
+					id, ok := s.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					var obj types.Object
+					if d := w.pass.Info.Defs[id]; d != nil {
+						obj = d
+					} else {
+						obj = w.pass.Info.Uses[id]
+					}
+					if obj == nil {
+						continue
+					}
+					if _, seen := w.bindings[obj]; seen {
+						w.bindings[obj] = nil // reassigned: ambiguous
+					} else {
+						w.bindings[obj] = lit
+					}
+				}
+			case *ast.GoStmt:
+				w.enqueueCallee(s.Call.Fun)
+			}
+			return true
+		})
+	}
+
+	var findings []Diagnostic
+	report := func(n ast.Node, message, hint string) {
+		findings = append(findings, Diagnostic{
+			Pos:     pass.Fset.Position(n.Pos()),
+			Check:   c.Name(),
+			Message: message,
+			Hint:    hint,
+		})
+	}
+	for len(w.queue) > 0 {
+		body := w.queue[0]
+		w.queue = w.queue[1:]
+		w.scan(body, report)
+	}
+	// The walk order depends on goroutine discovery order, which is
+	// deterministic, but a body reached twice reports once and ties
+	// are broken by position.
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	for _, d := range findings {
+		pass.diags = append(pass.diags, d)
+	}
+}
+
+// enqueueCallee resolves a spawned or called function expression to a
+// body in this package and enqueues it once.
+func (w *purityWalker) enqueueCallee(fun ast.Expr) {
+	switch fun := fun.(type) {
+	case *ast.FuncLit:
+		w.enqueue(fun.Body)
+	case *ast.Ident:
+		w.enqueueObj(w.pass.Info.Uses[fun])
+	case *ast.SelectorExpr:
+		w.enqueueObj(w.pass.Info.Uses[fun.Sel])
+	case *ast.ParenExpr:
+		w.enqueueCallee(fun.X)
+	}
+}
+
+func (w *purityWalker) enqueueObj(obj types.Object) {
+	switch obj := obj.(type) {
+	case *types.Func:
+		if decl := w.decls[obj]; decl != nil {
+			w.enqueue(decl.Body)
+		}
+	case *types.Var:
+		if lit := w.bindings[obj]; lit != nil {
+			w.enqueue(lit.Body)
+		}
+	}
+}
+
+func (w *purityWalker) enqueue(body ast.Node) {
+	if body != nil && !w.visited[body] {
+		w.visited[body] = true
+		w.queue = append(w.queue, body)
+	}
+}
+
+// scan reports violations in one reachable body and enqueues its
+// same-package callees. Nested literals are enqueued as their own
+// units (defined in reachable code ⇒ treated as reachable, which is
+// conservative) so each body is scanned exactly once.
+func (w *purityWalker) scan(body ast.Node, report func(n ast.Node, message, hint string)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.enqueue(n.Body)
+			return false
+		case *ast.CallExpr:
+			w.enqueueCallee(n.Fun)
+			w.checkCall(n, report)
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				w.checkGlobalWrite(lhs, report)
+			}
+		case *ast.IncDecStmt:
+			w.checkGlobalWrite(n.X, report)
+		case *ast.Ident:
+			w.checkGlobalRand(n, report)
+		}
+		return true
+	})
+}
+
+// checkCall flags wall-clock reads and package-level math/rand calls.
+func (w *purityWalker) checkCall(call *ast.CallExpr, report func(ast.Node, string, string)) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := w.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch {
+	case fn.Pkg().Path() == "time" && (fn.Name() == "Now" || fn.Name() == "Since"):
+		report(call, "goroutine-reachable code reads the wall clock via time."+fn.Name(),
+			"keep timing on the supervising side (telemetry collectors merge per-attempt stats deterministically)")
+	case isRandPkg(fn.Pkg().Path()):
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && !randConstructors[fn.Name()] {
+			report(call, "goroutine-reachable code calls package-level math/rand."+fn.Name(),
+				"draw from a per-worker *rand.Rand derived from the attempt seed")
+		}
+	}
+}
+
+// checkGlobalWrite flags assignments whose base resolves to a
+// package-level variable.
+func (w *purityWalker) checkGlobalWrite(lhs ast.Expr, report func(ast.Node, string, string)) {
+	base := lhs
+	for {
+		switch b := base.(type) {
+		case *ast.SelectorExpr:
+			base = b.X
+			continue
+		case *ast.IndexExpr:
+			base = b.X
+			continue
+		case *ast.StarExpr:
+			base = b.X
+			continue
+		case *ast.ParenExpr:
+			base = b.X
+			continue
+		}
+		break
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj, ok := w.pass.Info.Uses[id].(*types.Var)
+	if !ok || obj.Parent() != w.pass.Pkg.Scope() {
+		return
+	}
+	report(lhs, "goroutine-reachable code writes package-level variable "+obj.Name(),
+		"thread the state through the attempt's workspace/config so parallel starts cannot race")
+}
+
+// checkGlobalRand flags reads of package-level *rand.Rand variables.
+func (w *purityWalker) checkGlobalRand(id *ast.Ident, report func(ast.Node, string, string)) {
+	obj, ok := w.pass.Info.Uses[id].(*types.Var)
+	if !ok || obj.Parent() != w.pass.Pkg.Scope() {
+		return
+	}
+	t := obj.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Rand" || named.Obj().Pkg() == nil {
+		return
+	}
+	if !isRandPkg(named.Obj().Pkg().Path()) {
+		return
+	}
+	report(id, "goroutine-reachable code reads the package-level RNG "+obj.Name(),
+		"derive a per-worker *rand.Rand from the attempt seed instead of sharing one stream")
+}

@@ -1,0 +1,80 @@
+// Package chanclose seeds the chan-close golden test: reachable
+// double closes, sends after a close, closes in loops and goroutines
+// closing channels the enclosing function still sends on all fire;
+// branch-exclusive paths and the producer-owns-the-close idiom stay
+// clean.
+package chanclose
+
+func doubleCloseBranch(c bool) {
+	ch := make(chan int)
+	if c {
+		close(ch)
+	}
+	close(ch) // want "close of ch is reachable after an earlier close"
+}
+
+func sendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want "send on ch is reachable after its close"
+}
+
+func closeInLoop(n int) {
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		close(ch) // want "close of ch is reachable after an earlier close"
+	}
+}
+
+func goroutineClosesSharedSender(v int) {
+	ch := make(chan int, 2)
+	go func() {
+		close(ch) // want "goroutine closes ch while the enclosing function sends on it"
+	}()
+	ch <- v
+}
+
+func branchExclusiveClean(c bool) {
+	ch := make(chan int, 1)
+	if c {
+		close(ch)
+	} else {
+		ch <- 1
+	}
+}
+
+func producerOwnsCloseClean(xs []int) <-chan int {
+	out := make(chan int)
+	go func() {
+		defer close(out)
+		for _, x := range xs {
+			out <- x
+		}
+	}()
+	return out
+}
+
+func sendThenCloseClean(v int) {
+	ch := make(chan int, 1)
+	ch <- v
+	close(ch)
+}
+
+func drainAfterCloseClean() int {
+	ch := make(chan int, 4)
+	close(ch)
+	return <-ch // receiving from a closed channel is fine
+}
+
+func deferredDoubleClose() {
+	ch := make(chan int)
+	defer close(ch) // want "deferred close of ch runs after an earlier close"
+	close(ch)
+}
+
+func suppressedRestart() {
+	ch := make(chan int)
+	close(ch)
+	//mllint:ignore chan-close fixture: the channel variable is rebound between closes at runtime
+	close(ch)
+}

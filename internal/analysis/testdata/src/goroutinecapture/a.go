@@ -1,0 +1,88 @@
+// Package goroutinecapture seeds the goroutine-capture golden test:
+// loop-variable captures by go/defer closures and unsynchronized
+// shared writes fire; argument passing, read-only captures and
+// suppressed cases stay clean.
+package goroutinecapture
+
+import "sync"
+
+func loopRange(items []int, sink func(int)) {
+	for i, v := range items {
+		go func() {
+			sink(i) // want "goroutine captures the loop variable i"
+			sink(v) // want "goroutine captures the loop variable v"
+		}()
+	}
+}
+
+func loopFor(n int, sink func(int)) {
+	for i := 0; i < n; i++ {
+		go func() {
+			sink(i) // want "goroutine captures the loop variable i"
+		}()
+	}
+}
+
+func deferLoop(files []string, cleanup func(string)) {
+	for _, f := range files {
+		defer func() {
+			cleanup(f) // want "deferred closure captures the loop variable f"
+		}()
+	}
+}
+
+func loopArgPassed(items []int, sink func(int)) {
+	for _, v := range items {
+		go func(v int) {
+			sink(v) // clean: spawn-time snapshot is explicit
+		}(v)
+	}
+}
+
+func sharedWrite(compute func() int) int {
+	total := 0
+	done := make(chan struct{})
+	go func() {
+		total = compute() // want "goroutine writes captured variable total"
+		close(done)
+	}()
+	total = -1
+	<-done
+	return total
+}
+
+func resultHandoff(compute func() int) int {
+	sum := 0
+	done := make(chan struct{})
+	go func() {
+		sum = compute() // clean: the enclosing function never writes sum
+		close(done)
+	}()
+	<-done
+	return sum
+}
+
+func mutexGuarded(compute func() int) int {
+	var mu sync.Mutex
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		mu.Lock()
+		//mllint:ignore goroutine-capture both writes hold mu; the race detector agrees
+		n = compute()
+		mu.Unlock()
+		close(done)
+	}()
+	mu.Lock()
+	n = 1
+	mu.Unlock()
+	<-done
+	return n
+}
+
+func deferNamedResult() (err error) {
+	defer func() {
+		err = nil // clean: deferred closures adjust named results on the same goroutine
+	}()
+	return err
+}

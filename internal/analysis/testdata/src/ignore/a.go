@@ -22,3 +22,9 @@ func wrongCheck(a, b float64) bool {
 	//mllint:ignore nondet-rand suppressing the wrong check must not hide float-eq
 	return a == b
 }
+
+func multiline(a, b, c, d float64) bool {
+	//mllint:ignore float-eq the directive governs the whole statement, continuation lines included
+	return a == b &&
+		c == d
+}

@@ -1,0 +1,101 @@
+// Package lockbalance seeds the lock-balance golden test: locks that
+// escape on an early return fire; straight-line pairs, deferred
+// unlocks (including branch-registered ones on covered paths), RLock
+// pairing and suppressed handoffs stay clean.
+package lockbalance
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func (s *store) earlyReturnLeak(cond bool) int {
+	s.mu.Lock() // want "s.mu.Lock() is not released on every path"
+	if cond {
+		return 0
+	}
+	s.n++
+	s.mu.Unlock()
+	return s.n
+}
+
+func (s *store) deferredClean() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+func (s *store) branchBalancedClean(c bool) {
+	s.mu.Lock()
+	if c {
+		s.n++
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+}
+
+func (s *store) conditionalDeferLeak(c bool) {
+	s.mu.Lock() // want "s.mu.Lock() is not released on every path"
+	if c {
+		defer s.mu.Unlock()
+	}
+	s.n++
+}
+
+func (s *store) rlockWrongUnlock() int {
+	s.rw.RLock() // want "s.rw.RLock() is not released on every path"
+	n := s.n
+	s.rw.Unlock() // releases the write lock, not the read lock
+	return n
+}
+
+func (s *store) rlockClean() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+func (s *store) loopClean(xs []int) {
+	for range xs {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+func (s *store) deferClosureClean() {
+	s.mu.Lock()
+	defer func() {
+		s.n--
+		s.mu.Unlock()
+	}()
+	s.n++
+}
+
+func (s *store) lockAndReturn() *store {
+	//mllint:ignore lock-balance ownership handoff: the caller must call unlockStore
+	s.mu.Lock()
+	return s
+}
+
+func unlockStore(s *store) {
+	s.mu.Unlock() // clean: unlock-side helpers are not flagged
+}
+
+func (s *store) switchLeak(mode int) {
+	s.mu.Lock() // want "s.mu.Lock() is not released on every path"
+	switch mode {
+	case 0:
+		s.mu.Unlock()
+	case 1:
+		s.n++
+		s.mu.Unlock()
+	default:
+		s.n--
+		// missing unlock on the default path
+	}
+}

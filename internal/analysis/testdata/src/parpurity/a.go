@@ -1,0 +1,84 @@
+// Package parpurity seeds the par-purity golden test. It is loaded
+// under a deterministic-pipeline import path: every function
+// reachable from a goroutine spawn must not write package-level
+// state, read the wall clock, or touch global randomness. The same
+// operations in code no goroutine can reach stay clean.
+package parpurity
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+var hits int
+
+var sharedRNG = rand.New(rand.NewSource(1))
+
+func worker(out []int) {
+	hits++ // want "goroutine-reachable code writes package-level variable hits"
+	out[0] = rand.Intn(10) // want "goroutine-reachable code calls package-level math/rand.Intn"
+	_ = time.Now() // want "goroutine-reachable code reads the wall clock via time.Now"
+}
+
+func Spawn(out []int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		worker(out)
+	}()
+	wg.Wait()
+}
+
+func transitive(out []int) {
+	worker(out)
+}
+
+func SpawnTransitive(out []int) {
+	done := make(chan struct{})
+	go func() {
+		transitive(out)
+		close(done)
+	}()
+	<-done
+}
+
+func ViaClosure() {
+	bump := func() {
+		hits++ // want "goroutine-reachable code writes package-level variable hits"
+	}
+	go bump()
+}
+
+func SpawnShared() int {
+	done := make(chan struct{})
+	n := 0
+	go func() {
+		n = sharedRNG.Intn(3) // want "goroutine-reachable code reads the package-level RNG sharedRNG"
+		close(done)
+	}()
+	<-done
+	return n
+}
+
+// Sequential does the same impure things with no goroutine in sight:
+// par-purity leaves it to nondet-rand and friends.
+func Sequential(out []int) {
+	hits++
+	out[0] = rand.Intn(10)
+	_ = time.Now()
+	_ = sharedRNG.Intn(3)
+}
+
+func SpawnTimed(work func()) {
+	done := make(chan struct{})
+	go func() {
+		//mllint:ignore par-purity fixture: telemetry wall-clock read, stripped before determinism compares
+		t0 := time.Now()
+		work()
+		_ = time.Since(t0) // want "goroutine-reachable code reads the wall clock via time.Since"
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,103 @@
+// Package waitgroup seeds the waitgroup-discipline golden test: Add
+// inside the spawned goroutine, Done skipped on a path, and Add after
+// the go statement fire; the canonical Add-then-go-then-defer-Done
+// shape stays clean.
+package waitgroup
+
+import "sync"
+
+func addInsideGoroutine(n int, work func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			wg.Add(1) // want "wg.Add inside the spawned goroutine races with Wait"
+			defer wg.Done()
+			work(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func doneSkippedOnPath(c bool, work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if c {
+			return
+		}
+		work()
+		wg.Done() // want "wg.Done is not reached on every path"
+	}()
+	wg.Wait()
+}
+
+func addAfterGo(work func()) {
+	var wg sync.WaitGroup
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Add(1) // want "wg.Add comes after the go statement"
+	wg.Wait()
+}
+
+func canonicalClean(n int, work func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			work(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func addInLoopClean(n int, work func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			work(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func branchDoneClean(c bool, work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if c {
+			wg.Done()
+			return
+		}
+		work()
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+func workerLoopClean(jobs <-chan int, work func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := range jobs {
+			work(j)
+		}
+	}()
+	wg.Wait()
+}
+
+func suppressedBarrier(work func()) {
+	var wg sync.WaitGroup
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	//mllint:ignore waitgroup-discipline fixture: the spawn is gated elsewhere and cannot outrun this Add
+	wg.Add(1)
+	wg.Wait()
+}

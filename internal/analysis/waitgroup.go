@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+
+	"mlpart/internal/analysis/cfg"
+)
+
+// WaitGroupDiscipline enforces the Add/Done/Wait protocol that keeps
+// worker pools deadlock- and race-free:
+//
+//  1. no Add inside the spawned goroutine: an Add racing Wait is the
+//     classic lost-wakeup — Wait may observe the counter at zero
+//     before the goroutine gets scheduled. Add belongs before the go
+//     statement, on the spawning side.
+//  2. Done on every path: a goroutine that calls wg.Done must reach
+//     it on *every* return path (CFG must-analysis); a conditional
+//     early return that skips Done hangs Wait forever. defer wg.Done()
+//     discharges every path, panics included, and is the recommended
+//     first statement.
+//  3. Add before the go statement it accounts for: an Add that only
+//     appears *after* a go statement whose goroutine calls Done on
+//     the same WaitGroup lets Wait pass early — the count was never
+//     raised when the goroutine started.
+type WaitGroupDiscipline struct{}
+
+// Name implements Check.
+func (WaitGroupDiscipline) Name() string { return "waitgroup-discipline" }
+
+// Doc implements Check.
+func (WaitGroupDiscipline) Doc() string {
+	return "wg.Add before the go statement, never inside it; wg.Done reached on every goroutine path"
+}
+
+// wgFact is the must-Done fact: the set of WaitGroup keys guaranteed
+// to have Done called (directly or via a registered defer) on every
+// path into this point. nil = unreached.
+type wgFact map[string]bool
+
+type wgLattice struct {
+	pass *Pass
+}
+
+// Bottom implements cfg.Lattice.
+func (wgLattice) Bottom() wgFact { return nil }
+
+// Entry implements cfg.Lattice.
+func (wgLattice) Entry() wgFact { return wgFact{} }
+
+// Join implements cfg.Lattice — must-analysis: intersection, with
+// nil (unreached) as identity.
+func (wgLattice) Join(a, b wgFact) wgFact {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(wgFact)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// Equal implements cfg.Lattice.
+func (wgLattice) Equal(a, b wgFact) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Transfer implements cfg.Lattice: Done calls (and deferred Dones)
+// add their WaitGroup key to the guaranteed set.
+func (l wgLattice) Transfer(b *cfg.Block, in wgFact) wgFact {
+	if in == nil {
+		return nil
+	}
+	out := make(wgFact, len(in))
+	for k := range in {
+		out[k] = true
+	}
+	for _, n := range b.Nodes {
+		scan := func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sc, ok := classifySyncCall(l.pass, call)
+			if ok && sc.typ == "WaitGroup" && sc.method == "Done" {
+				out[sc.recvKey] = true
+			}
+			return true
+		}
+		if d, ok := n.(*ast.DeferStmt); ok {
+			// defer wg.Done() or defer func(){ ...wg.Done()... }()
+			// discharges every later exit on this path.
+			ast.Inspect(d.Call, scan)
+			continue
+		}
+		inspectShallow(n, scan)
+	}
+	return out
+}
+
+// wgDoneSites collects, per WaitGroup key, the earliest Done call
+// position in the literal (deferred or not).
+func wgDoneSites(pass *Pass, body *ast.BlockStmt) map[string]token.Pos {
+	sites := make(map[string]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sc, ok := classifySyncCall(pass, call)
+		if ok && sc.typ == "WaitGroup" && sc.method == "Done" {
+			if prev, seen := sites[sc.recvKey]; !seen || call.Pos() < prev {
+				sites[sc.recvKey] = call.Pos()
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+// Run implements Check.
+func (c WaitGroupDiscipline) Run(pass *Pass) {
+	forEachFuncBody(pass, func(fb funcBody) {
+		type goneLit struct {
+			pos  token.Pos
+			done map[string]token.Pos
+		}
+		var spawned []goneLit
+
+		// Rules 1 and 2 examine each go-statement literal directly in
+		// this function body (nested literals get their own visit).
+		inspectShallow(fb.body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+
+			// Rule 1: Add inside the spawned goroutine.
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sc, ok := classifySyncCall(pass, call)
+				if ok && sc.typ == "WaitGroup" && sc.method == "Add" {
+					pass.Report(call, c.Name(),
+						sc.recv+".Add inside the spawned goroutine races with Wait",
+						"call Add on the spawning side, before the go statement")
+				}
+				return true
+			})
+
+			// Rule 2: Done on every path of the spawned closure.
+			done := wgDoneSites(pass, lit.Body)
+			spawned = append(spawned, goneLit{gs.Pos(), done})
+			if len(done) == 0 {
+				return true
+			}
+			g := cfg.New(pass.Fset, fb.name+".go", lit.Body)
+			res := cfg.Forward[wgFact](g, wgLattice{pass})
+			exit := res.In[g.Exit]
+			if exit == nil {
+				return true // never returns (worker loop): Wait is not waiting on it
+			}
+			for _, key := range sortedKeys(done) {
+				if !exit[key] {
+					pass.ReportPos(done[key], c.Name(),
+						key+".Done is not reached on every path of the goroutine in "+fb.name,
+						"make `defer "+key+".Done()` the first statement of the goroutine")
+				}
+			}
+			return true
+		})
+
+		// Rule 3: an Add that first appears after the go statement
+		// whose goroutine Dones the same WaitGroup. An Add anywhere
+		// before the spawn (loop bodies included) keeps the pairing
+		// honest, so only keys with no earlier Add at all report.
+		if len(spawned) == 0 {
+			return
+		}
+		inspectShallow(fb.body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sc, ok := classifySyncCall(pass, call)
+			if !ok || sc.typ != "WaitGroup" || sc.method != "Add" {
+				return true
+			}
+			for _, sp := range spawned {
+				if _, dones := sp.done[sc.recvKey]; dones && sp.pos < call.Pos() &&
+					!addBefore(pass, fb.body, sc.recvKey, sp.pos) {
+					pass.Report(call, c.Name(),
+						sc.recv+".Add comes after the go statement whose goroutine calls Done; "+
+							"Wait can pass before the count is raised",
+						"move the Add before the go statement")
+					break
+				}
+			}
+			return true
+		})
+	})
+}
+
+// addBefore reports whether body has an Add on key strictly before
+// pos (outside spawned literals — an Add inside another goroutine
+// doesn't order with this spawn).
+func addBefore(pass *Pass, body *ast.BlockStmt, key string, pos token.Pos) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		sc, ok := classifySyncCall(pass, call)
+		if ok && sc.typ == "WaitGroup" && sc.method == "Add" && sc.recvKey == key {
+			found = true
+		}
+		return true
+	})
+	return found
+}
