@@ -17,15 +17,17 @@ import (
 
 // siteFires reports whether a site can trigger on the given entry
 // point (fm.pass is bipartition-only, kway.refine quadrisection-only;
-// the server.* sites live in mlpartd's admission/job paths and are
-// never reached through the library entry points).
+// the server.* sites live in mlpartd's admission/job paths and the
+// journal.* sites in its write-ahead log, so none of them is ever
+// reached through the library entry points).
 func siteFires(site faultinject.Site, k int) bool {
 	switch site {
 	case faultinject.SiteFMPass:
 		return k == 2
 	case faultinject.SiteKwayRefine:
 		return k == 4
-	case faultinject.SiteServerAdmit, faultinject.SiteServerJob:
+	case faultinject.SiteServerAdmit, faultinject.SiteServerJob,
+		faultinject.SiteJournalAppend, faultinject.SiteJournalReplay:
 		return false
 	}
 	return true

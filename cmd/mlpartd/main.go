@@ -6,7 +6,9 @@
 //
 //	mlpartd [-addr :7997] [-queue 64] [-workers 0] [-cache 256]
 //	        [-default-timeout 30s] [-max-timeout 5m] [-drain-timeout 10s]
-//	        [-retries 1] [-chaos site:kind:n[:start]] [-chaos-seed 1]
+//	        [-retries 1] [-journal jobs.wal] [-addr-file path]
+//	        [-crash-after-appends n]
+//	        [-chaos site:kind:n[:start]] [-chaos-seed 1]
 //	        [-smoke] [-in circuit.hgr]
 //
 // API (JSON):
@@ -40,9 +42,25 @@
 // exercise the production drain path and prints the final stats JSON
 // to stdout.
 //
+// -journal makes accepted jobs crash-durable: every job lifecycle
+// transition is appended to a write-ahead journal and synced before
+// it is acknowledged, and on startup the journal is replayed —
+// accepted-but-unfinished jobs from a killed predecessor are re-run,
+// closed jobs stay queryable, torn tails are truncated. See the
+// README's "Crash recovery" section.
+//
 // Repeatable -chaos flags arm deterministic fault injection at the
-// server.admit / server.job sites (plus any pipeline site, which then
-// fires inside every job) for chaos testing the recovery paths.
+// server.admit / server.job sites, the journal.append /
+// journal.replay sites (torn writes, dying disks, corrupt replays),
+// plus any pipeline site (which then fires inside every job) for
+// chaos testing the recovery paths.
+//
+// Two flags exist purely for the process-kill crash harness
+// (`make crash-smoke`): -addr-file writes the bound listen address to
+// a file so the harness can find a :0 listener, and
+// -crash-after-appends n SIGKILLs the process the moment the n-th
+// journal record becomes durable — a deterministic stand-in for
+// pulling the plug mid-burst.
 package main
 
 import (
@@ -87,6 +105,9 @@ func run() error {
 		maxTimeout   = flag.Duration("max-timeout", 0, "cap on client-requested deadlines (0 = default 5m)")
 		drainTimeout = flag.Duration("drain-timeout", 0, "grace period for in-flight jobs on shutdown (0 = default 10s)")
 		retries      = flag.Int("retries", 0, "extra attempts per failed job (0 = default 1, negative disables)")
+		journalPath  = flag.String("journal", "", "write-ahead job journal path (empty disables crash durability)")
+		addrFile     = flag.String("addr-file", "", "write the bound listen address to this file (crash-harness port discovery)")
+		crashAfter   = flag.Int("crash-after-appends", 0, "SIGKILL self after the n-th durable journal append (crash harness only)")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for probabilistic -chaos triggers")
 		smoke        = flag.Bool("smoke", false, "run the loopback self-test and exit")
 		in           = flag.String("in", "", "netlist for -smoke (hMETIS .hgr)")
@@ -107,11 +128,31 @@ func run() error {
 		MaxTimeout:     *maxTimeout,
 		DrainTimeout:   *drainTimeout,
 		MaxRetries:     *retries,
+		JournalPath:    *journalPath,
 		Inject:         plan,
+	}
+	if *crashAfter > 0 {
+		if *journalPath == "" {
+			return fmt.Errorf("-crash-after-appends requires -journal")
+		}
+		n := *crashAfter
+		cfg.JournalAppendHook = func(got int) {
+			if got == n {
+				// The harness's plug-pull: die with no cleanup the
+				// instant the n-th record is durable. SIGKILL cannot be
+				// caught, so nothing below this line runs.
+				_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		}
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
 		return err
+	}
+	if *journalPath != "" {
+		rep := srv.Stats()
+		fmt.Fprintf(os.Stderr, "mlpartd: journal %s replayed: %d recovered, %d already terminal, %d torn tails\n",
+			*journalPath, rep.Recovered, rep.ReplayedTerminal, rep.TornTailTruncated)
 	}
 
 	listenAddr := *addr
@@ -126,6 +167,11 @@ func run() error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "mlpartd: listening on %s\n", ln.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			return fmt.Errorf("write -addr-file: %w", err)
+		}
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)

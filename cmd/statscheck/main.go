@@ -3,14 +3,16 @@
 // mlpart-stats/1: header consistency, per-start completeness,
 // internal counter invariants, non-zero wall-clock totals) or a
 // /statsz service snapshot from mlpartd (schema mlpartd-stats/1:
-// accounting invariants — accepted = terminals + queued + running).
-// The schema is detected from the document. It is the validation half
-// of `make stats-smoke` and `make serve-smoke`.
+// accounting invariants — accepted = terminals + queued + running,
+// including the crash-recovery counters). The schema is detected from
+// the document. It is the validation half of `make stats-smoke`,
+// `make serve-smoke`, and `make crash-smoke`.
 //
 // Usage:
 //
 //	statscheck -in stats.json [-min-levels 1] [-min-passes 1] [-strip]
 //	mlpartd ... | statscheck
+//	statscheck -journal jobs.wal
 //
 // With -in empty or "-", the report is read from stdin — that is how
 // mlpartd's final stats output is piped straight into validation.
@@ -20,6 +22,14 @@
 // stripped reports through cmp/diff is the cross-parallelism
 // determinism check. (Service snapshots are inherently stateful, so
 // -strip applies only to run reports.)
+//
+// -journal switches to offline journal inspection: the write-ahead
+// job journal at the given path is replayed read-only, its lifecycle
+// invariants checked (one accepted and at most one terminal record
+// per job, accepted always first, known terminal statuses), and a
+// mlpartd-journal/1 dump printed to stdout — per-job state plus
+// torn-tail accounting. The crash harness diffs these dumps across a
+// kill/restart cycle.
 package main
 
 import (
@@ -30,6 +40,8 @@ import (
 	"os"
 
 	"mlpart"
+	"mlpart/internal/journal"
+	"mlpart/internal/server"
 	"mlpart/internal/telemetry"
 )
 
@@ -46,8 +58,13 @@ func run() error {
 		minLevels = flag.Int("min-levels", 1, "minimum coarsening levels required of the best start (run reports)")
 		minPasses = flag.Int("min-passes", 1, "minimum refinement passes required of the best start (run reports)")
 		strip     = flag.Bool("strip", false, "print a run report with timings zeroed to stdout")
+		jpath     = flag.String("journal", "", "inspect the write-ahead job journal at this path instead of a stats report")
 	)
 	flag.Parse()
+
+	if *jpath != "" {
+		return dumpJournal(*jpath)
+	}
 
 	name := *in
 	var data []byte
@@ -122,6 +139,11 @@ func validateService(r *telemetry.ServiceReport) error {
 		{"deadline_exceeded", r.DeadlineExceeded},
 		{"drained", r.Drained},
 		{"retried", r.Retried},
+		{"recovered", r.Recovered},
+		{"replayed_terminal", r.ReplayedTerminal},
+		{"torn_tail_truncated", r.TornTailTruncated},
+		{"journal_append_errors", r.JournalAppendErrors},
+		{"idempotent_replays", r.IdempotentReplays},
 		{"cache_hits", r.CacheHits},
 		{"cache_misses", r.CacheMisses},
 		{"queued", r.Queued},
@@ -144,6 +166,12 @@ func validateService(r *telemetry.ServiceReport) error {
 	// Cache lookups happen once per accepted job.
 	if r.CacheHits+r.CacheMisses > r.Accepted {
 		return fmt.Errorf("cache lookups %d exceed accepted %d", r.CacheHits+r.CacheMisses, r.Accepted)
+	}
+	// Recovered jobs are a subset of accepted jobs (each one is
+	// re-counted in accepted at replay, which is what keeps the ledger
+	// balanced across restarts).
+	if r.Recovered > r.Accepted {
+		return fmt.Errorf("recovered %d exceeds accepted %d", r.Recovered, r.Accepted)
 	}
 	if r.UptimeNS <= 0 {
 		return fmt.Errorf("uptime_ns = %d, want > 0", r.UptimeNS)
@@ -215,5 +243,115 @@ func validate(r *mlpart.Report, minLevels, minPasses int) error {
 	if len(best.Passes) < minPasses {
 		return fmt.Errorf("best start has %d refinement passes, want >= %d", len(best.Passes), minPasses)
 	}
+	return nil
+}
+
+// journalDump is the mlpartd-journal/1 offline-inspection document:
+// per-job lifecycle state folded from the journal's record stream,
+// plus replay accounting. It is deterministic for a given journal
+// file, so the crash harness can diff dumps across restarts.
+type journalDump struct {
+	Schema string `json:"schema"`
+	// Replay accounting, straight from the read-only load.
+	Frames     int   `json:"frames"`
+	ValidBytes int64 `json:"valid_bytes"`
+	TornBytes  int64 `json:"torn_bytes"`
+	Truncated  bool  `json:"truncated"`
+	// Record-type totals.
+	Accepted int `json:"accepted"`
+	Started  int `json:"started"`
+	Terminal int `json:"terminal"`
+	// Open is the crash debt: accepted jobs with no terminal record —
+	// what a restart must re-enqueue.
+	Open int          `json:"open"`
+	Jobs []journalJob `json:"jobs"`
+}
+
+// journalJob is one job's folded lifecycle state, in first-appearance
+// order.
+type journalJob struct {
+	ID  string `json:"id"`
+	Seq int    `json:"seq"`
+	// Status is the journaled terminal status, or "open" while the
+	// job still owes one.
+	Status      string `json:"status"`
+	Started     bool   `json:"started,omitempty"`
+	Recovered   bool   `json:"recovered,omitempty"`
+	K           int    `json:"k,omitempty"`
+	ContentHash string `json:"content_hash,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	IdemKey     string `json:"idempotency_key,omitempty"`
+	// HasRequest reports whether the record still carries the request
+	// bytes (compaction strips them from closed jobs).
+	HasRequest bool `json:"has_request,omitempty"`
+}
+
+// dumpJournal replays the journal read-only, validates the lifecycle
+// invariants the server's recovery path relies on, and prints the
+// mlpartd-journal/1 dump to stdout.
+func dumpJournal(path string) error {
+	recs, st, err := journal.Load(path, nil)
+	if err != nil {
+		return err
+	}
+	d := journalDump{
+		Schema:     "mlpartd-journal/1",
+		Frames:     st.Frames,
+		ValidBytes: st.ValidBytes,
+		TornBytes:  st.TornBytes,
+		Truncated:  st.Truncated,
+	}
+	// byID maps a job id to its index in d.Jobs (indices, not
+	// pointers: append reallocates the backing array).
+	byID := make(map[string]int)
+	for i, r := range recs {
+		idx, known := byID[r.ID]
+		switch r.Type {
+		case journal.TypeAccepted:
+			d.Accepted++
+			if known {
+				return fmt.Errorf("%s: record %d: duplicate accepted record for job %s", path, i, r.ID)
+			}
+			byID[r.ID] = len(d.Jobs)
+			d.Jobs = append(d.Jobs, journalJob{
+				ID: r.ID, Seq: r.Seq, Status: "open",
+				Recovered: r.Recovered, K: r.K,
+				ContentHash: r.ContentHash, Fingerprint: r.Fingerprint,
+				IdemKey: r.IdemKey, HasRequest: len(r.Request) > 0,
+			})
+		case journal.TypeStarted:
+			d.Started++
+			if !known {
+				return fmt.Errorf("%s: record %d: started record for job %s precedes its accepted record", path, i, r.ID)
+			}
+			d.Jobs[idx].Started = true
+		case journal.TypeTerminal:
+			d.Terminal++
+			if !known {
+				return fmt.Errorf("%s: record %d: terminal record for job %s precedes its accepted record", path, i, r.ID)
+			}
+			if d.Jobs[idx].Status != "open" {
+				return fmt.Errorf("%s: record %d: job %s has a second terminal record (%s after %s)", path, i, r.ID, r.Status, d.Jobs[idx].Status)
+			}
+			if !server.Status(r.Status).Terminal() {
+				return fmt.Errorf("%s: record %d: job %s has unknown terminal status %q", path, i, r.ID, r.Status)
+			}
+			d.Jobs[idx].Status = r.Status
+		}
+	}
+	for i := range d.Jobs {
+		if d.Jobs[i].Status == "open" {
+			d.Open++
+		}
+	}
+	out, err := json.MarshalIndent(&d, "", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stdout.Write(append(out, '\n')); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "statscheck: %s ok (journal: %d frames, %d jobs, %d open, %d torn bytes)\n",
+		path, d.Frames, len(d.Jobs), d.Open, d.TornBytes)
 	return nil
 }

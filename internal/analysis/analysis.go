@@ -125,6 +125,7 @@ var deterministicPkgs = []string{
 	"internal/hypergraph",
 	"internal/analysis",
 	"internal/analysis/cfg",
+	"internal/journal",
 }
 
 // checksFor selects which checks apply to the package at importPath.

@@ -38,6 +38,23 @@ const (
 	// path; cancel behaves as a client cancellation; delay eats into
 	// the job's deadline. Never reached by the library entry points.
 	SiteServerJob Site = "server.job"
+	// SiteJournalAppend fires inside every write-ahead journal append,
+	// before the frame reaches the file. A panic unwinds into the
+	// caller's recover barrier (an admission append panic rejects only
+	// that submission); cancel fails the append transiently (the
+	// record is not durable, the writer stays usable); corrupt models
+	// a torn write — half a frame is written and the writer goes
+	// read-only, the way a dying disk or a crash mid-write would leave
+	// it; delay models a slow fsync. Never reached by the library
+	// entry points.
+	SiteJournalAppend Site = "journal.append"
+	// SiteJournalReplay fires once per frame while replaying a journal
+	// at startup. A panic must be contained by the server's replay
+	// barrier (startup fails cleanly, the process does not crash);
+	// cancel and corrupt both truncate the replay at the current frame
+	// — the torn-tail model applied mid-file; delay slows recovery.
+	// Never reached by the library entry points.
+	SiteJournalReplay Site = "journal.replay"
 )
 
 // AllSites is the registry: every instrumented site, exactly once.
@@ -50,6 +67,8 @@ var AllSites = []Site{
 	SiteCoreRebalance,
 	SiteServerAdmit,
 	SiteServerJob,
+	SiteJournalAppend,
+	SiteJournalReplay,
 }
 
 // ValidSite reports whether s is a registered site.

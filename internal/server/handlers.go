@@ -57,7 +57,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /v1/jobs             submit a job (202 + job view, Location header)
+//	POST   /v1/jobs             submit a job (202 + job view, Location header).
+//	                            An Idempotency-Key request header makes the
+//	                            submission replay-safe: a duplicate returns the
+//	                            original job (200 + X-Mlpartd-Idempotent: replay),
+//	                            a reuse for a different request is a 409. Keys
+//	                            are journaled, so dedup survives restarts.
 //	GET    /v1/jobs/{id}        job state (?wait_ms=N blocks for a terminal state)
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/jobs/{id}/result deterministic result document (X-Mlpartd-Cache: hit|miss)
@@ -150,7 +155,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := cacheKey{content: h.ContentHash(), fingerprint: fp, k: k}
-	j, rej := s.admitJob(h, k, opt, timeout, req.Stats, key)
+
+	// The canonical re-encoding of the request is what the journal
+	// stores with the accepted record: it is exactly what recovery
+	// needs to rebuild and re-run the job after a crash.
+	reqBytes, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", "could not encode request for the journal: "+err.Error())
+		return
+	}
+
+	idemKey := r.Header.Get("Idempotency-Key")
+	j, replayed, rej := s.admitJob(h, k, opt, timeout, req.Stats, key, idemKey, reqBytes)
 	if rej != nil {
 		if rej.retryAfter > 0 {
 			w.Header().Set("Retry-After", strconv.FormatInt(int64((rej.retryAfter+time.Second-1)/time.Second), 10))
@@ -163,6 +179,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	v := j.snapshotLocked()
 	s.mu.Unlock()
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	if replayed {
+		// Duplicate of an earlier submission with the same
+		// Idempotency-Key: answer with the original job, 200 not 202 —
+		// nothing new was admitted.
+		w.Header().Set("X-Mlpartd-Idempotent", "replay")
+		writeJSON(w, http.StatusOK, v)
+		return
+	}
 	writeJSON(w, http.StatusAccepted, v)
 }
 

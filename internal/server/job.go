@@ -91,6 +91,11 @@ type job struct {
 	// server's DefaultTimeout.
 	timeout   time.Duration
 	wantStats bool
+	// idemKey is the client's Idempotency-Key, empty when none was
+	// sent; recovered marks a job re-enqueued from the journal after a
+	// process death (or a replayed terminal tombstone).
+	idemKey   string
+	recovered bool
 
 	status      Status
 	attempts    int
@@ -113,17 +118,20 @@ type job struct {
 // Result it may carry nondeterministic fields (attempts, cache_hit,
 // stats timings).
 type view struct {
-	ID          string            `json:"id"`
-	Status      Status            `json:"status"`
-	K           int               `json:"k"`
-	ContentHash string            `json:"content_hash"`
-	Fingerprint string            `json:"fingerprint"`
-	Attempts    int               `json:"attempts"`
-	CacheHit    bool              `json:"cache_hit"`
-	Interrupted bool              `json:"interrupted,omitempty"`
-	Error       *ErrorReport      `json:"error,omitempty"`
-	Result      *Result           `json:"result,omitempty"`
-	Stats       *telemetry.Report `json:"stats,omitempty"`
+	ID          string `json:"id"`
+	Status      Status `json:"status"`
+	K           int    `json:"k"`
+	ContentHash string `json:"content_hash"`
+	Fingerprint string `json:"fingerprint"`
+	Attempts    int    `json:"attempts"`
+	CacheHit    bool   `json:"cache_hit"`
+	Interrupted bool   `json:"interrupted,omitempty"`
+	// Recovered marks a job that survived a process death: re-enqueued
+	// from the journal, or a replayed terminal tombstone.
+	Recovered bool              `json:"recovered,omitempty"`
+	Error     *ErrorReport      `json:"error,omitempty"`
+	Result    *Result           `json:"result,omitempty"`
+	Stats     *telemetry.Report `json:"stats,omitempty"`
 }
 
 // snapshotLocked renders the job's current state; callers hold the
@@ -138,6 +146,7 @@ func (j *job) snapshotLocked() view {
 		Attempts:    j.attempts,
 		CacheHit:    j.cacheHit,
 		Interrupted: j.interrupted,
+		Recovered:   j.recovered,
 		Error:       j.errrep,
 		Result:      j.result,
 		Stats:       j.report,

@@ -37,6 +37,7 @@ import (
 	"mlpart/internal/core"
 	"mlpart/internal/faultinject"
 	"mlpart/internal/hypergraph"
+	"mlpart/internal/journal"
 	"mlpart/internal/telemetry"
 )
 
@@ -77,12 +78,25 @@ type Config struct {
 	// Limits are the netlist parser resource limits applied to
 	// submitted hypergraphs (zero fields select the defaults).
 	Limits hypergraph.Limits
+	// JournalPath names the write-ahead job journal. Empty disables
+	// crash durability: jobs live only in memory, exactly the
+	// pre-journal behavior. When set, New replays the journal before
+	// admitting anything — closed jobs become queryable tombstones,
+	// accepted-but-unfinished jobs are re-enqueued — and every
+	// accepted job is journaled and synced before its 202 response.
+	JournalPath string
+	// JournalAppendHook, when non-nil, runs after every durable
+	// journal append with the 1-based append count. The crash harness
+	// uses it to SIGKILL the process at exact journal positions.
+	JournalAppendHook func(n int)
 	// Inject arms deterministic fault injection at the server.admit
 	// and server.job sites. Per-submission injectors are derived from
 	// the admission sequence number — every submission consumes one,
 	// accepted or not — so a plan entry with Start s targets the s-th
-	// submission; the retry index is the job's attempt number. Nil
-	// adds one pointer check per site.
+	// submission; the retry index is the job's attempt number. The
+	// journal.append and journal.replay sites use the fixed derivation
+	// (start 0, retry 0) with OnHit counting appends / replayed frames.
+	// Nil adds one pointer check per site.
 	Inject *faultinject.Plan
 }
 
@@ -162,21 +176,40 @@ type Server struct {
 	runCtx    context.Context
 	runCancel context.CancelFunc
 
-	// mu guards jobs, seq, draining, every queue send, and every job
-	// state transition.
+	// jnl is the write-ahead job journal; nil when JournalPath is
+	// empty. Lifecycle appends happen under mu, which serializes them
+	// against the state transitions they record.
+	jnl *journal.Writer
+
+	// mu guards jobs, seq, draining, idem, every queue send, and every
+	// job state transition.
 	mu       sync.Mutex
 	jobs     map[string]*job
 	seq      int
 	draining bool
 	queue    chan *job
 	cache    *resultCache
+	// idem maps an Idempotency-Key to the job it first admitted, plus
+	// that job's cache key for conflict detection. Rebuilt from the
+	// journal on restart.
+	idem map[string]idemEntry
 
 	workersDone chan struct{} // closed when every worker has exited
 	drainOnce   sync.Once
 	drained     chan struct{} // closed when a drain has fully finished
 }
 
-// New starts a server; the worker pool is live on return.
+// idemEntry records which job an Idempotency-Key admitted and the
+// request identity it covered.
+type idemEntry struct {
+	id  string
+	key cacheKey
+}
+
+// New starts a server; the worker pool is live on return. When a
+// journal is configured, New first replays it — replay happens before
+// the queue exists and before any worker starts, so recovered state
+// can never race live traffic ("replay before admit").
 func New(cfg Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -191,11 +224,32 @@ func New(cfg Config) (*Server, error) {
 		runCtx:      runCtx,
 		runCancel:   runCancel,
 		jobs:        make(map[string]*job),
-		queue:       make(chan *job, cfg.QueueDepth),
 		cache:       newResultCache(cfg.CacheCap),
+		idem:        make(map[string]idemEntry),
 		workersDone: make(chan struct{}),
 		drained:     make(chan struct{}),
 	}
+
+	var recovered []*job
+	if cfg.JournalPath != "" {
+		var err error
+		recovered, err = s.recoverJournal()
+		if err != nil {
+			runCancel()
+			return nil, err
+		}
+	}
+	// Recovered jobs get dedicated queue slots on top of QueueDepth:
+	// recovery must never trip the overload shed for jobs the previous
+	// process already acknowledged.
+	s.queue = make(chan *job, cfg.QueueDepth+len(recovered))
+	for _, j := range recovered {
+		s.jobs[j.id] = j
+		s.stats.Accept()
+		s.stats.RecoverJob()
+		s.queue <- j
+	}
+
 	var wg sync.WaitGroup
 	wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
@@ -249,6 +303,12 @@ func (s *Server) Drain(ctx context.Context) error {
 			<-s.workersDone
 			grace.Stop()
 			s.runCancel()
+			// Every accepted job is terminal once the workers exit, so
+			// the journal has received its last lifecycle record; sync
+			// and close it before reporting the drain complete.
+			if s.jnl != nil {
+				_ = s.jnl.Close()
+			}
 			close(s.drained)
 		}()
 	})
@@ -280,16 +340,41 @@ type rejection struct {
 
 // admitJob registers and enqueues a submission that has already been
 // parsed and hashed. timeout is the validated per-job deadline (0
-// selects DefaultTimeout). It returns the job on acceptance, or a
-// rejection. A panic out of admitJob (the server.admit fault site)
-// unwinds into the handler's recover barrier and rejects only this
-// submission; mu is released by the deferred Unlock.
-func (s *Server) admitJob(h *mlpart.Hypergraph, k int, opt mlpart.Options, timeout time.Duration, wantStats bool, key cacheKey) (*job, *rejection) {
+// selects DefaultTimeout). It returns the job on acceptance — with
+// replayed=true when an Idempotency-Key matched an earlier admission
+// and no new job was created — or a rejection. A panic out of
+// admitJob (the server.admit fault site) unwinds into the handler's
+// recover barrier and rejects only this submission; mu is released by
+// the deferred Unlock.
+//
+// Journal-before-acknowledge: when a journal is configured, the
+// accepted record is appended and synced while still holding mu,
+// before the job becomes visible — so no response, queue slot, or
+// counter ever refers to a job the journal does not know about. A
+// failed append rejects the submission with 503 journal_error rather
+// than accepting a job that a crash would silently lose.
+func (s *Server) admitJob(h *mlpart.Hypergraph, k int, opt mlpart.Options, timeout time.Duration, wantStats bool, key cacheKey, idemKey string, reqBytes []byte) (*job, bool, *rejection) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+
+	// Idempotent replay answers before the draining check: returning
+	// an already-admitted job is a read, not new work.
+	if idemKey != "" {
+		if e, ok := s.idem[idemKey]; ok {
+			if e.key != key {
+				return nil, false, &rejection{status: 409, code: "idempotency_conflict",
+					msg: fmt.Sprintf("Idempotency-Key already used by job %s for a different request", e.id)}
+			}
+			if j, ok := s.jobs[e.id]; ok {
+				s.stats.IdempotentReplay()
+				return j, true, nil
+			}
+		}
+	}
+
 	if s.draining {
 		s.stats.RejectDraining()
-		return nil, &rejection{status: 503, code: "draining", msg: "server is draining; not accepting jobs", retryAfter: s.cfg.RetryAfter}
+		return nil, false, &rejection{status: 503, code: "draining", msg: "server is draining; not accepting jobs", retryAfter: s.cfg.RetryAfter}
 	}
 
 	// Every submission consumes a sequence number, accepted or not:
@@ -304,7 +389,7 @@ func (s *Server) admitJob(h *mlpart.Hypergraph, k int, opt mlpart.Options, timeo
 			// Shed as if the queue were full — the deterministic
 			// overload path.
 			s.stats.RejectQueueFull()
-			return nil, &rejection{status: 429, code: "queue_full", msg: "admission shed (injected)", retryAfter: s.cfg.RetryAfter}
+			return nil, false, &rejection{status: 429, code: "queue_full", msg: "admission shed (injected)", retryAfter: s.cfg.RetryAfter}
 		case faultinject.ActCorrupt:
 			// Nothing to corrupt at admission; no-op.
 		}
@@ -319,33 +404,95 @@ func (s *Server) admitJob(h *mlpart.Hypergraph, k int, opt mlpart.Options, timeo
 		key:       key,
 		timeout:   timeout,
 		wantStats: wantStats,
+		idemKey:   idemKey,
 		status:    StatusQueued,
 		cancelc:   make(chan struct{}),
 		done:      make(chan struct{}),
 	}
 
 	// Admission-time cache lookup: a hit completes the job without
-	// consuming a queue slot.
+	// consuming a queue slot. The accepted record is still journaled
+	// first — the terminal record finishLocked writes must never be a
+	// job's first journal appearance.
 	if res, ok := s.cache.get(key); ok && !s.cacheBypassed(seq) {
+		if rej := s.journalAcceptLocked(j, reqBytes); rej != nil {
+			return nil, false, rej
+		}
 		s.jobs[j.id] = j
+		s.registerIdemLocked(j)
 		s.stats.Accept()
 		s.stats.CacheHit()
 		j.cacheHit = true
 		r := res
 		s.finishLocked(j, StatusCompleted, &r, nil, true)
-		return j, nil
+		return j, false, nil
 	}
 
-	select {
-	case s.queue <- j:
-		s.jobs[j.id] = j
-		s.stats.Accept()
-		s.stats.CacheMiss()
-		return j, nil
-	default:
+	// Capacity check before the journal append: sends happen only
+	// under mu, and workers only drain the queue, so a free slot seen
+	// here is still free after the append — the send below cannot
+	// block, and we never journal a job we end up shedding.
+	if len(s.queue) == cap(s.queue) {
 		s.stats.RejectQueueFull()
-		return nil, &rejection{status: 429, code: "queue_full", msg: fmt.Sprintf("admission queue full (%d jobs)", s.cfg.QueueDepth), retryAfter: s.cfg.RetryAfter}
+		return nil, false, &rejection{status: 429, code: "queue_full", msg: fmt.Sprintf("admission queue full (%d jobs)", s.cfg.QueueDepth), retryAfter: s.cfg.RetryAfter}
 	}
+	if rej := s.journalAcceptLocked(j, reqBytes); rej != nil {
+		return nil, false, rej
+	}
+	s.queue <- j
+	s.jobs[j.id] = j
+	s.registerIdemLocked(j)
+	s.stats.Accept()
+	s.stats.CacheMiss()
+	return j, false, nil
+}
+
+// journalAcceptLocked makes the accepted record durable before the
+// job becomes visible; callers hold mu. A nil return means the record
+// is synced (or journaling is off); otherwise the submission must be
+// rejected — the one failure mode that may never be absorbed, because
+// acknowledging a job the journal lost breaks crash durability.
+func (s *Server) journalAcceptLocked(j *job, reqBytes []byte) *rejection {
+	err := s.journalAppend(journal.Record{
+		Type:        journal.TypeAccepted,
+		ID:          j.id,
+		Seq:         j.seq,
+		ContentHash: j.key.content,
+		Fingerprint: j.key.fingerprint,
+		K:           j.k,
+		IdemKey:     j.idemKey,
+		Request:     reqBytes,
+	})
+	if err == nil {
+		return nil
+	}
+	s.stats.JournalAppendError()
+	return &rejection{status: 503, code: "journal_error",
+		msg: "could not journal the submission: " + err.Error(), retryAfter: s.cfg.RetryAfter}
+}
+
+// registerIdemLocked records the job's Idempotency-Key; callers hold
+// mu and have already checked for a conflicting prior use.
+func (s *Server) registerIdemLocked(j *job) {
+	if j.idemKey != "" {
+		s.idem[j.idemKey] = idemEntry{id: j.id, key: j.key}
+	}
+}
+
+// journalAppend appends one lifecycle record, converting an injected
+// panic at the journal.append site into an error: a journaling fault
+// must fail the record, never the worker goroutine (or the process)
+// that hit it. Returns nil when journaling is off.
+func (s *Server) journalAppend(rec journal.Record) (err error) {
+	if s.jnl == nil {
+		return nil
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("journal append panicked: %v", v)
+		}
+	}()
+	return s.jnl.Append(rec)
 }
 
 // cacheBypassed reports whether the fault plan arms a corrupt fault
@@ -369,6 +516,12 @@ func (s *Server) cacheBypassed(seq int) bool {
 
 // finishLocked moves j to a terminal status exactly once; callers
 // hold mu. fromQueue records whether the job never started running.
+// The exactly-once guarantee extends to the journal: the terminal
+// record is appended on the one transition that flips the status, so
+// a journal can never carry two terminal records for an id. An append
+// failure here is absorbed (counted, not surfaced): the job's
+// terminal state stands in memory, and the worst a crash can do is
+// re-run a finished job — recomputation is byte-identical.
 func (s *Server) finishLocked(j *job, st Status, res *Result, rep *ErrorReport, fromQueue bool) {
 	if j.status.Terminal() {
 		return
@@ -376,6 +529,9 @@ func (s *Server) finishLocked(j *job, st Status, res *Result, rep *ErrorReport, 
 	j.status = st
 	j.result = res
 	j.errrep = rep
+	if err := s.journalAppend(journal.Record{Type: journal.TypeTerminal, ID: j.id, Seq: j.seq, Status: string(st)}); err != nil {
+		s.stats.JournalAppendError()
+	}
 	s.stats.FinishJob(string(st), fromQueue)
 	close(j.done)
 }
@@ -448,6 +604,12 @@ func (s *Server) runJob(j *job) {
 	}
 	j.status = StatusRunning
 	s.stats.StartJob()
+	// The started record is advisory (recovery re-enqueues on
+	// accepted-without-terminal either way), so a failed append only
+	// bumps the counter.
+	if err := s.journalAppend(journal.Record{Type: journal.TypeStarted, ID: j.id, Seq: j.seq}); err != nil {
+		s.stats.JournalAppendError()
+	}
 	// Execution-time cache recheck: an identical job may have
 	// completed while this one sat in the queue.
 	if res, ok := s.cache.get(j.key); ok && !s.cacheBypassed(j.seq) {

@@ -69,6 +69,7 @@ type jobView struct {
 	CacheHit    bool            `json:"cache_hit"`
 	Attempts    int             `json:"attempts"`
 	Interrupted bool            `json:"interrupted"`
+	Recovered   bool            `json:"recovered"`
 	Error       *ErrorReport    `json:"error"`
 	Result      json.RawMessage `json:"result"`
 	Stats       json.RawMessage `json:"stats"`

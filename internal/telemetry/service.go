@@ -55,6 +55,27 @@ type ServiceReport struct {
 	// per-start retries.
 	Retried int64 `json:"retried"`
 
+	// Crash-recovery counters (write-ahead journal). Recovered counts
+	// jobs re-enqueued at startup because a previous process died
+	// after accepting them but before they reached a terminal status;
+	// every recovered job is also counted in Accepted, so the ledger
+	// balance equation holds across restarts. ReplayedTerminal counts
+	// journal terminal records replayed at startup — closed jobs that
+	// must not be re-run (they keep their id as a tombstone but touch
+	// no other counter). TornTailTruncated counts journal replays that
+	// had to drop a torn tail. JournalAppendErrors counts lifecycle
+	// records that could not be made durable (the job proceeded in
+	// memory; a crash before its terminal record re-runs it).
+	Recovered           int64 `json:"recovered"`
+	ReplayedTerminal    int64 `json:"replayed_terminal"`
+	TornTailTruncated   int64 `json:"torn_tail_truncated"`
+	JournalAppendErrors int64 `json:"journal_append_errors"`
+
+	// IdempotentReplays counts submissions answered with an existing
+	// job because their Idempotency-Key was already registered; they
+	// are not admitted again and do not count in Accepted.
+	IdempotentReplays int64 `json:"idempotent_replays"`
+
 	// CacheHits / CacheMisses count result-cache lookups for
 	// accepted jobs.
 	CacheHits   int64 `json:"cache_hits"`
@@ -98,6 +119,11 @@ type ServiceCollector struct {
 	deadlineExceeded  atomic.Int64
 	drained           atomic.Int64
 	retried           atomic.Int64
+	recovered         atomic.Int64
+	replayedTerminal  atomic.Int64
+	tornTruncated     atomic.Int64
+	journalAppendErrs atomic.Int64
+	idempotentReplays atomic.Int64
 	cacheHits         atomic.Int64
 	cacheMisses       atomic.Int64
 	queued            atomic.Int64
@@ -127,6 +153,25 @@ func (s *ServiceCollector) StartJob() {
 
 // Retry records one job execution attempt beyond the first.
 func (s *ServiceCollector) Retry() { s.retried.Add(1) }
+
+// RecoverJob records one journaled job re-enqueued at startup; the
+// caller also calls Accept for it, keeping the ledger balanced.
+func (s *ServiceCollector) RecoverJob() { s.recovered.Add(1) }
+
+// ReplayTerminal records one journal terminal record replayed at
+// startup — a closed job that will not be re-run.
+func (s *ServiceCollector) ReplayTerminal() { s.replayedTerminal.Add(1) }
+
+// TornTail records one journal replay that truncated a torn tail.
+func (s *ServiceCollector) TornTail() { s.tornTruncated.Add(1) }
+
+// JournalAppendError records one lifecycle record that could not be
+// made durable.
+func (s *ServiceCollector) JournalAppendError() { s.journalAppendErrs.Add(1) }
+
+// IdempotentReplay records one submission deduplicated by its
+// Idempotency-Key.
+func (s *ServiceCollector) IdempotentReplay() { s.idempotentReplays.Add(1) }
 
 // CacheHit / CacheMiss record one result-cache lookup.
 func (s *ServiceCollector) CacheHit()  { s.cacheHits.Add(1) }
@@ -161,23 +206,28 @@ func (s *ServiceCollector) FinishJob(status string, fromQueue bool) {
 // caller.
 func (s *ServiceCollector) Snapshot(queueCap int, draining bool, uptimeNS int64) ServiceReport {
 	return ServiceReport{
-		Schema:            ServiceSchemaVersion,
-		Accepted:          s.accepted.Load(),
-		RejectedQueueFull: s.rejectedQueueFull.Load(),
-		RejectedDraining:  s.rejectedDraining.Load(),
-		Invalid:           s.invalid.Load(),
-		Completed:         s.completed.Load(),
-		Failed:            s.failed.Load(),
-		Cancelled:         s.cancelled.Load(),
-		DeadlineExceeded:  s.deadlineExceeded.Load(),
-		Drained:           s.drained.Load(),
-		Retried:           s.retried.Load(),
-		CacheHits:         s.cacheHits.Load(),
-		CacheMisses:       s.cacheMisses.Load(),
-		Queued:            s.queued.Load(),
-		Running:           s.running.Load(),
-		QueueCap:          queueCap,
-		Draining:          draining,
-		UptimeNS:          uptimeNS,
+		Schema:              ServiceSchemaVersion,
+		Accepted:            s.accepted.Load(),
+		RejectedQueueFull:   s.rejectedQueueFull.Load(),
+		RejectedDraining:    s.rejectedDraining.Load(),
+		Invalid:             s.invalid.Load(),
+		Completed:           s.completed.Load(),
+		Failed:              s.failed.Load(),
+		Cancelled:           s.cancelled.Load(),
+		DeadlineExceeded:    s.deadlineExceeded.Load(),
+		Drained:             s.drained.Load(),
+		Retried:             s.retried.Load(),
+		Recovered:           s.recovered.Load(),
+		ReplayedTerminal:    s.replayedTerminal.Load(),
+		TornTailTruncated:   s.tornTruncated.Load(),
+		JournalAppendErrors: s.journalAppendErrs.Load(),
+		IdempotentReplays:   s.idempotentReplays.Load(),
+		CacheHits:           s.cacheHits.Load(),
+		CacheMisses:         s.cacheMisses.Load(),
+		Queued:              s.queued.Load(),
+		Running:             s.running.Load(),
+		QueueCap:            queueCap,
+		Draining:            draining,
+		UptimeNS:            uptimeNS,
 	}
 }

@@ -28,6 +28,15 @@ func TestServiceCollectorLifecycle(t *testing.T) {
 	s.RejectInvalid()
 	s.CacheHit()
 
+	// One of the accepted jobs was a crash recovery; the journal also
+	// replayed a closed job, truncated a torn tail, lost one append,
+	// and deduplicated one idempotent retry.
+	s.RecoverJob()
+	s.ReplayTerminal()
+	s.TornTail()
+	s.JournalAppendError()
+	s.IdempotentReplay()
+
 	r := s.Snapshot(8, true, 123)
 	if r.Schema != ServiceSchemaVersion {
 		t.Errorf("schema %q", r.Schema)
@@ -36,6 +45,8 @@ func TestServiceCollectorLifecycle(t *testing.T) {
 		Schema: ServiceSchemaVersion, Accepted: 3,
 		RejectedQueueFull: 1, RejectedDraining: 1, Invalid: 1,
 		Completed: 1, Failed: 1, Drained: 1, Retried: 1,
+		Recovered: 1, ReplayedTerminal: 1, TornTailTruncated: 1,
+		JournalAppendErrors: 1, IdempotentReplays: 1,
 		CacheHits: 1, CacheMisses: 2,
 		QueueCap: 8, Draining: true, UptimeNS: 123,
 	}
