@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint chaos crash-smoke fuzz-smoke stats-smoke serve-smoke bench-smoke oracle check
+.PHONY: all build vet test race lint chaos crash-smoke fuzz-smoke stats-smoke par-smoke serve-smoke bench-smoke oracle check
 
 all: build
 
@@ -36,7 +36,7 @@ lint:
 # detector — the recovery paths must be both correct and race-free.
 chaos:
 	$(GO) test -race -run 'TestChaos|TestParallelMultiStart|TestRecoveredStart|TestAttemptTimeout|TestOuterCancel|TestRetried|TestRunStarts' . ./internal/core
-	$(GO) test -race ./internal/faultinject ./internal/journal
+	$(GO) test -race ./internal/faultinject ./internal/journal ./internal/intrapar
 	$(GO) test -race -run 'TestChaosSweepServer|TestChaosSweepJournal|TestDrainMidBurst|TestQueueFullSheds|TestAdmitPanic|TestJobPanic' ./internal/server
 
 # Crash durability harness: launch cmd/mlpartd as a real subprocess
@@ -67,6 +67,22 @@ stats-smoke:
 	$(GO) run ./cmd/statscheck -in /tmp/mlpart-stats-p4.json -strip > /tmp/mlpart-stats-p4.stripped.json
 	cmp /tmp/mlpart-stats-p1.stripped.json /tmp/mlpart-stats-p4.stripped.json
 
+# Intra-parallelism smoke: the end-to-end determinism contract of the
+# worker pool. The same instance through the CLI at -intra-parallel 1
+# and 8 must produce byte-identical partition files and byte-identical
+# timing-stripped stats reports (intra_workers and the *_par_regions
+# counters live in the timings block precisely so stripping removes
+# them).
+par-smoke:
+	$(GO) run ./cmd/mlpart -in cmd/mlpart/testdata/smoke.hgr -out /tmp/mlpart-par-i1.part \
+		-starts 3 -parallel 2 -intra-parallel 1 -stats-json /tmp/mlpart-par-i1.json
+	$(GO) run ./cmd/mlpart -in cmd/mlpart/testdata/smoke.hgr -out /tmp/mlpart-par-i8.part \
+		-starts 3 -parallel 2 -intra-parallel 8 -stats-json /tmp/mlpart-par-i8.json
+	cmp /tmp/mlpart-par-i1.part /tmp/mlpart-par-i8.part
+	$(GO) run ./cmd/statscheck -in /tmp/mlpart-par-i1.json -strip > /tmp/mlpart-par-i1.stripped.json
+	$(GO) run ./cmd/statscheck -in /tmp/mlpart-par-i8.json -strip > /tmp/mlpart-par-i8.stripped.json
+	cmp /tmp/mlpart-par-i1.stripped.json /tmp/mlpart-par-i8.stripped.json
+
 # Service smoke: mlpartd's loopback self-test drives the daemon over
 # real HTTP (submit / wait / result, byte-identical cache hit, then a
 # self-delivered SIGTERM through the production drain path) and the
@@ -91,4 +107,4 @@ bench-smoke:
 oracle:
 	$(GO) test -race -run Oracle -count=2 . ./internal/fm ./internal/oracle
 
-check: build vet test race lint chaos crash-smoke fuzz-smoke stats-smoke serve-smoke oracle bench-smoke
+check: build vet test race lint chaos crash-smoke fuzz-smoke stats-smoke par-smoke serve-smoke oracle bench-smoke

@@ -17,15 +17,22 @@ import (
 
 // siteFires reports whether a site can trigger on the given entry
 // point (fm.pass is bipartition-only, kway.refine quadrisection-only;
-// the server.* sites live in mlpartd's admission/job paths and the
-// journal.* sites in its write-ahead log, so none of them is ever
-// reached through the library entry points).
-func siteFires(site faultinject.Site, k int) bool {
+// coarsen.score and fm.subround live on the intra-parallel paths, so
+// they need IntraParallelism > 0 — and the sub-round engine replaces
+// serial FM/CLIP for bipartitioning only, the k-way engine has no
+// parallel refinement; the server.* sites live in mlpartd's
+// admission/job paths and the journal.* sites in its write-ahead log,
+// so none of them is ever reached through the library entry points).
+func siteFires(site faultinject.Site, k, intra int) bool {
 	switch site {
 	case faultinject.SiteFMPass:
 		return k == 2
 	case faultinject.SiteKwayRefine:
 		return k == 4
+	case faultinject.SiteCoarsenScore:
+		return intra > 0
+	case faultinject.SiteFMSubround:
+		return intra > 0 && k == 2
 	case faultinject.SiteServerAdmit, faultinject.SiteServerJob,
 		faultinject.SiteJournalAppend, faultinject.SiteJournalReplay:
 		return false
@@ -40,48 +47,51 @@ func TestChaosSweep(t *testing.T) {
 	}
 	h := c.H
 	for _, k := range []int{2, 4} {
-		for _, site := range faultinject.AllSites {
-			for _, kind := range faultinject.Kinds {
-				site, kind, k := site, kind, k
-				t.Run(fmt.Sprintf("k%d/%s/%s", k, site, kind), func(t *testing.T) {
-					t.Parallel()
-					opt := Options{
-						Seed:   61,
-						Starts: 2,
-						Audit:  true,
-						Inject: &FaultPlan{
-							Seed:    7,
-							Entries: []FaultEntry{faultinject.On(site, kind, 1)},
-						},
-					}
-					var p *Partition
-					var info Info
-					if k == 2 {
-						p, info, err = BipartitionCtx(context.Background(), h, opt)
-					} else {
-						p, info, err = QuadrisectCtx(context.Background(), h, opt)
-					}
-					checkChaosOutcome(t, h, k, p, info, err)
-					if len(info.StartReports) != opt.Starts {
-						t.Fatalf("got %d start reports, want %d", len(info.StartReports), opt.Starts)
-					}
-					if info.Interrupted {
-						t.Errorf("synthetic fault must not set Info.Interrupted (caller ctx was never done)")
-					}
-					faults := 0
-					for _, r := range info.StartReports {
-						if r.Start < 0 || r.Start >= opt.Starts {
-							t.Errorf("report start index %d out of range", r.Start)
+		for _, intra := range []int{0, 2} {
+			for _, site := range faultinject.AllSites {
+				for _, kind := range faultinject.Kinds {
+					site, kind, k, intra := site, kind, k, intra
+					t.Run(fmt.Sprintf("k%d/intra%d/%s/%s", k, intra, site, kind), func(t *testing.T) {
+						t.Parallel()
+						opt := Options{
+							Seed:             61,
+							Starts:           2,
+							IntraParallelism: intra,
+							Audit:            true,
+							Inject: &FaultPlan{
+								Seed:    7,
+								Entries: []FaultEntry{faultinject.On(site, kind, 1)},
+							},
 						}
-						faults += r.Faults
-					}
-					if siteFires(site, k) && faults == 0 {
-						t.Errorf("site %s armed but no faults fired", site)
-					}
-					if !siteFires(site, k) && faults != 0 {
-						t.Errorf("site %s fired %d times on k=%d, want 0", site, faults, k)
-					}
-				})
+						var p *Partition
+						var info Info
+						if k == 2 {
+							p, info, err = BipartitionCtx(context.Background(), h, opt)
+						} else {
+							p, info, err = QuadrisectCtx(context.Background(), h, opt)
+						}
+						checkChaosOutcome(t, h, k, p, info, err)
+						if len(info.StartReports) != opt.Starts {
+							t.Fatalf("got %d start reports, want %d", len(info.StartReports), opt.Starts)
+						}
+						if info.Interrupted {
+							t.Errorf("synthetic fault must not set Info.Interrupted (caller ctx was never done)")
+						}
+						faults := 0
+						for _, r := range info.StartReports {
+							if r.Start < 0 || r.Start >= opt.Starts {
+								t.Errorf("report start index %d out of range", r.Start)
+							}
+							faults += r.Faults
+						}
+						if siteFires(site, k, intra) && faults == 0 {
+							t.Errorf("site %s armed but no faults fired", site)
+						}
+						if !siteFires(site, k, intra) && faults != 0 {
+							t.Errorf("site %s fired %d times on k=%d intra=%d, want 0", site, faults, k, intra)
+						}
+					})
+				}
 			}
 		}
 	}

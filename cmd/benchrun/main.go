@@ -44,13 +44,17 @@ type stageNS struct {
 }
 
 type benchEntry struct {
-	Instance    string  `json:"instance"`
-	Algorithm   string  `json:"algorithm"`
-	Cut         int     `json:"cut"`
-	Levels      int     `json:"levels"`
-	AllocsPerOp uint64  `json:"allocs_per_op"`
-	BytesPerOp  uint64  `json:"bytes_per_op"`
-	StageNS     stageNS `json:"stage_ns"`
+	Instance  string `json:"instance"`
+	Algorithm string `json:"algorithm"`
+	// IntraParallelism is the worker-pool width the row ran with
+	// (0 = the serial legacy pipeline). Part of the row identity:
+	// paired rows measure the same case serial and parallel.
+	IntraParallelism int     `json:"intra_parallelism"`
+	Cut              int     `json:"cut"`
+	Levels           int     `json:"levels"`
+	AllocsPerOp      uint64  `json:"allocs_per_op"`
+	BytesPerOp       uint64  `json:"bytes_per_op"`
+	StageNS          stageNS `json:"stage_ns"`
 }
 
 type benchFile struct {
@@ -60,29 +64,42 @@ type benchFile struct {
 	Entries []benchEntry `json:"entries"`
 }
 
-// benchCase is one pinned (instance, algorithm) pair.
+// benchCase is one pinned (instance, algorithm, intra-parallelism)
+// triple.
 type benchCase struct {
 	spec      mlpart.CircuitSpec
 	algorithm string
+	intra     int
 }
 
 func benchCases() []benchCase {
 	a := mlpart.CircuitSpec{Name: "bench-a", Cells: 1000, Nets: 1100, Pins: 3600, Seed: 201}
 	b := mlpart.CircuitSpec{Name: "bench-b", Cells: 2000, Nets: 2100, Pins: 7000, Seed: 202}
 	c := mlpart.CircuitSpec{Name: "bench-c", Cells: 3000, Nets: 3200, Pins: 10500, Seed: 203}
+	// bench-m is the medium instance the intra-parallel refinement is
+	// sized for: large enough that the sub-round engine's amortized
+	// selection and parallel gain recomputation beat the serial
+	// engine's per-move scan, small enough for the smoke gate.
+	m := mlpart.CircuitSpec{Name: "bench-m", Cells: 16000, Nets: 17000, Pins: 56000, Seed: 204}
 	return []benchCase{
 		{spec: a, algorithm: "bipartition"},
 		{spec: b, algorithm: "bipartition"},
 		{spec: c, algorithm: "bipartition"},
 		{spec: a, algorithm: "quadrisect"},
 		{spec: b, algorithm: "quadrisect"},
+		// Paired serial/parallel rows: identical case except for the
+		// worker pool, so the report carries the intra-par refinement
+		// speedup (printed after the table) run over run.
+		{spec: b, algorithm: "bipartition", intra: 4},
+		{spec: m, algorithm: "bipartition"},
+		{spec: m, algorithm: "bipartition", intra: 4},
 	}
 }
 
 // runOnce executes the case's algorithm with an armed telemetry
 // collector and returns the cut, level count, and stage profile.
 func runOnce(bc benchCase, h *mlpart.Hypergraph, tel *mlpart.Telemetry) (int, int, error) {
-	opt := mlpart.Options{Seed: 7, Starts: 2, Parallelism: 1, Telemetry: tel}
+	opt := mlpart.Options{Seed: 7, Starts: 2, Parallelism: 1, IntraParallelism: bc.intra, Telemetry: tel}
 	var info mlpart.Info
 	var err error
 	switch bc.algorithm {
@@ -141,13 +158,14 @@ func measure(bc benchCase, iters int) (benchEntry, error) {
 	runtime.ReadMemStats(&after)
 
 	return benchEntry{
-		Instance:    bc.spec.Name,
-		Algorithm:   bc.algorithm,
-		Cut:         cut,
-		Levels:      levels,
-		AllocsPerOp: (after.Mallocs - before.Mallocs) / uint64(iters),
-		BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / uint64(iters),
-		StageNS:     prof,
+		Instance:         bc.spec.Name,
+		Algorithm:        bc.algorithm,
+		IntraParallelism: bc.intra,
+		Cut:              cut,
+		Levels:           levels,
+		AllocsPerOp:      (after.Mallocs - before.Mallocs) / uint64(iters),
+		BytesPerOp:       (after.TotalAlloc - before.TotalAlloc) / uint64(iters),
+		StageNS:          prof,
 	}, nil
 }
 
@@ -163,9 +181,10 @@ func gate(got, base *benchFile, tolerance float64) []string {
 	}
 	for i, b := range base.Entries {
 		g := got.Entries[i]
-		id := fmt.Sprintf("%s/%s", g.Instance, g.Algorithm)
-		if g.Instance != b.Instance || g.Algorithm != b.Algorithm {
-			bad = append(bad, fmt.Sprintf("entry %d: case %s, baseline %s/%s", i, id, b.Instance, b.Algorithm))
+		id := fmt.Sprintf("%s/%s/intra%d", g.Instance, g.Algorithm, g.IntraParallelism)
+		if g.Instance != b.Instance || g.Algorithm != b.Algorithm || g.IntraParallelism != b.IntraParallelism {
+			bad = append(bad, fmt.Sprintf("entry %d: case %s, baseline %s/%s/intra%d",
+				i, id, b.Instance, b.Algorithm, b.IntraParallelism))
 			continue
 		}
 		if g.Cut != b.Cut {
@@ -201,12 +220,27 @@ func run() error {
 	for _, bc := range benchCases() {
 		e, err := measure(bc, *iters)
 		if err != nil {
-			return fmt.Errorf("%s/%s: %w", bc.spec.Name, bc.algorithm, err)
+			return fmt.Errorf("%s/%s/intra%d: %w", bc.spec.Name, bc.algorithm, bc.intra, err)
 		}
-		fmt.Printf("%-8s %-12s cut=%-5d levels=%-3d allocs/op=%-7d B/op=%-9d coarsen=%.1fms refine=%.1fms project=%.2fms\n",
-			e.Instance, e.Algorithm, e.Cut, e.Levels, e.AllocsPerOp, e.BytesPerOp,
+		fmt.Printf("%-8s %-12s intra=%-2d cut=%-5d levels=%-3d allocs/op=%-7d B/op=%-9d coarsen=%.1fms refine=%.1fms project=%.2fms\n",
+			e.Instance, e.Algorithm, e.IntraParallelism, e.Cut, e.Levels, e.AllocsPerOp, e.BytesPerOp,
 			float64(e.StageNS.Coarsen)/1e6, float64(e.StageNS.Refine)/1e6, float64(e.StageNS.Project)/1e6)
 		report.Entries = append(report.Entries, e)
+	}
+	// Surface the refinement speedup of every paired serial/parallel
+	// row: same instance and algorithm, serial (intra 0) vs pooled.
+	for _, s := range report.Entries {
+		if s.IntraParallelism != 0 {
+			continue
+		}
+		for _, p := range report.Entries {
+			if p.Instance == s.Instance && p.Algorithm == s.Algorithm && p.IntraParallelism > 0 && p.StageNS.Refine > 0 {
+				fmt.Printf("%s/%s: refine %.1fms serial -> %.1fms at intra-par %d (%.2fx)\n",
+					s.Instance, s.Algorithm,
+					float64(s.StageNS.Refine)/1e6, float64(p.StageNS.Refine)/1e6,
+					p.IntraParallelism, float64(s.StageNS.Refine)/float64(p.StageNS.Refine))
+			}
+		}
 	}
 
 	path := *out

@@ -39,7 +39,7 @@ func run() error {
 		scale    = flag.String("scale", "tiny", "suite scale: tiny, small, medium, full")
 		runs     = flag.Int("runs", 0, "runs per algorithm per circuit (default by scale; paper uses 100)")
 		seed     = flag.Int64("seed", 1997, "base random seed")
-		workers  = flag.Int("workers", 0, "parallel workers (default NumCPU)")
+		workers  = flag.Int("workers", 0, "parallel workers (default GOMAXPROCS)")
 		circuits = flag.String("circuits", "", "comma-separated circuit names (default all in scale)")
 		maxCells = flag.Int("maxcells", 0, "skip circuits with more cells (0 = no limit)")
 		format   = flag.String("format", "text", "output format: text or csv")

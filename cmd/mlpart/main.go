@@ -6,7 +6,8 @@
 //
 //	mlpart -in circuit.hgr|circuit.netD [-out circuit.part] [-k 2|4]
 //	       [-engine clip|fm] [-ratio 0.5] [-threshold 35]
-//	       [-tolerance 0.1] [-starts 1] [-parallel 0] [-seed 1997]
+//	       [-tolerance 0.1] [-starts 1] [-parallel 0]
+//	       [-intra-parallel 0] [-seed 1997]
 //	       [-stats] [-timeout 30s] [-audit] [-chaos site:kind:n]
 //	       [-stats-json stats.json] [-v]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -14,21 +15,34 @@
 // -stats-json arms the telemetry collector and writes the run report
 // (schema "mlpart-stats/1": per-level coarsening stats, per-pass
 // refinement stats, rebalance counters, per-stage wall-clock) as
-// indented JSON. Everything except the *_ns timing fields is
-// bit-identical across -parallel values. -v prints a human-readable
+// indented JSON. Everything except the timings block (the *_ns
+// fields plus the intra_workers and *_par_regions execution-profile
+// counters) is bit-identical across -parallel values and across
+// -intra-parallel worker counts >= 1. -v prints a human-readable
 // per-level summary of the winning start to stderr. -cpuprofile and
 // -memprofile write pprof profiles of the whole run.
 //
 // With -k 2 it bipartitions (the paper's ML_F / ML_C); with -k 4 it
 // quadrisects with the sum-of-degrees gain (§IV.D).
 //
-// Starts run under a fault-isolated parallel supervisor: -parallel
-// bounds the worker pool (0 = GOMAXPROCS-capped, 1 = sequential; the
-// result is bit-identical either way), and repeatable -chaos flags
-// arm deterministic fault injection ("site:kind:n[:start]", e.g.
-// -chaos fm.pass:panic:2) for testing the recovery paths. With
-// multiple starts or armed chaos a per-start outcome summary is
-// printed to stderr.
+// Parallelism has two independent axes. -parallel is the inter-start
+// axis: starts run under a fault-isolated parallel supervisor whose
+// worker pool it bounds (0 = GOMAXPROCS-capped, 1 = sequential; the
+// result is bit-identical for every value, but it only helps when
+// -starts > 1). -intra-parallel is the intra-start axis: it sizes a
+// per-start worker pool that parallelizes match scoring and induce
+// assembly and switches refinement to the sub-round-synchronous
+// engine — the knob that speeds up a single large instance. 0 (the
+// default) is the exact legacy serial pipeline; any value >= 1 gives
+// bit-identical results across all values >= 1 (1 vs 8 workers only
+// changes wall-clock), though 0 and >= 1 may produce different,
+// equally valid cuts. The axes compose: total worker demand is
+// roughly their product.
+//
+// Repeatable -chaos flags arm deterministic fault injection
+// ("site:kind:n[:start]", e.g. -chaos fm.pass:panic:2) for testing
+// the recovery paths. With multiple starts or armed chaos a per-start
+// outcome summary is printed to stderr.
 //
 // A -timeout deadline or a SIGINT/SIGTERM cancels the run
 // cooperatively: the best feasible partition found so far is still
@@ -71,7 +85,8 @@ func run() error {
 		threshold = flag.Int("threshold", 0, "coarsening threshold T (default 35 bipartition, 100 quadrisect)")
 		tolerance = flag.Float64("tolerance", 0.1, "balance tolerance r")
 		starts    = flag.Int("starts", 1, "independent runs; best kept")
-		parallel  = flag.Int("parallel", 0, "worker pool for -starts (0 = GOMAXPROCS-capped, 1 = sequential)")
+		parallel  = flag.Int("parallel", 0, "inter-start worker pool for -starts (0 = GOMAXPROCS-capped, 1 = sequential; bit-identical results)")
+		intraPar  = flag.Int("intra-parallel", 0, "intra-start worker pool for match/induce/refine (0 = serial legacy pipeline; results identical for all values >= 1)")
 		seed      = flag.Int64("seed", 1997, "random seed")
 		stats     = flag.Bool("stats", false, "print circuit statistics before partitioning")
 		timeout   = flag.Duration("timeout", 0, "cancel after this duration, writing the best-so-far partition (0 = no limit)")
@@ -133,13 +148,14 @@ func run() error {
 			*in, s.Cells, s.Nets, s.Pins, s.AvgNet, s.MaxNet)
 	}
 	opt := mlpart.Options{
-		MatchingRatio: *ratio,
-		Threshold:     *threshold,
-		Tolerance:     *tolerance,
-		Seed:          *seed,
-		Starts:        *starts,
-		Parallelism:   *parallel,
-		Audit:         *audit,
+		MatchingRatio:    *ratio,
+		Threshold:        *threshold,
+		Tolerance:        *tolerance,
+		Seed:             *seed,
+		Starts:           *starts,
+		Parallelism:      *parallel,
+		IntraParallelism: *intraPar,
+		Audit:            *audit,
 	}
 	if *statsJSON != "" || *verbose {
 		opt.Telemetry = mlpart.NewTelemetry()

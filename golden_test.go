@@ -72,13 +72,17 @@ func goldenInstances(t *testing.T) []struct {
 	return out
 }
 
-// goldenRun executes one algorithm on one instance. For the
-// multi-start entry points it runs at Parallelism 1 and 4 and fails
-// unless the partitions are bit-identical before returning the cut.
-func goldenRun(t *testing.T, algorithm string, h *Hypergraph) int {
+// goldenRun executes one algorithm on one instance at the given
+// IntraParallelism. For the multi-start entry points it runs at
+// Parallelism 1 and 4 and fails unless the partitions are
+// bit-identical; with intra > 0 it additionally re-runs with an
+// 8-worker intra pool and requires bit-identity there too (the
+// tentpole contract: worker count never changes the result, only
+// 0-vs->=1 selects the algorithm).
+func goldenRun(t *testing.T, algorithm string, h *Hypergraph, intra int) int {
 	t.Helper()
-	runAt := func(par int) (*Partition, int) {
-		opt := Options{Seed: 7, Starts: 2, Parallelism: par}
+	runAt := func(par, workers int) (*Partition, int) {
+		opt := Options{Seed: 7, Starts: 2, Parallelism: par, IntraParallelism: workers}
 		switch algorithm {
 		case "bipartition":
 			p, info, err := Bipartition(h, opt)
@@ -93,7 +97,7 @@ func goldenRun(t *testing.T, algorithm string, h *Hypergraph) int {
 			}
 			return p, info.Cut
 		case "recursive-bisect":
-			p, err := RecursiveBisect(h, 4, MLConfig{}, 7)
+			p, err := RecursiveBisect(h, 4, MLConfig{IntraParallelism: workers}, 7)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -102,15 +106,26 @@ func goldenRun(t *testing.T, algorithm string, h *Hypergraph) int {
 		t.Fatalf("unknown algorithm %q", algorithm)
 		return nil, 0
 	}
-	p1, cut1 := runAt(1)
-	p4, cut4 := runAt(4)
+	samePart := func(label string, a, b *Partition) {
+		t.Helper()
+		for v := range a.Part {
+			if a.Part[v] != b.Part[v] {
+				t.Fatalf("%s: partitions diverge across %s at cell %d", algorithm, label, v)
+			}
+		}
+	}
+	p1, cut1 := runAt(1, intra)
+	p4, cut4 := runAt(4, intra)
 	if cut1 != cut4 {
 		t.Fatalf("%s: cut %d at Parallelism 1, %d at Parallelism 4", algorithm, cut1, cut4)
 	}
-	for v := range p1.Part {
-		if p1.Part[v] != p4.Part[v] {
-			t.Fatalf("%s: partitions diverge across Parallelism at cell %d", algorithm, v)
+	samePart("Parallelism", p1, p4)
+	if intra > 0 {
+		p8, cut8 := runAt(1, 8)
+		if cut1 != cut8 {
+			t.Fatalf("%s: cut %d at IntraParallelism %d, %d at IntraParallelism 8", algorithm, cut1, intra, cut8)
 		}
+		samePart("IntraParallelism", p1, p8)
 	}
 	if want := oracle.Cut(h, p1); cut1 != want {
 		t.Fatalf("%s: reported cut %d, oracle recount %d", algorithm, cut1, want)
@@ -119,14 +134,29 @@ func goldenRun(t *testing.T, algorithm string, h *Hypergraph) int {
 }
 
 func TestGoldenCuts(t *testing.T) {
-	algorithms := []string{"bipartition", "quadrisect", "recursive-bisect"}
+	cases := []struct {
+		alg   string
+		intra int
+		label string
+	}{
+		{"bipartition", 0, "bipartition"},
+		{"quadrisect", 0, "quadrisect"},
+		{"recursive-bisect", 0, "recursive-bisect"},
+		// The intra-parallel pipeline is a distinct deterministic
+		// algorithm (sub-round refinement), so its cuts are pinned
+		// separately; intra = 1 is the canonical representative and
+		// goldenRun cross-checks 8 workers against it.
+		{"bipartition", 1, "bipartition-intra"},
+		{"quadrisect", 1, "quadrisect-intra"},
+		{"recursive-bisect", 1, "recursive-bisect-intra"},
+	}
 	var got []goldenEntry
 	for _, inst := range goldenInstances(t) {
-		for _, alg := range algorithms {
+		for _, tc := range cases {
 			got = append(got, goldenEntry{
 				Instance:  inst.name,
-				Algorithm: alg,
-				Cut:       goldenRun(t, alg, inst.h),
+				Algorithm: tc.label,
+				Cut:       goldenRun(t, tc.alg, inst.h, tc.intra),
 			})
 		}
 	}

@@ -107,6 +107,7 @@ func AllChecks() []Check {
 		WaitGroupDiscipline{},
 		ChanClose{},
 		ParPurity{},
+		NumCPUPool{},
 	}
 }
 
@@ -119,6 +120,7 @@ func AllChecks() []Check {
 var deterministicPkgs = []string{
 	"internal/coarsen",
 	"internal/fm",
+	"internal/intrapar",
 	"internal/kway",
 	"internal/gainbucket",
 	"internal/core",
@@ -156,6 +158,9 @@ var deterministicPkgs = []string{
 //     reach must already be pure. The analysis packages are in the
 //     deterministic set too (self-analysis): the linter's own output
 //     ordering is a determinism contract.
+//   - numcpu-pool: every package — worker pools must size themselves
+//     from core.DefaultWorkers() (GOMAXPROCS-aware), never from
+//     runtime.NumCPU directly.
 func checksFor(modulePath, importPath string) []Check {
 	internal := strings.Contains(importPath, "/internal/") ||
 		strings.HasPrefix(importPath, "internal/")
@@ -187,7 +192,8 @@ func checksFor(modulePath, importPath string) []Check {
 				out = append(out, c)
 			}
 		case FaultSite, TelemetryThread, WorkspaceRetain,
-			GoroutineCapture, LockBalance, WaitGroupDiscipline, ChanClose:
+			GoroutineCapture, LockBalance, WaitGroupDiscipline, ChanClose,
+			NumCPUPool:
 			out = append(out, c)
 		case ParPurity:
 			if det {

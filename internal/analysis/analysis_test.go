@@ -182,6 +182,10 @@ func TestParPurityGolden(t *testing.T) {
 // reason is a diagnostic and suppresses nothing, and a directive for
 // the wrong check hides nothing. Suppressed findings are marked, not
 // dropped.
+func TestNumCPUPoolGolden(t *testing.T) {
+	runGolden(t, "numcpu", []Check{NumCPUPool{}})
+}
+
 func TestIgnoreDirectives(t *testing.T) {
 	pkg := loadCase(t, "ignore")
 	all := RunChecks(pkg, []Check{FloatEq{}})
@@ -237,13 +241,13 @@ func TestChecksForScope(t *testing.T) {
 		path string
 		want []string
 	}{
-		{"mlpart/internal/fm", append(append([]string{"nondet-rand", "nondet-maporder", "float-eq", "ctx-thread", "faultsite", "telemetry-thread", "workspace-retain"}, universal...), "par-purity")},
-		{"mlpart/internal/hypergraph", append(append([]string{"nondet-rand", "nondet-maporder", "float-eq", "unchecked-narrow", "ctx-thread", "faultsite", "telemetry-thread", "workspace-retain"}, universal...), "par-purity")},
-		{"mlpart/internal/analysis", append(append([]string{"nondet-rand", "nondet-maporder", "float-eq", "ctx-thread", "faultsite", "telemetry-thread", "workspace-retain"}, universal...), "par-purity")},
-		{"mlpart/internal/netgen", append([]string{"nondet-rand", "float-eq", "ctx-thread", "faultsite", "telemetry-thread", "workspace-retain"}, universal...)},
-		{"mlpart", append([]string{"float-eq", "faultsite", "telemetry-thread", "workspace-retain"}, universal...)},
-		{"mlpart/cmd/mlpart", append([]string{"faultsite", "telemetry-thread", "workspace-retain"}, universal...)},
-		{"mlpart/examples/quickstart", append([]string{"faultsite", "telemetry-thread", "workspace-retain"}, universal...)},
+		{"mlpart/internal/fm", append(append([]string{"nondet-rand", "nondet-maporder", "float-eq", "ctx-thread", "faultsite", "telemetry-thread", "workspace-retain"}, universal...), "par-purity", "numcpu-pool")},
+		{"mlpart/internal/hypergraph", append(append([]string{"nondet-rand", "nondet-maporder", "float-eq", "unchecked-narrow", "ctx-thread", "faultsite", "telemetry-thread", "workspace-retain"}, universal...), "par-purity", "numcpu-pool")},
+		{"mlpart/internal/analysis", append(append([]string{"nondet-rand", "nondet-maporder", "float-eq", "ctx-thread", "faultsite", "telemetry-thread", "workspace-retain"}, universal...), "par-purity", "numcpu-pool")},
+		{"mlpart/internal/netgen", append(append([]string{"nondet-rand", "float-eq", "ctx-thread", "faultsite", "telemetry-thread", "workspace-retain"}, universal...), "numcpu-pool")},
+		{"mlpart", append(append([]string{"float-eq", "faultsite", "telemetry-thread", "workspace-retain"}, universal...), "numcpu-pool")},
+		{"mlpart/cmd/mlpart", append(append([]string{"faultsite", "telemetry-thread", "workspace-retain"}, universal...), "numcpu-pool")},
+		{"mlpart/examples/quickstart", append(append([]string{"faultsite", "telemetry-thread", "workspace-retain"}, universal...), "numcpu-pool")},
 	}
 	for _, tc := range cases {
 		got := names(checksFor("mlpart", tc.path))

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NumCPUPool forbids direct runtime.NumCPU calls. NumCPU reports the
+// machine's hardware threads, which is the wrong number to size a
+// worker pool from: it ignores CPU quota and affinity masks and any
+// explicit GOMAXPROCS override, so a container limited to 2 cores on
+// a 64-core host would spin up 64 workers. Every pool in this
+// repository sizes itself from core.DefaultWorkers() (GOMAXPROCS — the
+// number of goroutines the runtime will actually schedule in
+// parallel); that function is the single permitted call site of the
+// underlying runtime query. Applies to every package: a worker count
+// is a worker count wherever it is computed.
+type NumCPUPool struct{}
+
+// Name implements Check.
+func (NumCPUPool) Name() string { return "numcpu-pool" }
+
+// Doc implements Check.
+func (NumCPUPool) Doc() string {
+	return "pool sizing must use core.DefaultWorkers(), not runtime.NumCPU"
+}
+
+// Run implements Check.
+func (NumCPUPool) Run(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg().Path() == "runtime" && fn.Name() == "NumCPU" {
+				pass.Report(call, "numcpu-pool",
+					"runtime.NumCPU ignores CPU quota, affinity, and GOMAXPROCS overrides",
+					"use core.DefaultWorkers()")
+			}
+			return true
+		})
+	}
+}

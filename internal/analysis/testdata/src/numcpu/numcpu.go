@@ -1,0 +1,45 @@
+// Package numcpu seeds the numcpu-pool golden test: direct
+// runtime.NumCPU calls must fire; GOMAXPROCS reads, other runtime
+// functions, and same-named functions of other packages must not.
+package numcpu
+
+import (
+	"os/exec"
+	"runtime"
+)
+
+func poolSize() int {
+	return runtime.NumCPU() // want "numcpu-pool: runtime.NumCPU"
+}
+
+func halfTheMachine() int {
+	n := runtime.NumCPU() / 2 // want "numcpu-pool: runtime.NumCPU"
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func schedulerWidth() int {
+	return runtime.GOMAXPROCS(0) // ok: quota/affinity-aware
+}
+
+func otherRuntimeCall() int {
+	return runtime.NumGoroutine() // ok: not NumCPU
+}
+
+// local type with a NumCPU method: selector resolves to this package,
+// not the runtime — must not fire.
+type fakeRuntime struct{}
+
+func (fakeRuntime) NumCPU() int { return 1 }
+
+func localMethod() int {
+	var r fakeRuntime
+	return r.NumCPU() // ok: not runtime.NumCPU
+}
+
+func unrelatedSelector() string {
+	cmd := exec.Command("true")
+	return cmd.Path // ok: field selector, not a call to runtime
+}

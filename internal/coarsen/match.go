@@ -12,6 +12,7 @@ import (
 
 	"mlpart/internal/faultinject"
 	"mlpart/internal/hypergraph"
+	"mlpart/internal/intrapar"
 	"mlpart/internal/telemetry"
 )
 
@@ -54,6 +55,13 @@ type Config struct {
 	// returned Clustering is freshly allocated). A Workspace must not
 	// be shared across goroutines; nil allocates scratch per call.
 	WS *Workspace
+	// Par optionally fans candidate scoring out over the pool's
+	// workers (match_par.go). The output is bit-identical to the
+	// serial sweep for every pool size — scoring is speculative and
+	// side-effect-free, and all pairing decisions stay on the calling
+	// goroutine — so Par only changes wall-clock time. Like WS, a pool
+	// belongs to one pipeline attempt at a time.
+	Par *intrapar.Pool
 }
 
 // Normalize fills defaults and validates.
@@ -133,9 +141,6 @@ func Match(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*hypergraph.Cl
 		cfg.Stop = func() bool { return true }
 	}
 	excluded := func(v int) bool { return cfg.Exclude != nil && cfg.Exclude[v] }
-	sameBlock := func(v, w int) bool {
-		return cfg.SameBlockOnly == nil || cfg.SameBlockOnly.Part[v] == cfg.SameBlockOnly.Part[w]
-	}
 	c := &hypergraph.Clustering{CellToCluster: make([]int32, n)}
 	for v := range c.CellToCluster {
 		c.CellToCluster[v] = -1
@@ -151,61 +156,30 @@ func Match(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*hypergraph.Cl
 	connAcc, neighbors := ws.scoreBuffers(n)
 
 	k := int32(0)
-	nMatch := 0
-	j := 0
-	for float64(nMatch)/float64(n) < cfg.Ratio && j < n {
-		if j&255 == 0 && cfg.Stop != nil && cfg.Stop() {
-			break
-		}
-		v := perm[j]
-		j++
-		if c.CellToCluster[v] >= 0 || excluded(v) {
-			continue
-		}
-		// Accumulate connectivity to unmatched neighbors.
-		neighbors = neighbors[:0]
-		av := h.Area(v)
-		for _, e := range h.Nets(v) {
-			size := h.NetSize(int(e))
-			// size < 2: see Conn — a single-pin net must not reach the
-			// 1/(|e|−1) weight below.
-			if size > cfg.MaxNetSize || size < 2 {
+	scoreCorrupt := false
+	if cfg.Par != nil {
+		k, scoreCorrupt, neighbors = matchPar(h, &cfg, c, ws, connAcc, neighbors)
+	} else {
+		nMatch := 0
+		j := 0
+		for float64(nMatch)/float64(n) < cfg.Ratio && j < n {
+			if j&255 == 0 && cfg.Stop != nil && cfg.Stop() {
+				break
+			}
+			v := perm[j]
+			j++
+			if c.CellToCluster[v] >= 0 || excluded(v) {
 				continue
 			}
-			wgt := float64(h.NetWeight(int(e))) / float64(size-1)
-			for _, w := range h.Pins(int(e)) {
-				if int(w) == v || c.CellToCluster[w] >= 0 || excluded(int(w)) || !sameBlock(v, int(w)) {
-					continue
-				}
-				if connAcc[w] == 0 {
-					neighbors = append(neighbors, w)
-				}
-				connAcc[w] += wgt
+			var best int32
+			best, neighbors = bestPartner(h, &cfg, c, v, connAcc, neighbors)
+			c.CellToCluster[v] = k
+			if best >= 0 {
+				c.CellToCluster[best] = k
+				nMatch += 2
 			}
+			k++
 		}
-		// Pick the unmatched w maximizing conn = acc / (A(v)+A(w)).
-		// Equal scores tie-break to the lowest cell index: neighbors
-		// is ordered by net traversal, so without the explicit rule
-		// the winner would depend on pin order — the tie-break makes
-		// every match choice (and the telemetry derived from it)
-		// reproducible from the instance alone.
-		best := int32(-1)
-		bestConn := 0.0
-		for _, w := range neighbors {
-			cw := connAcc[w] / float64(av+h.Area(int(w)))
-			//mllint:ignore float-eq deliberate exact tie-break: equal scores arise from identical sums, and any near-miss just falls back to first-wins
-			if cw > bestConn || (cw == bestConn && best >= 0 && w < best) {
-				bestConn = cw
-				best = w
-			}
-			connAcc[w] = 0 // reset as we go
-		}
-		c.CellToCluster[v] = k
-		if best >= 0 {
-			c.CellToCluster[best] = k
-			nMatch += 2
-		}
-		k++
 	}
 	// Steps 8–10: every remaining unmatched module becomes a
 	// singleton cluster.
@@ -217,7 +191,7 @@ func Match(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*hypergraph.Cl
 	}
 	c.NumClusters = int(k)
 	ws.neighbors = neighbors // keep any growth for the next call
-	if act == faultinject.ActCorrupt {
+	if act == faultinject.ActCorrupt || scoreCorrupt {
 		corruptClustering(c, cfg.Exclude)
 	}
 	// Every pair shrinks the cluster count by one, so the pairing
@@ -225,6 +199,57 @@ func Match(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*hypergraph.Cl
 	pairs := n - c.NumClusters
 	cfg.Telemetry.RecordMatch(pairs, c.NumClusters-pairs)
 	return c, nil
+}
+
+// bestPartner scans v's nets and returns the unmatched, non-excluded,
+// same-block partner maximizing conn(v, ·) of §III.A — or -1 when v
+// has no candidate. connAcc must be all-zeros on entry and is restored
+// to all-zeros before returning (the Conn-array technique: entries are
+// reset during the best-candidate scan). neighbors is caller scratch;
+// the possibly-grown slice is returned.
+//
+// The selection is order-independent: equal scores tie-break to the
+// lowest cell index (neighbors is ordered by net traversal, so without
+// the explicit rule the winner would depend on pin order), making the
+// choice the argmax under a total order on (score desc, index asc).
+// That property is what lets the parallel sweep (match_par.go) score
+// candidates speculatively against a snapshot and still reproduce the
+// serial result exactly.
+func bestPartner(h *hypergraph.Hypergraph, cfg *Config, c *hypergraph.Clustering, v int, connAcc []float64, neighbors []int32) (int32, []int32) {
+	neighbors = neighbors[:0]
+	av := h.Area(v)
+	for _, e := range h.Nets(v) {
+		size := h.NetSize(int(e))
+		// size < 2: see Conn — a single-pin net must not reach the
+		// 1/(|e|−1) weight below.
+		if size > cfg.MaxNetSize || size < 2 {
+			continue
+		}
+		wgt := float64(h.NetWeight(int(e))) / float64(size-1)
+		for _, w := range h.Pins(int(e)) {
+			if int(w) == v || c.CellToCluster[w] >= 0 ||
+				(cfg.Exclude != nil && cfg.Exclude[w]) ||
+				(cfg.SameBlockOnly != nil && cfg.SameBlockOnly.Part[v] != cfg.SameBlockOnly.Part[w]) {
+				continue
+			}
+			if connAcc[w] == 0 {
+				neighbors = append(neighbors, w)
+			}
+			connAcc[w] += wgt
+		}
+	}
+	best := int32(-1)
+	bestConn := 0.0
+	for _, w := range neighbors {
+		cw := connAcc[w] / float64(av+h.Area(int(w)))
+		//mllint:ignore float-eq deliberate exact tie-break: equal scores arise from identical sums, and any near-miss just falls back to first-wins
+		if cw > bestConn || (cw == bestConn && best >= 0 && w < best) {
+			bestConn = cw
+			best = w
+		}
+		connAcc[w] = 0 // reset as we go
+	}
+	return best, neighbors
 }
 
 // corruptClustering swaps the cluster assignments of the first two

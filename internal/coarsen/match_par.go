@@ -1,0 +1,117 @@
+package coarsen
+
+import (
+	"mlpart/internal/faultinject"
+	"mlpart/internal/hypergraph"
+)
+
+// Parallel candidate scoring for Match (Config.Par != nil).
+//
+// The matching sweep looks inherently sequential — each pairing
+// removes two cells from every later candidate set — but the choice
+// rule makes speculation exact: bestPartner is the argmax under a
+// total order on (score desc, index asc), scores do not depend on the
+// matched state, and matching only ever *shrinks* the candidate set.
+// So a partner chosen against a snapshot of the matched state remains
+// the argmax over any later subset that still contains it. The sweep
+// therefore processes the visit permutation in fixed blocks:
+//
+//  1. Score the block's cells in parallel over fixed ranges against
+//     the matched state at block start (pure reads; each worker owns
+//     a private conn accumulator and writes only its own slice of the
+//     speculative-partner array).
+//  2. Apply serially in permutation order, replicating the serial
+//     loop exactly (ratio stop, Stop polling cadence, skip rules).
+//     A speculative partner that is still unmatched is provably the
+//     serial choice; one that got matched earlier in the block (or a
+//     cell whose snapshot said "no candidate" — the set only shrank)
+//     falls back to a serial bestPartner recompute.
+//
+// Every pairing decision happens on the calling goroutine, so the
+// clustering is bit-identical to the serial sweep for every block
+// size and worker count — pinned by TestMatchParIdenticalToSerial and
+// the oracle/golden suites.
+
+// scoreBlockSize is the number of permutation slots scored per
+// synchronization. Output-invariant (any value yields the serial
+// result); chosen to amortize the fan-out barrier while keeping the
+// speculation window — and thus the serial-fallback rate — small.
+const scoreBlockSize = 512
+
+// matchPar runs the blocked sweep and returns the next cluster id,
+// whether the coarsen.score fault site demanded corruption, and the
+// (possibly grown) shared neighbor scratch. connAcc/neighbors are the
+// serial scratch used for fallback recomputes.
+func matchPar(h *hypergraph.Hypergraph, cfg *Config, c *hypergraph.Clustering, ws *Workspace, connAcc []float64, neighbors []int32) (int32, bool, []int32) {
+	n := h.NumCells()
+	perm := ws.perm
+	pool := cfg.Par
+	spec, par := ws.parBuffers(n, pool.Workers())
+	stop := cfg.Stop
+	corrupt := false
+	if cfg.Inject != nil {
+		switch cfg.Inject.Fire(faultinject.SiteCoarsenScore) {
+		case faultinject.ActCancel:
+			// As at coarsen.match: cancel behaves like a Stop hook that
+			// fires before the first pairing.
+			stop = func() bool { return true }
+		case faultinject.ActCorrupt:
+			corrupt = true
+		}
+	}
+	k := int32(0)
+	nMatch := 0
+	j := 0
+	for j < n {
+		blockEnd := j + scoreBlockSize
+		if blockEnd > n {
+			blockEnd = n
+		}
+		base := j
+		pool.Run(blockEnd-base, func(worker, lo, hi int) {
+			ca := par.connAcc[worker]
+			nb := par.neighbors[worker][:0]
+			for idx := base + lo; idx < base+hi; idx++ {
+				v := perm[idx]
+				if c.CellToCluster[v] >= 0 || (cfg.Exclude != nil && cfg.Exclude[v]) {
+					spec[idx] = -1 // skipped at apply; value never read
+					continue
+				}
+				spec[idx], nb = bestPartner(h, cfg, c, v, ca, nb)
+			}
+			par.neighbors[worker] = nb
+		})
+		stopped := false
+		for ; j < blockEnd; j++ {
+			if float64(nMatch)/float64(n) >= cfg.Ratio {
+				stopped = true
+				break
+			}
+			if j&255 == 0 && stop != nil && stop() {
+				stopped = true
+				break
+			}
+			v := perm[j]
+			if c.CellToCluster[v] >= 0 || (cfg.Exclude != nil && cfg.Exclude[v]) {
+				continue
+			}
+			best := spec[j]
+			if best >= 0 && c.CellToCluster[best] >= 0 {
+				// The speculative partner was matched earlier in this
+				// block; the snapshot argmax is gone, so recompute
+				// against the live state — exactly the serial scan.
+				best, neighbors = bestPartner(h, cfg, c, v, connAcc, neighbors)
+			}
+			c.CellToCluster[v] = k
+			if best >= 0 {
+				c.CellToCluster[best] = k
+				nMatch += 2
+			}
+			k++
+		}
+		if stopped {
+			break
+		}
+	}
+	return k, corrupt, neighbors
+}

@@ -1,0 +1,108 @@
+package coarsen
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlpart/internal/hypergraph"
+	"mlpart/internal/intrapar"
+)
+
+func sameClustering(a, b *hypergraph.Clustering) bool {
+	if a.NumClusters != b.NumClusters || len(a.CellToCluster) != len(b.CellToCluster) {
+		return false
+	}
+	for i := range a.CellToCluster {
+		if a.CellToCluster[i] != b.CellToCluster[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMatchParIdenticalToSerial is the tentpole contract of the
+// parallel sweep: for every worker count, every configuration axis
+// (ratio, exclusions, restricted coarsening, stop hooks) and matched
+// RNG streams, the parallel sweep's clustering equals the serial
+// sweep's bit for bit, and both consume the same number of RNG draws.
+func TestMatchParIdenticalToSerial(t *testing.T) {
+	type variant struct {
+		name string
+		mk   func(h *hypergraph.Hypergraph, rng *rand.Rand) Config
+	}
+	variants := []variant{
+		{"default", func(h *hypergraph.Hypergraph, rng *rand.Rand) Config { return Config{} }},
+		{"ratio-0.4", func(h *hypergraph.Hypergraph, rng *rand.Rand) Config { return Config{Ratio: 0.4} }},
+		{"exclude", func(h *hypergraph.Hypergraph, rng *rand.Rand) Config {
+			ex := make([]bool, h.NumCells())
+			for i := range ex {
+				ex[i] = rng.Intn(5) == 0
+			}
+			return Config{Exclude: ex}
+		}},
+		{"same-block", func(h *hypergraph.Hypergraph, rng *rand.Rand) Config {
+			return Config{SameBlockOnly: hypergraph.RandomPartition(h, 2, 0.1, rng)}
+		}},
+		{"stop-after-100", func(h *hypergraph.Hypergraph, rng *rand.Rand) Config {
+			polls := 0
+			return Config{Stop: func() bool { polls++; return polls > 100 }}
+		}},
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		setup := rand.New(rand.NewSource(seed))
+		// Sizes straddle the 512-slot score block so multi-block sweeps
+		// and the final partial block are both exercised.
+		h := randomH(setup, 300+setup.Intn(1000), 600+setup.Intn(1500), 6)
+		for _, vr := range variants {
+			serialCfg := vr.mk(h, rand.New(rand.NewSource(seed+100)))
+			serialRng := rand.New(rand.NewSource(seed))
+			want, err := Match(h, serialCfg, serialRng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantNext := serialRng.Int63()
+			for _, workers := range []int{1, 2, 8} {
+				pool := intrapar.New(workers)
+				cfg := vr.mk(h, rand.New(rand.NewSource(seed+100)))
+				cfg.Par = pool
+				parRng := rand.New(rand.NewSource(seed))
+				got, err := Match(h, cfg, parRng)
+				pool.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameClustering(want, got) {
+					t.Fatalf("seed %d %s workers %d: clustering differs from serial", seed, vr.name, workers)
+				}
+				if gotNext := parRng.Int63(); gotNext != wantNext {
+					t.Fatalf("seed %d %s workers %d: RNG stream diverged", seed, vr.name, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestMatchParWorkspaceReuse checks the parallel scratch's reuse
+// invariant: a workspace carried across differently-sized parallel
+// Match calls never changes results.
+func TestMatchParWorkspaceReuse(t *testing.T) {
+	setup := rand.New(rand.NewSource(7))
+	big := randomH(setup, 900, 1400, 6)
+	small := randomH(setup, 60, 100, 4)
+	pool := intrapar.New(4)
+	defer pool.Close()
+	ws := &Workspace{}
+	for i, h := range []*hypergraph.Hypergraph{big, small, big} {
+		want, err := Match(h, Config{Par: pool}, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Match(h, Config{Par: pool, WS: ws}, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameClustering(want, got) {
+			t.Fatalf("run %d: workspace reuse changed the clustering", i)
+		}
+	}
+}

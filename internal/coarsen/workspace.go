@@ -17,6 +17,44 @@ type Workspace struct {
 	perm      []int
 	connAcc   []float64
 	neighbors []int32
+
+	// Parallel-sweep scratch (match_par.go): the speculative-partner
+	// array plus one private conn accumulator and neighbor list per
+	// pool worker.
+	spec []int32
+	par  parScratch
+}
+
+// parScratch is the per-worker scratch of the parallel sweep. Each
+// worker index owns one accumulator (held to the same all-zeros
+// invariant as the serial one) and one neighbor list; slots are
+// indexed by the pool's range index, so no two concurrent ranges
+// share state.
+type parScratch struct {
+	connAcc   [][]float64
+	neighbors [][]int32
+}
+
+// parBuffers sizes the parallel-sweep scratch for n cells and the
+// given worker count, reusing prior capacity. Freshly grown
+// accumulators are zero-filled by make, matching the invariant.
+func (w *Workspace) parBuffers(n, workers int) ([]int32, *parScratch) {
+	if cap(w.spec) < n {
+		w.spec = make([]int32, n)
+	}
+	w.spec = w.spec[:n]
+	p := &w.par
+	for len(p.connAcc) < workers {
+		p.connAcc = append(p.connAcc, nil)
+		p.neighbors = append(p.neighbors, make([]int32, 0, 64))
+	}
+	for i := 0; i < workers; i++ {
+		if cap(p.connAcc[i]) < n {
+			p.connAcc[i] = make([]float64, n)
+		}
+		p.connAcc[i] = p.connAcc[i][:n]
+	}
+	return w.spec, p
 }
 
 // permInto fills buf with the same permutation rand.Perm(n) would

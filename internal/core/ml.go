@@ -40,6 +40,15 @@ type Config struct {
 	// degenerate instances where Match cannot shrink the netlist.
 	// 0 means a generous default of 64.
 	MaxLevels int
+	// IntraParallelism sizes the intra-attempt worker pool used for
+	// parallel match scoring, parallel induce-CSR assembly, and the
+	// sub-round-synchronous FM/CLIP engine. 0 (the default) keeps the
+	// exact legacy serial pipeline. Any value >= 1 switches refinement
+	// to the sub-round engine — a deterministic algorithm whose cuts
+	// can differ from the serial engine's but are bit-identical across
+	// all pool sizes, so results depend only on 0-vs->=1, never on the
+	// worker count. Negative values are rejected.
+	IntraParallelism int
 	// MergeParallelNets merges identical coarse nets into single
 	// weighted nets during coarsening (InduceMerged). The weighted
 	// cut is provably unchanged, but the coarse netlists shrink,
@@ -89,6 +98,9 @@ func (c Config) Normalize() (Config, error) {
 	}
 	if c.MaxLevels < 1 {
 		return c, fmt.Errorf("core: MaxLevels %d < 1", c.MaxLevels)
+	}
+	if c.IntraParallelism < 0 {
+		return c, fmt.Errorf("core: IntraParallelism %d < 0", c.IntraParallelism)
 	}
 	var err error
 	if c.Refine, err = c.Refine.Normalize(); err != nil {
@@ -154,11 +166,27 @@ func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, r
 	cfg.Refine.Inject = cfg.Inject
 	cfg.Refine.Telemetry = cfg.Telemetry
 	// One workspace bundle per attempt: every level of the run reuses
-	// the same scratch memory, single-goroutine by construction.
+	// the same scratch memory, single-goroutine by construction. The
+	// intra-parallelism pool lives exactly as long as the attempt.
 	ws := &pipelineWS{}
+	defer ws.startPool(cfg.IntraParallelism)()
 	cfg.Refine.WS = &ws.refine
+	cfg.Refine.Par = ws.pool
+	cfg.Telemetry.RecordIntraWorkers(cfg.IntraParallelism)
+	var coarsenRegions int64
+	if ws.pool != nil {
+		defer func() {
+			// Every region dispatched after the coarsening phase belongs
+			// to refinement (match/induce run only inside buildHierarchy).
+			cfg.Telemetry.RecordParRegions(telemetry.StageRefine, ws.pool.Regions()-coarsenRegions)
+		}()
+	}
 
 	levels, res, err := buildHierarchy(ctx, h, cfg, rng, ws)
+	if ws.pool != nil {
+		coarsenRegions = ws.pool.Regions()
+		cfg.Telemetry.RecordParRegions(telemetry.StageCoarsen, coarsenRegions)
+	}
 	var firstErr *PanicError
 	if err != nil {
 		pe, ok := AsPanicError(err)
@@ -356,7 +384,7 @@ func auditRefined(h *hypergraph.Hypergraph, p *hypergraph.Partition, cfg Config,
 // *PanicError alongside the valid hierarchy prefix built so far.
 func buildHierarchy(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand, ws *pipelineWS) ([]level, Result, error) {
 	res := Result{}
-	matchCfg := coarsen.Config{Ratio: cfg.Ratio, Stop: mergeStop(nil, ctx), Inject: cfg.Inject, Telemetry: cfg.Telemetry, WS: &ws.match}
+	matchCfg := coarsen.Config{Ratio: cfg.Ratio, Stop: mergeStop(nil, ctx), Inject: cfg.Inject, Telemetry: cfg.Telemetry, WS: &ws.match, Par: ws.pool}
 	levels := []level{{h: h}}
 	res.LevelCells = append(res.LevelCells, h.NumCells())
 	cur := h
@@ -376,9 +404,12 @@ func buildHierarchy(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, r
 				return err
 			}
 			if cfg.MergeParallelNets {
+				// Merged induction dedups identical coarse nets through a
+				// global hash table, which does not range-decompose; it
+				// stays serial under intra-parallelism.
 				coarseH, err = hypergraph.InduceMergedWS(cur, c, &ws.induce)
 			} else {
-				coarseH, err = hypergraph.InduceWS(cur, c, &ws.induce)
+				coarseH, err = hypergraph.InduceWSPar(cur, c, &ws.induce, ws.pool)
 			}
 			return err
 		})
@@ -446,8 +477,10 @@ func Hierarchy(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) ([]*hypergr
 	if err != nil {
 		return nil, nil, err
 	}
+	ws := &pipelineWS{}
+	defer ws.startPool(cfg.IntraParallelism)()
 	//mllint:ignore ctx-thread Hierarchy is a non-cancellable inspection helper; coarsening alone is cheap
-	levels, _, err := buildHierarchy(context.Background(), h, cfg, rng, &pipelineWS{})
+	levels, _, err := buildHierarchy(context.Background(), h, cfg, rng, ws)
 	if err != nil {
 		return nil, nil, err
 	}

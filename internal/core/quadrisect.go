@@ -29,6 +29,12 @@ type QuadConfig struct {
 	CoarsestStarts int
 	// MaxLevels as in Config. Default 64.
 	MaxLevels int
+	// IntraParallelism sizes the intra-attempt worker pool used for
+	// parallel match scoring and induce-CSR assembly during
+	// coarsening, as in Config.IntraParallelism (0 = serial). The
+	// k-way engine has no parallel path, so refinement is unaffected;
+	// k-way results are bit-identical for every value.
+	IntraParallelism int
 	// Fixed marks pre-assigned cells of H_0 (e.g. I/O pads, §III.C);
 	// they keep the block given in Preassign and never move. Optional.
 	Fixed []bool
@@ -69,6 +75,9 @@ func (c QuadConfig) Normalize() (QuadConfig, error) {
 	}
 	if c.MaxLevels == 0 {
 		c.MaxLevels = 64
+	}
+	if c.IntraParallelism < 0 {
+		return c, fmt.Errorf("core: IntraParallelism %d < 0", c.IntraParallelism)
 	}
 	if (c.Fixed == nil) != (c.Preassign == nil) {
 		return c, fmt.Errorf("core: Fixed and Preassign must be set together")
@@ -143,8 +152,11 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 
 	res := QuadResult{}
 	// One workspace bundle per attempt; the k-way engine manages its
-	// own arrays, so only the coarsening side is threaded here.
+	// own arrays, so only the coarsening side is threaded here — the
+	// intra-parallelism pool likewise accelerates coarsening only.
 	ws := &pipelineWS{}
+	defer ws.startPool(cfg.IntraParallelism)()
+	cfg.Telemetry.RecordIntraWorkers(cfg.IntraParallelism)
 
 	// Coarsening phase; track fixed flags and pre-assignments
 	// through the hierarchy (a coarse cell is fixed to block b if any
@@ -183,7 +195,7 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 		// Fixed cells are excluded from matching (always singleton
 		// clusters), so two pads pre-assigned to different blocks can
 		// never be merged.
-		matchCfg := coarsen.Config{Ratio: cfg.Ratio, Exclude: cur.fixed, Stop: mergeStop(nil, ctx), Inject: cfg.Inject, Telemetry: cfg.Telemetry, WS: &ws.match}
+		matchCfg := coarsen.Config{Ratio: cfg.Ratio, Exclude: cur.fixed, Stop: mergeStop(nil, ctx), Inject: cfg.Inject, Telemetry: cfg.Telemetry, WS: &ws.match, Par: ws.pool}
 		var coarseH *hypergraph.Hypergraph
 		var c *hypergraph.Clustering
 		cfg.Telemetry.SetLevel(len(levels) - 1)
@@ -194,7 +206,7 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 			if err != nil {
 				return err
 			}
-			coarseH, err = hypergraph.InduceWS(cur.h, c, &ws.induce)
+			coarseH, err = hypergraph.InduceWSPar(cur.h, c, &ws.induce, ws.pool)
 			return err
 		})
 		timer.Stop()
@@ -242,6 +254,9 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 	}
 	res.Levels = len(levels) - 1
 	res.CoarsestCells = cur.h.NumCells()
+	if ws.pool != nil {
+		cfg.Telemetry.RecordParRegions(telemetry.StageCoarsen, ws.pool.Regions())
+	}
 
 	// Partition the coarsest netlist.
 	refCfg := cfg.Refine

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -160,7 +159,7 @@ func RunStarts[S any](ctx context.Context, o SuperOptions, run func(ctx context.
 	}
 	par := o.Parallelism
 	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
+		par = DefaultWorkers()
 	}
 	if par > o.Starts {
 		par = o.Starts

@@ -50,7 +50,9 @@ func VCycleCtx(ctx context.Context, h *hypergraph.Hypergraph, p *hypergraph.Part
 	// after the first cycle. Projection buffers stay per-cycle locals —
 	// the winning candidate escapes into best below.
 	ws := &pipelineWS{}
+	defer ws.startPool(cfg.IntraParallelism)()
 	cfg.Refine.WS = &ws.refine
+	cfg.Refine.Par = ws.pool
 	best := p.Clone()
 	bestCut := best.WeightedCut(h)
 	for cycle := 0; cycle < maxCycles; cycle++ {
@@ -84,7 +86,7 @@ func oneVCycle(ctx context.Context, h *hypergraph.Hypergraph, p *hypergraph.Part
 		if ctx.Err() != nil {
 			break
 		}
-		mc := coarsen.Config{Ratio: cfg.Ratio, SameBlockOnly: curP, Stop: mergeStop(nil, ctx), WS: &ws.match}
+		mc := coarsen.Config{Ratio: cfg.Ratio, SameBlockOnly: curP, Stop: mergeStop(nil, ctx), WS: &ws.match, Par: ws.pool}
 		c, err := coarsen.Match(cur, mc, rng)
 		if err != nil {
 			return nil, err
@@ -93,7 +95,7 @@ func oneVCycle(ctx context.Context, h *hypergraph.Hypergraph, p *hypergraph.Part
 		if cfg.MergeParallelNets {
 			coarse, err = hypergraph.InduceMergedWS(cur, c, &ws.induce)
 		} else {
-			coarse, err = hypergraph.InduceWS(cur, c, &ws.induce)
+			coarse, err = hypergraph.InduceWSPar(cur, c, &ws.induce, ws.pool)
 		}
 		if err != nil {
 			return nil, err

@@ -1,0 +1,13 @@
+package core
+
+import "runtime"
+
+// DefaultWorkers is the single source of the default worker count for
+// every pool in the system: the scheduler's current GOMAXPROCS, i.e.
+// what the Go runtime will actually schedule in parallel. Sizing pools
+// off runtime.NumCPU() instead ignores CPU quota / affinity and any
+// explicit GOMAXPROCS override, so direct NumCPU use in pool sizing is
+// forbidden (the numcpu-pool lint check enforces it).
+func DefaultWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}

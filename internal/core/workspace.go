@@ -4,6 +4,7 @@ import (
 	"mlpart/internal/coarsen"
 	"mlpart/internal/fm"
 	"mlpart/internal/hypergraph"
+	"mlpart/internal/intrapar"
 )
 
 // pipelineWS bundles the scratch workspaces of one pipeline attempt:
@@ -22,6 +23,22 @@ type pipelineWS struct {
 	match  coarsen.Workspace
 	induce hypergraph.InduceWorkspace
 	refine fm.Workspace
+
+	// pool is the attempt's intra-parallelism worker pool, nil for the
+	// serial pipeline. Created once per attempt (goroutines spin up
+	// once, not per level) and closed when the attempt returns.
+	pool *intrapar.Pool
+}
+
+// startPool arms the attempt's worker pool for IntraParallelism intra
+// (0 keeps the serial pipeline: a nil pool). The returned cleanup is
+// always safe to defer.
+func (ws *pipelineWS) startPool(intra int) func() {
+	if intra <= 0 {
+		return func() {}
+	}
+	ws.pool = intrapar.New(intra)
+	return func() { ws.pool.Close() }
 }
 
 // projectionBuffers returns the two pre-sized partition buffers the

@@ -7,8 +7,8 @@ package expt
 
 import (
 	"fmt"
-	"runtime"
 
+	"mlpart/internal/core"
 	"mlpart/internal/netgen"
 )
 
@@ -23,9 +23,10 @@ type Options struct {
 	// Seed drives all randomness; a fixed seed reproduces every run.
 	// Default 1997.
 	Seed int64
-	// Workers bounds run-level parallelism. Default NumCPU. CPU
-	// columns report the summed per-run wall time, so parallelism
-	// does not distort them.
+	// Workers bounds run-level parallelism. Default
+	// core.DefaultWorkers (the scheduler's GOMAXPROCS). CPU columns
+	// report the summed per-run wall time, so parallelism does not
+	// distort them.
 	Workers int
 	// Circuits optionally restricts the suite to the named circuits.
 	Circuits []string
@@ -61,7 +62,7 @@ func (o Options) Normalize() (Options, error) {
 		o.Seed = 1997
 	}
 	if o.Workers == 0 {
-		o.Workers = runtime.NumCPU()
+		o.Workers = core.DefaultWorkers()
 	}
 	if o.Workers < 1 {
 		return o, fmt.Errorf("expt: workers %d < 1", o.Workers)

@@ -11,10 +11,25 @@ const (
 	// Cancel stops matching immediately (all-singleton clustering);
 	// corrupt swaps two cells between clusters (well-formed, worse).
 	SiteCoarsenMatch Site = "coarsen.match"
+	// SiteCoarsenScore fires once per coarsen.Match call at the head of
+	// the intra-parallel candidate-scoring path (calling goroutine,
+	// before any range is dispatched), so it only fires when
+	// IntraParallelism >= 1. Cancel stops matching immediately, like a
+	// Stop hook (all-singleton clustering from that point); corrupt
+	// swaps two cells between clusters, as at SiteCoarsenMatch.
+	SiteCoarsenScore Site = "coarsen.score"
 	// SiteFMPass fires at every FM/PROP pass boundary. Cancel aborts
 	// refinement as a Stop hook would; corrupt flips one cell without
 	// updating the incremental cut, which the audit layer must catch.
 	SiteFMPass Site = "fm.pass"
+	// SiteFMSubround fires at the head of every sub-round of the
+	// sub-round-synchronous parallel FM/CLIP engine (calling
+	// goroutine), so it only fires when IntraParallelism >= 1 for a
+	// bipartitioning refinement. Cancel aborts the pass as a Stop hook
+	// would (the best prefix is kept by rollback); corrupt flips one
+	// cell without updating the incremental cut, which the audit layer
+	// must catch.
+	SiteFMSubround Site = "fm.subround"
 	// SiteKwayRefine fires at every multi-way pass boundary, with the
 	// same cancel/corrupt semantics as SiteFMPass.
 	SiteKwayRefine Site = "kway.refine"
@@ -61,7 +76,9 @@ const (
 // The chaos suite sweeps this list; Plan.Validate checks against it.
 var AllSites = []Site{
 	SiteCoarsenMatch,
+	SiteCoarsenScore,
 	SiteFMPass,
+	SiteFMSubround,
 	SiteKwayRefine,
 	SiteCoreProject,
 	SiteCoreRebalance,

@@ -18,6 +18,7 @@ import (
 
 	"mlpart/internal/faultinject"
 	"mlpart/internal/gainbucket"
+	"mlpart/internal/intrapar"
 	"mlpart/internal/telemetry"
 )
 
@@ -116,6 +117,16 @@ type Config struct {
 	// before/after, moves tried/kept, rollback depth) and rebalance
 	// counts; nil costs one pointer check per pass.
 	Telemetry *telemetry.Collector
+	// Par optionally selects the sub-round-synchronous parallel
+	// engine (subround.go) for FM and CLIP, fanning gain recomputation
+	// out over the pool's workers. nil keeps the serial engines. The
+	// parallel engine is bit-identical across pool sizes — a one-worker
+	// pool runs the same algorithm inline — but is a *different*
+	// algorithm than the serial one (selection keys can be one
+	// sub-round stale), so nil and non-nil legitimately differ. The
+	// PROP engines ignore Par and always run serially. Like WS, a pool
+	// belongs to one pipeline attempt at a time.
+	Par *intrapar.Pool
 	// WS optionally supplies reusable scratch memory (gain arrays,
 	// bucket structures, move logs) shared across successive runs,
 	// making refinement allocation-free in steady state. Results are

@@ -112,6 +112,10 @@ type refiner struct {
 	moveGains []int32
 
 	activeCut int // number of active nets currently cut
+
+	// sub-round engine only (subround.go): stamp generation of the
+	// affected-cell gather.
+	stampGen int32
 }
 
 func newRefiner(h *hypergraph.Hypergraph, p *hypergraph.Partition, cfg Config, rng *rand.Rand) *refiner {
@@ -154,6 +158,9 @@ func newRefiner(h *hypergraph.Hypergraph, p *hypergraph.Partition, cfg Config, r
 	}
 	r.buckets[0] = ws.bucket(0, n, bucketRange, cfg.Order, rng)
 	r.buckets[1] = ws.bucket(1, n, bucketRange, cfg.Order, rng)
+	if cfg.Par != nil {
+		r.initSubround()
+	}
 	return r
 }
 
@@ -173,12 +180,21 @@ func (r *refiner) run() Result {
 			break
 		}
 		cutBefore := r.activeCut
-		improved, applied, tried := r.runPass()
+		var improved, applied, tried int
+		if r.cfg.Par != nil {
+			var aborted bool
+			improved, applied, tried, aborted = r.runPassSub()
+			if aborted {
+				res.Interrupted = true
+			}
+		} else {
+			improved, applied, tried = r.runPass()
+		}
 		r.cfg.Telemetry.RecordPass(r.cfg.Engine.String(), res.Passes, cutBefore, r.activeCut, tried, applied)
 		res.Passes++
 		res.Moves += applied
 		res.MovesTried += tried
-		if improved <= 0 {
+		if res.Interrupted || improved <= 0 {
 			break
 		}
 	}

@@ -1,0 +1,189 @@
+package fm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlpart/internal/hypergraph"
+	"mlpart/internal/intrapar"
+)
+
+// refineWithWorkers runs Refine on a clone of p with a pool of the
+// given size (0 = serial engine) and returns the refined partition
+// and result. Each call uses a fresh rng from seed so runs are
+// comparable.
+func refineWithWorkers(t *testing.T, h *hypergraph.Hypergraph, p *hypergraph.Partition, cfg Config, seed int64, workers int) (*hypergraph.Partition, Result) {
+	t.Helper()
+	q := p.Clone()
+	if workers > 0 {
+		pool := intrapar.New(workers)
+		defer pool.Close()
+		cfg.Par = pool
+	}
+	res, err := Refine(h, q, cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, res
+}
+
+func samePart(a, b *hypergraph.Partition) bool {
+	if len(a.Part) != len(b.Part) {
+		return false
+	}
+	for i := range a.Part {
+		if a.Part[i] != b.Part[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSubroundBitIdenticalAcrossWorkers is the core determinism
+// contract: the sub-round engine returns identical partitions and
+// identical Result statistics for every pool size, across engines and
+// feature combinations.
+func TestSubroundBitIdenticalAcrossWorkers(t *testing.T) {
+	cfgs := []Config{
+		{Engine: EngineFM},
+		{Engine: EngineCLIP},
+		{Engine: EngineFM, Boundary: true, EarlyExit: true},
+		{Engine: EngineCLIP, Backtrack: true, Lookahead: 3},
+		{Engine: EngineCLIP, Boundary: true, EarlyExit: true, Backtrack: true},
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomH(rng, 40+rng.Intn(120), 80+rng.Intn(200), 6)
+		p := hypergraph.RandomPartition(h, 2, 0.1, rng)
+		for ci, cfg := range cfgs {
+			p1, r1 := refineWithWorkers(t, h, p, cfg, seed, 1)
+			for _, workers := range []int{2, 8} {
+				pw, rw := refineWithWorkers(t, h, p, cfg, seed, workers)
+				if !samePart(p1, pw) {
+					t.Fatalf("seed %d cfg %d: partition differs between 1 and %d workers", seed, ci, workers)
+				}
+				if r1 != rw {
+					t.Fatalf("seed %d cfg %d: result differs between 1 and %d workers: %+v vs %+v", seed, ci, workers, r1, rw)
+				}
+			}
+		}
+	}
+}
+
+// TestSubroundSoundness checks the engine's safety contract on random
+// instances: never worsens the cut, reports truthful cuts, keeps the
+// balance bound, and its incremental active cut matches a recount.
+func TestSubroundSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomH(rng, 10+rng.Intn(60), 20+rng.Intn(100), 5)
+		for _, eng := range []Engine{EngineFM, EngineCLIP} {
+			p := hypergraph.RandomPartition(h, 2, 0.1, rng)
+			before := p.Cut(h)
+			q, res := refineWithWorkers(t, h, p, Config{Engine: eng}, seed, 4)
+			if res.Cut > before || res.InitialCut != before {
+				return false
+			}
+			if res.Cut != q.Cut(h) {
+				return false
+			}
+			if !q.IsBalanced(h, hypergraph.Balance(h, 2, 0.1)) {
+				return false
+			}
+			// Recount the active cut (all nets are active here: the
+			// default MaxNetSize of 200 exceeds every net).
+			if res.ActiveCut != q.WeightedCut(h) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSubroundFindsOptimalCut is the quality floor: on the trivial
+// two-cluster instance the parallel engine still finds the cut of 1.
+func TestSubroundFindsOptimalCut(t *testing.T) {
+	h := twoClusters(t, 8)
+	for _, eng := range []Engine{EngineFM, EngineCLIP} {
+		found := false
+		for seed := int64(0); seed < 10; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			p := hypergraph.RandomPartition(h, 2, 0.1, rng)
+			q, res := refineWithWorkers(t, h, p, Config{Engine: eng}, seed, 2)
+			if res.Cut != q.Cut(h) {
+				t.Fatalf("%v: result cut %d != measured %d", eng, res.Cut, q.Cut(h))
+			}
+			if res.Cut == 1 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%v sub-round engine never found the optimal cut of 1 in 10 runs", eng)
+		}
+	}
+}
+
+// TestSubroundPROPIgnoresPar pins the documented fallback: the PROP
+// engines run serially whether or not a pool is supplied, with
+// bit-identical results.
+func TestSubroundPROPIgnoresPar(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h := randomH(rng, 60, 120, 5)
+	p := hypergraph.RandomPartition(h, 2, 0.1, rng)
+	for _, eng := range []Engine{EnginePROP, EngineCLIPPROP} {
+		p0, r0 := refineWithWorkers(t, h, p, Config{Engine: eng}, 9, 0)
+		p4, r4 := refineWithWorkers(t, h, p, Config{Engine: eng}, 9, 4)
+		if !samePart(p0, p4) || r0 != r4 {
+			t.Fatalf("%v: results differ with and without a pool", eng)
+		}
+	}
+}
+
+// TestSubroundWorkspaceReuseBitIdentical mirrors the serial engines'
+// workspace contract: reusing one Workspace across runs of the
+// parallel engine changes nothing.
+func TestSubroundWorkspaceReuseBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	h1 := randomH(rng, 90, 160, 6)
+	h2 := randomH(rng, 30, 60, 4)
+	p1 := hypergraph.RandomPartition(h1, 2, 0.1, rng)
+	p2 := hypergraph.RandomPartition(h2, 2, 0.1, rng)
+
+	pool := intrapar.New(3)
+	defer pool.Close()
+	ws := &Workspace{}
+	var fresh, reused [2]Result
+	var freshP, reusedP [2]*hypergraph.Partition
+	for i, pair := range []struct {
+		h *hypergraph.Hypergraph
+		p *hypergraph.Partition
+	}{{h1, p1}, {h2, p2}} {
+		q := pair.p.Clone()
+		res, err := Refine(pair.h, q, Config{Engine: EngineCLIP, Par: pool}, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh[i], freshP[i] = res, q
+	}
+	for i, pair := range []struct {
+		h *hypergraph.Hypergraph
+		p *hypergraph.Partition
+	}{{h1, p1}, {h2, p2}} {
+		q := pair.p.Clone()
+		res, err := Refine(pair.h, q, Config{Engine: EngineCLIP, Par: pool, WS: ws}, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused[i], reusedP[i] = res, q
+	}
+	for i := range fresh {
+		if fresh[i] != reused[i] || !samePart(freshP[i], reusedP[i]) {
+			t.Fatalf("run %d: workspace reuse changed the result", i)
+		}
+	}
+}

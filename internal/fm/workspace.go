@@ -34,6 +34,18 @@ type Workspace struct {
 	moveGains []int32
 	buckets   [2]*gainbucket.Structure
 
+	// Sub-round-synchronous engine state (subround.go): the frozen-key
+	// selection batch, the affected-cell gather with the old bucket
+	// keys, the stamp arrays deduplicating the gather, and the cells
+	// pulled from the buckets as area-blocked within the current
+	// sub-round.
+	subSel      []int32
+	affected    []int32
+	affectedKey []int32
+	cellStamp   []int32
+	netStamp    []int32
+	deferred    []int32
+
 	// PROP engine state (prop.go).
 	lc       [2][]int32
 	gainF    []float64

@@ -1,0 +1,241 @@
+package hypergraph
+
+import (
+	"mlpart/internal/intrapar"
+)
+
+// Parallel induce-CSR assembly (InduceWSPar).
+//
+// The expensive parts of inducing the coarse hypergraph — per-net
+// pin dedup + sort, and the cell→net fill — decompose over fixed
+// fine-net ranges with no ordering decisions left to scheduling:
+//
+//  1. Each worker assembles the kept coarse nets of its own net range
+//     into private buffers (private dedup stamps, private per-cluster
+//     pin counts). Ranges are contiguous and ascending, so
+//     concatenating the per-worker outputs in range-index order
+//     reproduces the serial fine-net order exactly.
+//  2. The merge (serial memcopy in range order) materializes the
+//     net→pin CSR; the cell→net CSR then comes from a two-phase
+//     count-then-fill: per-cluster counts are summed across workers
+//     and prefix-summed into cellStart, each worker's counts are
+//     turned into private fill cursors (cellStart[p] plus the counts
+//     of all lower-indexed workers — a per-range prefix sum), and the
+//     fill runs in parallel again, each worker writing its own nets
+//     into its own cursor windows.
+//
+// Every write in the parallel phases lands in a worker-owned buffer
+// or a worker-owned cursor window, and every merge happens serially
+// in range-index order, so the result is byte-identical to InduceWS
+// for every worker count (pinned by TestInduceWSParIdenticalToSerial).
+
+// inducePar is the per-worker scratch of InduceWSPar, indexed by the
+// pool's range index.
+type inducePar struct {
+	mark    [][]int32 // per worker: cluster dedup stamps
+	pins    [][]int32 // per worker: kept coarse pins, concatenated
+	lens    [][]int32 // per worker: pin count per kept net
+	weights [][]int32 // per worker: weight per kept net
+	counts  [][]int32 // per worker: per-cluster pin counts → fill cursors
+}
+
+// grow sizes the scratch for the given worker count and cluster count.
+// Stamps and counts are (re)initialized by the workers themselves, in
+// parallel, at the start of each call.
+func (s *inducePar) grow(workers, k int) {
+	for len(s.mark) < workers {
+		s.mark = append(s.mark, nil)
+		s.pins = append(s.pins, nil)
+		s.lens = append(s.lens, nil)
+		s.weights = append(s.weights, nil)
+		s.counts = append(s.counts, nil)
+	}
+	for w := 0; w < workers; w++ {
+		if cap(s.mark[w]) < k {
+			s.mark[w] = make([]int32, k)
+		}
+		s.mark[w] = s.mark[w][:k]
+		if cap(s.counts[w]) < k {
+			s.counts[w] = make([]int32, k)
+		}
+		s.counts[w] = s.counts[w][:k]
+	}
+}
+
+// InduceWSPar is InduceWS with the CSR assembly fanned out over the
+// pool's workers; a nil pool is exactly InduceWS. The result is
+// byte-identical to InduceWS for every pool size.
+func InduceWSPar(h *Hypergraph, c *Clustering, ws *InduceWorkspace, pool *intrapar.Pool) (*Hypergraph, error) {
+	if pool == nil {
+		return InduceWS(h, c, ws)
+	}
+	if err := c.Validate(h.NumCells()); err != nil {
+		return nil, err
+	}
+	if ws == nil {
+		ws = &InduceWorkspace{}
+	}
+	k := c.NumClusters
+
+	// Cluster areas are retained by the result: allocate fresh. The
+	// scatter pattern (area[cluster] += ...) does not range-decompose
+	// without per-worker copies of the whole array, and it is a cheap
+	// O(cells) pass — keep it serial.
+	area := make([]int64, k)
+	for v := 0; v < h.NumCells(); v++ {
+		area[c.CellToCluster[v]] += h.Area(v)
+	}
+
+	workers := pool.Workers()
+	par := &ws.par
+	par.grow(workers, k)
+
+	// Phase 1: per-range net assembly into private buffers. The stamp
+	// value is the global fine-net id, unique across ranges, so stale
+	// stamps from earlier calls must be cleared first (each worker
+	// clears its own arrays).
+	numFine := h.NumNets()
+	pool.Run(numFine, func(w, lo, hi int) {
+		mark, counts := par.mark[w], par.counts[w]
+		for i := range mark {
+			mark[i] = -1
+			counts[i] = 0
+		}
+		pins := par.pins[w][:0]
+		lens := par.lens[w][:0]
+		weights := par.weights[w][:0]
+		for e := lo; e < hi; e++ {
+			base := len(pins)
+			for _, p := range h.Pins(e) {
+				kk := c.CellToCluster[p]
+				if mark[kk] != int32(e) {
+					mark[kk] = int32(e)
+					pins = append(pins, kk)
+				}
+			}
+			if len(pins)-base < 2 {
+				// |e*| = 1: dropped per Definition 1 / the net definition.
+				pins = pins[:base]
+				continue
+			}
+			sortPinWindow(pins[base:])
+			for _, p := range pins[base:] {
+				counts[p]++
+			}
+			//mllint:ignore unchecked-narrow one net's pin window ≤ cluster count ≤ fine cell count, capped at MaxInt32 by Build/parse
+			lens = append(lens, int32(len(pins)-base))
+			weights = append(weights, h.NetWeight(e))
+		}
+		par.pins[w], par.lens[w], par.weights[w] = pins, lens, weights
+	})
+	// Run issues min(workers, numFine) ranges; the rest contribute
+	// nothing but their buffers may hold stale content from a larger
+	// earlier call.
+	used := workers
+	if numFine < used {
+		used = numFine
+	}
+
+	// Merge in range-index order = fine-net order: sizes first, then
+	// one contiguous copy per range.
+	numNets, totalPins := 0, 0
+	weighted := false
+	for w := 0; w < used; w++ {
+		numNets += len(par.lens[w])
+		totalPins += len(par.pins[w])
+		for _, wt := range par.weights[w] {
+			if wt != 1 {
+				weighted = true
+				break
+			}
+		}
+	}
+	hh := &Hypergraph{
+		numCells: k,
+		numNets:  numNets,
+		area:     area,
+		// Clusters partition the cells, so the coarse total is exactly
+		// the fine total (already overflow-checked at fine build time).
+		totalArea: h.totalArea,
+	}
+	for _, a := range area {
+		if a > hh.maxArea {
+			hh.maxArea = a
+		}
+	}
+	hh.netStart = make([]int32, numNets+1)
+	hh.netPins = make([]int32, totalPins)
+	if weighted {
+		hh.netWeight = make([]int32, numNets)
+	}
+	net, pin := 0, 0
+	for w := 0; w < used; w++ {
+		copy(hh.netPins[pin:], par.pins[w])
+		if weighted {
+			copy(hh.netWeight[net:], par.weights[w])
+		}
+		for _, l := range par.lens[w] {
+			pin += int(l)
+			//mllint:ignore unchecked-narrow coarse pin total ≤ fine pin total, which Build/parse already capped at MaxInt32
+			hh.netStart[net+1] = int32(pin)
+			net++
+		}
+	}
+
+	// Cell→net CSR, two-phase count-then-fill. Counts per cluster were
+	// accumulated per range in phase 1; sum them into cellStart (the
+	// scatter decomposes over *clusters* now, so this is parallel and
+	// write-disjoint), prefix-sum serially, then turn each range's
+	// counts into its private fill cursors: cellStart[p] plus the
+	// counts of all lower-indexed ranges.
+	hh.cellStart = make([]int32, k+1)
+	pool.Run(k, func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			var s int32
+			for w := 0; w < used; w++ {
+				s += par.counts[w][p]
+			}
+			hh.cellStart[p+1] = s
+		}
+	})
+	for v := 0; v < k; v++ {
+		hh.cellStart[v+1] += hh.cellStart[v]
+	}
+	pool.Run(k, func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			run := hh.cellStart[p]
+			for w := 0; w < used; w++ {
+				cnt := par.counts[w][p]
+				par.counts[w][p] = run
+				run += cnt
+			}
+		}
+	})
+
+	// Phase 2: parallel fill. Range w owns coarse nets
+	// [netBase_w, netBase_w+len(lens_w)) and writes each of its pins at
+	// its own cursor — cursor windows of different ranges are disjoint
+	// by construction, and within a range nets are visited in ascending
+	// order, so each cell's net list comes out in net order exactly as
+	// the serial fill produces it. Run is keyed on numFine again so the
+	// range indices match phase 1.
+	hh.cellNets = make([]int32, totalPins)
+	netBase := 0
+	bases := make([]int, used)
+	for w := 0; w < used; w++ {
+		bases[w] = netBase
+		netBase += len(par.lens[w])
+	}
+	pool.Run(numFine, func(w, lo, hi int) {
+		cur := par.counts[w]
+		for i := range par.lens[w] {
+			e := bases[w] + i
+			for _, p := range hh.netPins[hh.netStart[e]:hh.netStart[e+1]] {
+				//mllint:ignore unchecked-narrow coarse net index ≤ fine net count, capped at MaxInt32 by Build/parse
+				hh.cellNets[cur[p]] = int32(e)
+				cur[p]++
+			}
+		}
+	})
+	return hh, nil
+}

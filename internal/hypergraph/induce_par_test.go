@@ -1,0 +1,136 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlpart/internal/intrapar"
+)
+
+// buildRandom builds a random weighted hypergraph and a random
+// clustering with k non-empty clusters for the parallel-induce tests.
+func buildRandom(rng *rand.Rand, n, m int) (*Hypergraph, *Clustering) {
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetArea(v, int64(1+rng.Intn(3)))
+	}
+	for e := 0; e < m; e++ {
+		size := 2 + rng.Intn(5)
+		pins := make([]int, size)
+		for i := range pins {
+			pins[i] = rng.Intn(n)
+		}
+		if rng.Intn(4) == 0 {
+			b.AddWeightedNet(int32(2+rng.Intn(4)), pins...)
+		} else {
+			b.AddNet(pins...)
+		}
+	}
+	h := b.MustBuild()
+	k := 1 + rng.Intn(n)
+	c := &Clustering{CellToCluster: make([]int32, n), NumClusters: k}
+	for i, v := range rng.Perm(n) {
+		if i < k {
+			c.CellToCluster[v] = int32(i) //mllint:ignore unchecked-narrow cluster id < n, test-sized
+		} else {
+			c.CellToCluster[v] = int32(rng.Intn(k)) //mllint:ignore unchecked-narrow cluster id < n, test-sized
+		}
+	}
+	return h, c
+}
+
+// sameCSR compares every retained array of two induced hypergraphs
+// byte for byte (same package: the unexported CSR arrays are the
+// ground truth the byte-identity contract is stated over).
+func sameCSR(t *testing.T, want, got *Hypergraph) {
+	t.Helper()
+	if got.numCells != want.numCells || got.numNets != want.numNets ||
+		got.totalArea != want.totalArea || got.maxArea != want.maxArea {
+		t.Fatalf("header differs: (%d,%d,%d,%d) vs (%d,%d,%d,%d)",
+			want.numCells, want.numNets, want.totalArea, want.maxArea,
+			got.numCells, got.numNets, got.totalArea, got.maxArea)
+	}
+	check := func(name string, a, b []int32) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s length differs: %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s[%d] differs: %d vs %d", name, i, a[i], b[i])
+			}
+		}
+	}
+	check("netStart", want.netStart, got.netStart)
+	check("netPins", want.netPins, got.netPins)
+	check("cellStart", want.cellStart, got.cellStart)
+	check("cellNets", want.cellNets, got.cellNets)
+	check("netWeight", want.netWeight, got.netWeight)
+	if len(want.area) != len(got.area) {
+		t.Fatalf("area length differs")
+	}
+	for i := range want.area {
+		if want.area[i] != got.area[i] {
+			t.Fatalf("area[%d] differs: %d vs %d", i, want.area[i], got.area[i])
+		}
+	}
+}
+
+// TestInduceWSParIdenticalToSerial pins the byte-identity contract of
+// the parallel assembly across worker counts, instance sizes (serial
+// fallback for nil pools, fewer nets than workers, and full-width
+// fan-out) and dirty reused workspaces.
+func TestInduceWSParIdenticalToSerial(t *testing.T) {
+	ws := &InduceWorkspace{} // deliberately shared and dirty across cases
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(400)
+		m := rng.Intn(600)
+		h, c := buildRandom(rng, n, m)
+		want, err := InduceWS(h, c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, err := InduceWSPar(h, c, ws, nil); err != nil {
+			t.Fatal(err)
+		} else {
+			sameCSR(t, want, got)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			pool := intrapar.New(workers)
+			got, err := InduceWSPar(h, c, ws, pool)
+			pool.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameCSR(t, want, got)
+		}
+	}
+}
+
+// TestInduceWSParTinyInstances exercises the degenerate shapes: no
+// nets at all, and fewer nets than workers (unissued ranges must not
+// leak stale buffers into the merge).
+func TestInduceWSParTinyInstances(t *testing.T) {
+	ws := &InduceWorkspace{}
+	pool := intrapar.New(8)
+	defer pool.Close()
+	// First, a big instance to dirty the per-worker buffers.
+	rng := rand.New(rand.NewSource(3))
+	h, c := buildRandom(rng, 200, 300)
+	if _, err := InduceWSPar(h, c, ws, pool); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int{0, 1, 3} {
+		h, c := buildRandom(rng, 10, m)
+		want, err := InduceWS(h, c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := InduceWSPar(h, c, ws, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameCSR(t, want, got)
+	}
+}

@@ -18,6 +18,10 @@ type InduceWorkspace struct {
 	starts  []int32 // CSR offsets into pins, len keptNets+1
 	weights []int32 // weight per kept net
 	fill    []int32 // cell→net CSR fill cursors
+
+	// par holds the per-worker buffers of the parallel assembly path
+	// (induce_par.go); unused (and never allocated) by InduceWS.
+	par inducePar
 }
 
 // InduceWS is Induce with caller-supplied scratch memory; nil ws

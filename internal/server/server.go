@@ -28,7 +28,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -105,7 +104,7 @@ func (c Config) withDefaults() Config {
 		c.QueueDepth = 64
 	}
 	if c.Workers == 0 {
-		c.Workers = min(4, runtime.GOMAXPROCS(0))
+		c.Workers = min(4, core.DefaultWorkers())
 	}
 	if c.DefaultTimeout == 0 {
 		c.DefaultTimeout = 30 * time.Second

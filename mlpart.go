@@ -206,10 +206,24 @@ type Options struct {
 	// seeds and keeps the best solution (deterministic tie-break: cut,
 	// then start index). Default 1.
 	Starts int
-	// Parallelism bounds the worker pool running the starts; 0 means
-	// min(GOMAXPROCS, Starts), 1 forces sequential execution. The
-	// result is bit-identical for every Parallelism value.
+	// Parallelism is the inter-start axis: it bounds the worker pool
+	// running independent starts, so it only helps when Starts > 1.
+	// 0 means min(GOMAXPROCS, Starts), 1 forces sequential execution.
+	// The result is bit-identical for every Parallelism value.
 	Parallelism int
+	// IntraParallelism is the intra-start axis: it sizes a per-attempt
+	// worker pool that parallelizes match scoring and induce assembly
+	// during coarsening and switches FM/CLIP refinement to the
+	// sub-round-synchronous engine — useful when a single large
+	// instance must finish fast (Starts == 1), and composable with
+	// Parallelism (total worker demand is roughly the product).
+	// 0 (the default) keeps the exact legacy serial pipeline. Any
+	// value >= 1 enables the parallel paths; cuts and partitions are
+	// bit-identical across all values >= 1 (only wall-clock changes),
+	// but the sub-round refinement engine is a different deterministic
+	// algorithm than the serial one, so 0 and >= 1 may produce
+	// different (equally valid) cuts. Negative is rejected.
+	IntraParallelism int
 	// MaxRetries is how many reseeded retries a start gets after an
 	// attempt fails without a usable solution (recovered panics that
 	// still yield a feasible partition are kept, not retried).
@@ -249,6 +263,9 @@ func (o Options) normalize() (Options, error) {
 	}
 	if o.Parallelism < 0 {
 		return o, fmt.Errorf("mlpart: parallelism %d < 0", o.Parallelism)
+	}
+	if o.IntraParallelism < 0 {
+		return o, fmt.Errorf("mlpart: intra-parallelism %d < 0", o.IntraParallelism)
 	}
 	if o.MaxRetries == 0 {
 		o.MaxRetries = 1
@@ -361,10 +378,11 @@ func BipartitionCtx(ctx context.Context, h *Hypergraph, opt Options) (*Partition
 		ctx = context.Background()
 	}
 	cfg := core.Config{
-		Threshold: opt.Threshold,
-		Ratio:     opt.MatchingRatio,
-		Refine:    fm.Config{Engine: opt.Engine, Tolerance: opt.Tolerance},
-		Audit:     opt.Audit,
+		Threshold:        opt.Threshold,
+		Ratio:            opt.MatchingRatio,
+		Refine:           fm.Config{Engine: opt.Engine, Tolerance: opt.Tolerance},
+		IntraParallelism: opt.IntraParallelism,
+		Audit:            opt.Audit,
 	}
 	type sol struct {
 		p   *Partition
@@ -424,7 +442,8 @@ func QuadrisectCtx(ctx context.Context, h *Hypergraph, opt Options) (*Partition,
 			Objective: kway.SumOfDegrees,
 			Tolerance: opt.Tolerance,
 		},
-		Audit: opt.Audit,
+		IntraParallelism: opt.IntraParallelism,
+		Audit:            opt.Audit,
 	}
 	type sol struct {
 		p   *Partition

@@ -44,6 +44,7 @@ type optionsJSON struct {
 	Seed             int64   `json:"seed"`
 	Starts           int     `json:"starts"`
 	Parallelism      int     `json:"parallelism"`
+	IntraParallelism int     `json:"intra_parallelism"`
 	MaxRetries       int     `json:"max_retries"`
 	AttemptTimeoutNS int64   `json:"attempt_timeout_ns"`
 	Audit            bool    `json:"audit"`
@@ -119,6 +120,7 @@ func (o Options) canonical() (optionsJSON, error) {
 		Seed:             n.Seed,
 		Starts:           n.Starts,
 		Parallelism:      n.Parallelism,
+		IntraParallelism: n.IntraParallelism,
 		MaxRetries:       n.MaxRetries,
 		AttemptTimeoutNS: n.AttemptTimeout.Nanoseconds(),
 		Audit:            n.Audit,
@@ -173,16 +175,17 @@ func ParseOptionsJSON(data []byte) (Options, error) {
 		return Options{}, fmt.Errorf("mlpart: options JSON: negative attempt_timeout_ns %d", c.AttemptTimeoutNS)
 	}
 	o := Options{
-		Engine:         engine,
-		MatchingRatio:  c.MatchingRatio,
-		Threshold:      c.Threshold,
-		Tolerance:      c.Tolerance,
-		Seed:           c.Seed,
-		Starts:         c.Starts,
-		Parallelism:    c.Parallelism,
-		MaxRetries:     c.MaxRetries,
-		AttemptTimeout: time.Duration(c.AttemptTimeoutNS),
-		Audit:          c.Audit,
+		Engine:           engine,
+		MatchingRatio:    c.MatchingRatio,
+		Threshold:        c.Threshold,
+		Tolerance:        c.Tolerance,
+		Seed:             c.Seed,
+		Starts:           c.Starts,
+		Parallelism:      c.Parallelism,
+		IntraParallelism: c.IntraParallelism,
+		MaxRetries:       c.MaxRetries,
+		AttemptTimeout:   time.Duration(c.AttemptTimeoutNS),
+		Audit:            c.Audit,
 	}
 	// Surface range errors (negative starts/parallelism) at decode
 	// time rather than at run time.
@@ -204,6 +207,12 @@ func (o Options) Fingerprint() (string, error) {
 		return "", err
 	}
 	c.Parallelism = 0
+	// IntraParallelism changes the refinement algorithm at the 0-vs->=1
+	// boundary but is bit-identical across all values >= 1, so the
+	// fingerprint keeps the boundary and collapses the worker count.
+	if c.IntraParallelism > 1 {
+		c.IntraParallelism = 1
+	}
 	// Audit only adds invariant checks — it can never change the
 	// solution — so audited and unaudited runs share a fingerprint.
 	c.Audit = false

@@ -91,6 +91,48 @@ func TestOracleQuadrisectAcrossParallelism(t *testing.T) {
 	}
 }
 
+// TestOracleIntraParallelism sweeps the intra-start pool: every
+// worker count must pass the oracle recount, and every count >= 1
+// must produce the bit-identical partition (the sub-round engine is
+// one algorithm; the pool width is an execution detail). Combined
+// with the Parallelism axis this exercises per-attempt pool
+// scoping — a pool shared across concurrent starts would corrupt a
+// private buffer here.
+func TestOracleIntraParallelism(t *testing.T) {
+	for _, c := range oracleCircuits(t)[:2] {
+		for _, par := range []int{1, 4} {
+			var ref *Partition
+			for _, intra := range []int{1, 2, 8} {
+				p, info, err := Bipartition(c.H, Options{Seed: 5, Starts: 4, Parallelism: par, IntraParallelism: intra})
+				if err != nil {
+					t.Fatalf("%s par %d intra %d: %v", c.Spec.Name, par, intra, err)
+				}
+				if !oracle.Validate(c.H, p, 2) {
+					t.Fatalf("%s par %d intra %d: invalid partition", c.Spec.Name, par, intra)
+				}
+				if want := oracle.Cut(c.H, p); info.Cut != want {
+					t.Fatalf("%s par %d intra %d: reported cut %d, oracle %d",
+						c.Spec.Name, par, intra, info.Cut, want)
+				}
+				if !oracle.Balanced(c.H, p, 0.1) {
+					t.Fatalf("%s par %d intra %d: oracle finds the §III.B bound violated",
+						c.Spec.Name, par, intra)
+				}
+				if ref == nil {
+					ref = p
+					continue
+				}
+				for v := range p.Part {
+					if p.Part[v] != ref.Part[v] {
+						t.Fatalf("%s par %d: partition diverges between IntraParallelism 1 and %d at cell %d",
+							c.Spec.Name, par, intra, v)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestOracleVCycleAndRecursiveBisect covers the remaining public
 // entry points that reuse workspaces across whole cycles (VCycle) and
 // across recursion (RecursiveBisect).
@@ -133,20 +175,28 @@ func TestOracleUnderFaultInjection(t *testing.T) {
 	h := c.H
 	// Panic entries are confined to start 0 (spec suffix ":0") so the
 	// remaining starts stay clean and the run-level error is nil; the
-	// cancel/corrupt entries apply to every start.
-	plans := map[string][]string{
-		"fm-panic":        {"fm.pass:panic:2:0"},
-		"project-corrupt": {"core.project:corrupt:1"},
-		"match-cancel":    {"coarsen.match:cancel:3"},
-		"mixed":           {"fm.pass:panic:1:0", "core.rebalance:corrupt:1"},
+	// cancel/corrupt entries apply to every start. The subround/score
+	// plans target the intra-parallel-only sites, so those cases run
+	// with a worker pool.
+	plans := map[string]struct {
+		specs []string
+		intra int
+	}{
+		"fm-panic":        {specs: []string{"fm.pass:panic:2:0"}},
+		"project-corrupt": {specs: []string{"core.project:corrupt:1"}},
+		"match-cancel":    {specs: []string{"coarsen.match:cancel:3"}},
+		"mixed":           {specs: []string{"fm.pass:panic:1:0", "core.rebalance:corrupt:1"}},
+		"subround-panic":  {specs: []string{"fm.subround:panic:2:0"}, intra: 2},
+		"subround-cancel": {specs: []string{"fm.subround:cancel:4"}, intra: 2},
+		"score-corrupt":   {specs: []string{"coarsen.score:corrupt:1"}, intra: 2},
 	}
-	for name, specs := range plans {
+	for name, tc := range plans {
 		t.Run(name, func(t *testing.T) {
-			plan, err := ParseFaultSpec(specs, 17)
+			plan, err := ParseFaultSpec(tc.specs, 17)
 			if err != nil {
 				t.Fatal(err)
 			}
-			p, info, err := Bipartition(h, Options{Seed: 41, Starts: 3, Parallelism: 2, Inject: plan})
+			p, info, err := Bipartition(h, Options{Seed: 41, Starts: 3, Parallelism: 2, IntraParallelism: tc.intra, Inject: plan})
 			if err != nil {
 				t.Fatalf("faults confined to some starts must not fail the run: %v", err)
 			}
