@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint chaos crash-smoke fuzz-smoke stats-smoke par-smoke serve-smoke bench-smoke oracle check
+.PHONY: all build vet test race lint chaos crash-smoke fuzz-smoke stats-smoke par-smoke serve-smoke stream-smoke bench-smoke oracle check
 
 all: build
 
@@ -31,13 +31,14 @@ lint:
 # Chaos suite: the deterministic fault-injection sweep (every site ×
 # every fault kind × both entry points) plus the parallel multi-start
 # supervisor tests and the mlpartd server chaos sweep (faults at
-# server.admit / server.job under a concurrent burst: every accepted
-# job must reach exactly one terminal status), under the race
+# server.admit / server.job / server.batch / server.events under a
+# concurrent burst: every accepted job must reach exactly one terminal
+# status and a poisoned batch job fails alone), under the race
 # detector — the recovery paths must be both correct and race-free.
 chaos:
 	$(GO) test -race -run 'TestChaos|TestParallelMultiStart|TestRecoveredStart|TestAttemptTimeout|TestOuterCancel|TestRetried|TestRunStarts' . ./internal/core
 	$(GO) test -race ./internal/faultinject ./internal/journal ./internal/intrapar
-	$(GO) test -race -run 'TestChaosSweepServer|TestChaosSweepJournal|TestDrainMidBurst|TestQueueFullSheds|TestAdmitPanic|TestJobPanic' ./internal/server
+	$(GO) test -race -run 'TestChaosSweepServer|TestChaosSweepJournal|TestDrainMidBurst|TestQueueFullSheds|TestAdmitPanic|TestJobPanic|TestBatch|TestSSE' ./internal/server
 
 # Crash durability harness: launch cmd/mlpartd as a real subprocess
 # with a write-ahead job journal, SIGKILL it at a deterministic
@@ -92,6 +93,19 @@ serve-smoke:
 	$(GO) build -o /tmp/mlpartd-smoke ./cmd/mlpartd
 	/tmp/mlpartd-smoke -smoke -in cmd/mlpart/testdata/smoke.hgr | $(GO) run ./cmd/statscheck
 
+# Streaming smoke: the batching + SSE variant of the service smoke. A
+# burst of small jobs (distinct seeds, cache off) rides the micro-batch
+# lane while one SSE consumer checks the queued → started → completed
+# event order and Last-Event-ID resume on a real socket, a second
+# reads service-wide ledger deltas from /v1/events, /statsz answers in
+# both the mlpartd-stats/1 and mlpart-bench/1 schemas, and the final
+# ledger (batched / batch_flushes / events_dropped included) is
+# validated by cmd/statscheck.
+stream-smoke:
+	$(GO) build -o /tmp/mlpartd-stream ./cmd/mlpartd
+	/tmp/mlpartd-stream -smoke -stream -in cmd/mlpart/testdata/smoke.hgr \
+		-cache -1 -batch-pins 1000000 -batch-delay 5ms | $(GO) run ./cmd/statscheck
+
 # Benchmark regression gate: cmd/benchrun sweeps the pinned netgen
 # instances, writes BENCH_<date>.json, and gates cuts (exact) and
 # allocs/op (tolerance) against the checked-in bench_baseline.json.
@@ -107,4 +121,4 @@ bench-smoke:
 oracle:
 	$(GO) test -race -run Oracle -count=2 . ./internal/fm ./internal/oracle
 
-check: build vet test race lint chaos crash-smoke fuzz-smoke stats-smoke par-smoke serve-smoke oracle bench-smoke
+check: build vet test race lint chaos crash-smoke fuzz-smoke stats-smoke par-smoke serve-smoke stream-smoke oracle bench-smoke

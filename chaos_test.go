@@ -34,6 +34,7 @@ func siteFires(site faultinject.Site, k, intra int) bool {
 	case faultinject.SiteFMSubround:
 		return intra > 0 && k == 2
 	case faultinject.SiteServerAdmit, faultinject.SiteServerJob,
+		faultinject.SiteServerBatch, faultinject.SiteServerEvents,
 		faultinject.SiteJournalAppend, faultinject.SiteJournalReplay:
 		return false
 	}

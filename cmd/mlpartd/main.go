@@ -7,9 +7,11 @@
 //	mlpartd [-addr :7997] [-queue 64] [-workers 0] [-cache 256]
 //	        [-default-timeout 30s] [-max-timeout 5m] [-drain-timeout 10s]
 //	        [-retries 1] [-journal jobs.wal] [-addr-file path]
+//	        [-batch-pins 0] [-batch-max 8] [-batch-delay 2ms]
+//	        [-batch-workers 1] [-progress-interval 250ms]
 //	        [-crash-after-appends n]
 //	        [-chaos site:kind:n[:start]] [-chaos-seed 1]
-//	        [-smoke] [-in circuit.hgr]
+//	        [-smoke] [-stream] [-in circuit.hgr]
 //
 // API (JSON):
 //
@@ -24,9 +26,24 @@
 //	                            solution.
 //	GET    /v1/jobs/{id}/result deterministic result document
 //	                            (X-Mlpartd-Cache: hit|miss).
+//	GET    /v1/jobs/{id}/events live job lifecycle stream (SSE:
+//	                            queued, started, retrying, progress,
+//	                            terminal); Last-Event-ID resumes.
+//	GET    /v1/events           service-wide ledger delta stream (SSE).
 //	GET    /healthz /readyz     liveness / readiness probes.
 //	GET    /statsz              service counters, schema
-//	                            mlpartd-stats/1 (pipe into statscheck).
+//	                            mlpartd-stats/1 (pipe into statscheck);
+//	                            ?schema=bench serves per-stage timing
+//	                            aggregates in the mlpart-bench/1 schema.
+//
+// -batch-pins n routes jobs whose hypergraph has at most n pins onto
+// the micro-batch lane: small jobs are coalesced (up to -batch-max
+// per batch, lingering at most -batch-delay) and executed on
+// -batch-workers dedicated executors that reuse one workspace set per
+// worker across the whole batch. Batching is a scheduling detail:
+// result documents are byte-identical batched or solo, and one
+// crashing job never poisons its batchmates. 0 (the default)
+// disables the lane.
 //
 // SIGTERM or SIGINT starts a graceful drain: admission stops (503),
 // in-flight and queued jobs get -drain-timeout to finish, stragglers
@@ -41,6 +58,16 @@
 // byte-identical result body, then delivers SIGTERM to itself to
 // exercise the production drain path and prints the final stats JSON
 // to stdout.
+//
+// -smoke -stream runs the streaming variant used by
+// `make stream-smoke` instead: a burst of small jobs (distinct seeds,
+// so the result cache never collapses them) exercises the micro-batch
+// lane, one SSE consumer verifies the queued → started → completed
+// event order and Last-Event-ID resume on a real socket, a second
+// consumer reads service-wide ledger deltas from /v1/events, and
+// /statsz is checked in both schemas before the self-SIGTERM. The
+// final stats JSON (including the batched / batch_flushes /
+// events_dropped counters) goes to stdout for statscheck.
 //
 // -journal makes accepted jobs crash-durable: every job lifecycle
 // transition is appended to a write-ahead journal and synced before
@@ -64,6 +91,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -107,9 +135,15 @@ func run() error {
 		retries      = flag.Int("retries", 0, "extra attempts per failed job (0 = default 1, negative disables)")
 		journalPath  = flag.String("journal", "", "write-ahead job journal path (empty disables crash durability)")
 		addrFile     = flag.String("addr-file", "", "write the bound listen address to this file (crash-harness port discovery)")
+		batchPins    = flag.Int("batch-pins", 0, "micro-batch jobs with at most this many pins (0 disables batching)")
+		batchMax     = flag.Int("batch-max", 0, "jobs per micro-batch (0 = default 8)")
+		batchDelay   = flag.Duration("batch-delay", 0, "max linger before a partial batch is cut (0 = default 2ms)")
+		batchWorkers = flag.Int("batch-workers", 0, "dedicated batch executors (0 = default 1)")
+		progressIvl  = flag.Duration("progress-interval", 0, "SSE progress event period for running jobs (0 = default 250ms, negative disables)")
 		crashAfter   = flag.Int("crash-after-appends", 0, "SIGKILL self after the n-th durable journal append (crash harness only)")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for probabilistic -chaos triggers")
 		smoke        = flag.Bool("smoke", false, "run the loopback self-test and exit")
+		stream       = flag.Bool("stream", false, "with -smoke: run the batching + SSE streaming self-test instead")
 		in           = flag.String("in", "", "netlist for -smoke (hMETIS .hgr)")
 	)
 	var chaos chaosFlags
@@ -121,15 +155,20 @@ func run() error {
 		return err
 	}
 	cfg := server.Config{
-		QueueDepth:     *queue,
-		Workers:        *workers,
-		CacheCap:       *cache,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
-		DrainTimeout:   *drainTimeout,
-		MaxRetries:     *retries,
-		JournalPath:    *journalPath,
-		Inject:         plan,
+		QueueDepth:       *queue,
+		Workers:          *workers,
+		CacheCap:         *cache,
+		DefaultTimeout:   *defTimeout,
+		MaxTimeout:       *maxTimeout,
+		DrainTimeout:     *drainTimeout,
+		MaxRetries:       *retries,
+		JournalPath:      *journalPath,
+		BatchPinLimit:    *batchPins,
+		BatchMax:         *batchMax,
+		BatchDelay:       *batchDelay,
+		BatchWorkers:     *batchWorkers,
+		ProgressInterval: *progressIvl,
+		Inject:           plan,
 	}
 	if *crashAfter > 0 {
 		if *journalPath == "" {
@@ -178,7 +217,11 @@ func run() error {
 
 	smokeErr := make(chan error, 1)
 	if *smoke {
-		go func() { smokeErr <- runSmoke(ln.Addr().String(), *in) }()
+		if *stream {
+			go func() { smokeErr <- runStreamSmoke(ln.Addr().String(), *in, *batchPins > 0) }()
+		} else {
+			go func() { smokeErr <- runSmoke(ln.Addr().String(), *in) }()
+		}
 	}
 
 	var clientErr error
@@ -339,4 +382,277 @@ func expectOK(client *http.Client, url string) error {
 		return fmt.Errorf("%s: %s", url, resp.Status)
 	}
 	return nil
+}
+
+// runStreamSmoke is the -smoke -stream self-test: a burst of small
+// jobs through the micro-batch lane, one SSE consumer per contract
+// (job lifecycle order, Last-Event-ID resume, service-wide ledger
+// deltas), a /statsz check in both schemas, then SIGTERM to drain.
+func runStreamSmoke(addr, in string, batching bool) error {
+	if in == "" {
+		return fmt.Errorf("-smoke requires -in")
+	}
+	hgr, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	for _, probe := range []string{"/healthz", "/readyz"} {
+		if err := expectOK(client, base+probe); err != nil {
+			return err
+		}
+	}
+
+	// Burst: distinct seeds give distinct fingerprints, so the result
+	// cache never collapses the jobs and every one exercises the lane.
+	const burst = 8
+	ids := make([]string, 0, burst)
+	for i := 0; i < burst; i++ {
+		k := 2
+		if i%2 == 1 {
+			k = 4
+		}
+		body, err := json.Marshal(map[string]any{
+			"hgr":     string(hgr),
+			"k":       k,
+			"options": map[string]any{"seed": 100 + i, "starts": 2},
+		})
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("submit %d: %s: %s", i, resp.Status, data)
+		}
+		var v struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(data, &v); err != nil {
+			return err
+		}
+		ids = append(ids, v.ID)
+	}
+
+	// One SSE consumer on the first job. Whether it attaches live or
+	// after the fact, replay + live must yield the same ordered stream:
+	// queued first, started before the terminal, ids gapless from 1.
+	frames, err := consumeJobEvents(base, ids[0], 0)
+	if err != nil {
+		return fmt.Errorf("job events: %w", err)
+	}
+	if err := checkLifecycle(frames, 1); err != nil {
+		return fmt.Errorf("job %s events: %w", ids[0], err)
+	}
+
+	// Last-Event-ID resume: re-subscribing past the first event must
+	// replay exactly the suffix.
+	resumed, err := consumeJobEvents(base, ids[0], frames[0].ID)
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	if len(resumed) != len(frames)-1 || resumed[0].ID != frames[0].ID+1 {
+		return fmt.Errorf("resume after id %d: got %d frames starting at id %d, want %d starting at %d",
+			frames[0].ID, len(resumed), resumed[0].ID, len(frames)-1, frames[0].ID+1)
+	}
+
+	// Every job in the burst must complete with a servable result.
+	for i, id := range ids {
+		resp, err := client.Get(base + "/v1/jobs/" + id + "?wait_ms=25000")
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		var v struct {
+			Status  string `json:"status"`
+			Batched bool   `json:"batched"`
+		}
+		if err := json.Unmarshal(data, &v); err != nil {
+			return err
+		}
+		if v.Status != "completed" {
+			return fmt.Errorf("job %s ended %q, want completed: %s", id, v.Status, data)
+		}
+		if batching && !v.Batched {
+			return fmt.Errorf("job %s (burst %d) not batched with batching enabled", id, i)
+		}
+		if err := expectOK(client, base+"/v1/jobs/"+id+"/result"); err != nil {
+			return err
+		}
+	}
+
+	// The service-wide stream replays ledger deltas for the burst.
+	if err := readServiceEvents(base, 3); err != nil {
+		return fmt.Errorf("service events: %w", err)
+	}
+
+	// /statsz must answer in both schemas.
+	var bench struct {
+		Schema  string           `json:"schema"`
+		Entries []map[string]any `json:"entries"`
+	}
+	if err := getJSON(client, base+"/statsz?schema=bench", &bench); err != nil {
+		return err
+	}
+	if bench.Schema != "mlpart-bench/1" {
+		return fmt.Errorf("/statsz?schema=bench: schema %q, want mlpart-bench/1", bench.Schema)
+	}
+	if len(bench.Entries) == 0 {
+		return fmt.Errorf("/statsz?schema=bench: no entries after %d completed jobs", burst)
+	}
+	var svc struct {
+		Schema       string `json:"schema"`
+		Batched      int64  `json:"batched"`
+		BatchFlushes int64  `json:"batch_flushes"`
+	}
+	if err := getJSON(client, base+"/statsz", &svc); err != nil {
+		return err
+	}
+	if batching {
+		if svc.Batched != burst {
+			return fmt.Errorf("/statsz: batched = %d, want %d", svc.Batched, burst)
+		}
+		if svc.BatchFlushes == 0 {
+			return fmt.Errorf("/statsz: batched = %d with batch_flushes = 0", svc.Batched)
+		}
+	} else if svc.Batched != 0 {
+		return fmt.Errorf("/statsz: batched = %d with batching disabled", svc.Batched)
+	}
+
+	fmt.Fprintf(os.Stderr, "mlpartd: stream smoke ok: %d jobs, %d events on %s, %d batched over %d flushes\n",
+		burst, len(frames), ids[0], svc.Batched, svc.BatchFlushes)
+
+	return syscall.Kill(os.Getpid(), syscall.SIGTERM)
+}
+
+// consumeJobEvents reads the full SSE stream for one job — the
+// stream ends when the server closes it after the terminal event —
+// and parses it into frames. lastID > 0 resumes via Last-Event-ID.
+func consumeJobEvents(base, id string, lastID int64) ([]server.SSEFrame, error) {
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	if lastID > 0 {
+		req.Header.Set("Last-Event-ID", fmt.Sprint(lastID))
+	}
+	// No client timeout: the stream lives until the job's terminal
+	// event, which the per-job deadline already bounds.
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", req.URL, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		return nil, fmt.Errorf("%s: Content-Type %q, want text/event-stream", req.URL, ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return server.ParseSSE(raw), nil
+}
+
+// checkLifecycle asserts the ordered SSE contract on one job's
+// frames: ids gapless from firstID, queued first, started before the
+// single terminal event, which comes last.
+func checkLifecycle(frames []server.SSEFrame, firstID int64) error {
+	if len(frames) < 3 {
+		return fmt.Errorf("only %d frames, want at least queued/started/terminal", len(frames))
+	}
+	started := false
+	for i, f := range frames {
+		if f.ID != firstID+int64(i) {
+			return fmt.Errorf("frame %d has id %d, want gapless %d", i, f.ID, firstID+int64(i))
+		}
+		switch f.Event {
+		case "queued":
+			if i != 0 {
+				return fmt.Errorf("queued at position %d, want 0", i)
+			}
+		case "started":
+			started = true
+		case "progress", "retrying":
+		case "completed":
+			if !started {
+				return fmt.Errorf("completed before started")
+			}
+			if i != len(frames)-1 {
+				return fmt.Errorf("terminal event at %d of %d, want last", i, len(frames)-1)
+			}
+		default:
+			return fmt.Errorf("unexpected event %q", f.Event)
+		}
+	}
+	if last := frames[len(frames)-1].Event; last != "completed" {
+		return fmt.Errorf("stream ends with %q, want completed", last)
+	}
+	return nil
+}
+
+// readServiceEvents reads n frames from the never-ending /v1/events
+// stream and verifies they are ledger deltas, then hangs up.
+func readServiceEvents(base string, n int) error {
+	resp, err := http.DefaultClient.Get(base + "/v1/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/v1/events: %s", resp.Status)
+	}
+	br := bufio.NewReader(resp.Body)
+	var p server.SSEParser
+	for i := 0; i < n; i++ {
+		f, err := server.ReadSSEFrame(br, &p)
+		if err != nil {
+			return fmt.Errorf("frame %d: %w", i, err)
+		}
+		if f.Event != "ledger" {
+			return fmt.Errorf("frame %d: event %q, want ledger", i, f.Event)
+		}
+		var delta struct {
+			Change string `json:"change"`
+		}
+		if err := json.Unmarshal([]byte(f.Data), &delta); err != nil {
+			return fmt.Errorf("frame %d data: %w", i, err)
+		}
+		if delta.Change == "" {
+			return fmt.Errorf("frame %d: empty change in %s", i, f.Data)
+		}
+	}
+	return nil
+}
+
+// getJSON fetches url and decodes the 200 body into v.
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, data)
+	}
+	return json.Unmarshal(data, v)
 }

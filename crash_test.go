@@ -473,6 +473,183 @@ func TestCmdStatscheckJournal(t *testing.T) {
 	}
 }
 
+// TestCmdMlpartdCrashBatched runs the kill-and-restart harness with
+// the micro-batch lane armed: jobs acknowledged onto the batch lane
+// must survive a SIGKILL exactly like solo jobs — recovered, re-run
+// (always solo: a dead process's shared workspaces earn no trust),
+// and byte-identical to a fresh computation on a daemon that never
+// batched at all.
+func TestCmdMlpartdCrashBatched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and kills subprocesses")
+	}
+	bins := buildTools(t)
+	hgr, err := os.ReadFile(filepath.Join("cmd", "mlpart", "testdata", "smoke.hgr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{
+		"hgr": string(hgr), "k": 2,
+		"options": map[string]any{"seed": 7, "starts": 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fetchResult := func(t *testing.T, addr, id string) ([]byte, string, bool) {
+		t.Helper()
+		client := &http.Client{Timeout: 60 * time.Second}
+		resp, err := client.Get("http://" + addr + "/v1/jobs/" + id + "?wait_ms=45000")
+		if err != nil {
+			t.Fatalf("GET job %s: %v", id, err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job %s: %s: %s", id, resp.Status, data)
+		}
+		var v struct {
+			Status    string `json:"status"`
+			Recovered bool   `json:"recovered"`
+		}
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatalf("job %s view: %v\n%s", id, err, data)
+		}
+		resp, err = client.Get("http://" + addr + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			t.Fatalf("GET result %s: %v", id, err)
+		}
+		res, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("result %s: %s: %s", id, resp.Status, res)
+		}
+		return res, v.Status, v.Recovered
+	}
+
+	// Reference: a daemon with batching off computes the canonical
+	// result document for this submission.
+	refDir := t.TempDir()
+	ref := startDaemon(t, bins, refDir, "-workers", "1", "-cache", "-1")
+	refIDs := submitBurst(t, ref.addr, body, 1, "")
+	if len(refIDs) != 1 {
+		t.Fatalf("reference daemon acknowledged %d jobs, want 1", len(refIDs))
+	}
+	want, st, _ := fetchResult(t, ref.addr, refIDs[0])
+	if st != "completed" {
+		t.Fatalf("reference job ended %q, want completed", st)
+	}
+	_ = ref.cmd.Process.Signal(syscall.SIGTERM)
+	ref.wait()
+
+	// Phase 1: the victim batches everything (the pin limit swallows
+	// any smoke netlist) and dies on the 5th durable append — jobs are
+	// acknowledged onto the batch lane and never closed.
+	dir := t.TempDir()
+	wal := filepath.Join(dir, "jobs.wal")
+	victim := startDaemon(t, bins, dir,
+		"-journal", wal, "-crash-after-appends", "5",
+		"-workers", "1", "-cache", "-1",
+		"-batch-pins", "1000000", "-batch-workers", "1", "-batch-delay", "50ms")
+	acked := submitBurst(t, victim.addr, body, 8, "")
+	if !victim.wait() {
+		t.Fatalf("victim did not die by SIGKILL\nstderr: %s", victim.stderr)
+	}
+	if len(acked) == 0 {
+		t.Fatal("burst produced no acknowledged jobs before the kill")
+	}
+	if d := dumpJournal(t, bins, wal); d.Open == 0 {
+		t.Fatalf("post-crash journal has no open jobs: %+v", d)
+	}
+
+	// Phase 2: the survivor also has batching on, but recovered jobs
+	// must take the solo lane regardless — and still produce the
+	// reference bytes.
+	svr := startDaemon(t, bins, dir,
+		"-journal", wal, "-workers", "2", "-cache", "-1",
+		"-batch-pins", "1000000", "-batch-workers", "1")
+	recovered := 0
+	for _, id := range acked {
+		res, status, rec := fetchResult(t, svr.addr, id)
+		if status != "completed" {
+			t.Errorf("job %s ended %q after restart, want completed", id, status)
+			continue
+		}
+		if !rec {
+			t.Errorf("job %s not marked recovered", id)
+		}
+		recovered++
+		if !bytes.Equal(res, want) {
+			t.Errorf("job %s: recovered result differs from never-batched result (%d vs %d bytes)",
+				id, len(res), len(want))
+		}
+	}
+	if recovered == 0 {
+		t.Fatal("no job was audited after the restart")
+	}
+
+	// Drain; the final ledger must balance under statscheck with the
+	// batch counters present (recovered jobs ran solo, so batched may
+	// be zero — the invariants must hold either way).
+	_ = svr.cmd.Process.Signal(syscall.SIGTERM)
+	if killed := svr.wait(); killed {
+		t.Fatal("survivor died by SIGKILL instead of draining")
+	}
+	check := exec.Command(filepath.Join(bins, "statscheck"))
+	check.Stdin = bytes.NewReader(svr.stdout.Bytes())
+	if out, err := check.CombinedOutput(); err != nil {
+		t.Fatalf("statscheck on survivor stats: %v\n%s", err, out)
+	}
+}
+
+// TestCmdStatscheckBatchCounters feeds statscheck service snapshots
+// exercising the batch-lane invariants: batched is bounded by
+// accepted, and batched work implies at least one flush.
+func TestCmdStatscheckBatchCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t)
+	snap := telemetry.ServiceReport{
+		Schema:   telemetry.ServiceSchemaVersion,
+		Accepted: 5, Completed: 5,
+		Batched: 3, BatchFlushes: 2, EventsDropped: 1,
+		CacheMisses: 5, QueueCap: 8, UptimeNS: 5,
+	}
+	run := func(t *testing.T, r telemetry.ServiceReport) ([]byte, error) {
+		t.Helper()
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command(filepath.Join(bins, "statscheck"))
+		cmd.Stdin = bytes.NewReader(data)
+		return cmd.CombinedOutput()
+	}
+	if out, err := run(t, snap); err != nil {
+		t.Errorf("balanced batch snapshot rejected: %v\n%s", err, out)
+	}
+	over := snap
+	over.Batched = 9
+	if out, err := run(t, over); err == nil {
+		t.Errorf("batched > accepted snapshot accepted:\n%s", out)
+	} else if !strings.Contains(string(out), "batched") {
+		t.Errorf("unexpected rejection: %s", out)
+	}
+	noFlush := snap
+	noFlush.BatchFlushes = 0
+	if out, err := run(t, noFlush); err == nil {
+		t.Errorf("batched work with zero flushes accepted:\n%s", out)
+	} else if !strings.Contains(string(out), "batch_flushes") {
+		t.Errorf("unexpected rejection: %s", out)
+	}
+	neg := snap
+	neg.EventsDropped = -1
+	if out, err := run(t, neg); err == nil {
+		t.Errorf("negative events_dropped accepted:\n%s", out)
+	}
+}
+
 // TestCmdStatscheckRecoveryCounters feeds statscheck service
 // snapshots with crash-recovery counters: a balanced cross-restart
 // ledger passes, a recovered count exceeding accepted fails.

@@ -128,6 +128,7 @@ var deterministicPkgs = []string{
 	"internal/analysis",
 	"internal/analysis/cfg",
 	"internal/journal",
+	"internal/server/batcher",
 }
 
 // checksFor selects which checks apply to the package at importPath.

@@ -71,6 +71,11 @@ type Config struct {
 	// timings for this attempt. It is propagated into the coarsening
 	// and refinement configs; nil costs one pointer check per site.
 	Telemetry *telemetry.Collector
+	// Scratch, when non-nil, makes the attempt reuse a caller-owned
+	// workspace bundle instead of creating a fresh one — see Scratch
+	// for the single-goroutine contract. Nil keeps the default
+	// bundle-per-attempt behavior.
+	Scratch *Scratch
 }
 
 // Normalize fills defaults and validates.
@@ -165,10 +170,11 @@ func BipartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg Config, r
 	cfg.Refine.Stop = mergeStop(cfg.Refine.Stop, ctx)
 	cfg.Refine.Inject = cfg.Inject
 	cfg.Refine.Telemetry = cfg.Telemetry
-	// One workspace bundle per attempt: every level of the run reuses
-	// the same scratch memory, single-goroutine by construction. The
-	// intra-parallelism pool lives exactly as long as the attempt.
-	ws := &pipelineWS{}
+	// One workspace bundle per attempt (or the caller's shared Scratch
+	// for batched runs): every level of the run reuses the same scratch
+	// memory, single-goroutine by construction. The intra-parallelism
+	// pool lives exactly as long as the attempt.
+	ws := cfg.Scratch.attemptWS()
 	defer ws.startPool(cfg.IntraParallelism)()
 	cfg.Refine.WS = &ws.refine
 	cfg.Refine.Par = ws.pool

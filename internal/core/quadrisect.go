@@ -51,6 +51,9 @@ type QuadConfig struct {
 	// per-pass refinement stats, rebalance counters and stage
 	// timings for this attempt, as in Config.Telemetry.
 	Telemetry *telemetry.Collector
+	// Scratch, when non-nil, makes the attempt reuse a caller-owned
+	// workspace bundle, as in Config.Scratch (single-goroutine).
+	Scratch *Scratch
 }
 
 // Normalize fills defaults and validates.
@@ -151,10 +154,11 @@ func QuadrisectCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg QuadConfig
 	}
 
 	res := QuadResult{}
-	// One workspace bundle per attempt; the k-way engine manages its
-	// own arrays, so only the coarsening side is threaded here — the
+	// One workspace bundle per attempt (or the caller's shared Scratch
+	// for batched runs); the k-way engine manages its own arrays, so
+	// only the coarsening side is threaded here — the
 	// intra-parallelism pool likewise accelerates coarsening only.
-	ws := &pipelineWS{}
+	ws := cfg.Scratch.attemptWS()
 	defer ws.startPool(cfg.IntraParallelism)()
 	cfg.Telemetry.RecordIntraWorkers(cfg.IntraParallelism)
 

@@ -32,13 +32,52 @@ type pipelineWS struct {
 
 // startPool arms the attempt's worker pool for IntraParallelism intra
 // (0 keeps the serial pipeline: a nil pool). The returned cleanup is
-// always safe to defer.
+// always safe to defer. Both branches reset ws.pool so a reused
+// bundle (Scratch) never hands a closed — or stale — pool to a later
+// attempt with a different IntraParallelism.
 func (ws *pipelineWS) startPool(intra int) func() {
 	if intra <= 0 {
+		ws.pool = nil
 		return func() {}
 	}
 	ws.pool = intrapar.New(intra)
-	return func() { ws.pool.Close() }
+	return func() {
+		ws.pool.Close()
+		ws.pool = nil
+	}
+}
+
+// Scratch is a reusable pipeline workspace bundle for sequential
+// batch execution. A caller that runs many small attempts
+// back-to-back on one goroutine (mlpartd's micro-batcher) threads one
+// Scratch through Config.Scratch / QuadConfig.Scratch so successive
+// attempts reuse the same match/induce/refine buffers instead of
+// growing a fresh set per job — the per-job setup cost is amortized
+// across the batch.
+//
+// Contract: a Scratch is single-goroutine. At most one attempt may
+// use it at a time, so callers must force sequential execution
+// (Parallelism 1) for every run that carries it. Reuse is
+// bit-identity preserving: every workspace in the bundle is fully
+// reset at the start of each use, so a result computed on a reused
+// Scratch is byte-identical to one computed on a fresh bundle — the
+// same contract the per-attempt workspace reuse across hierarchy
+// levels already relies on.
+type Scratch struct {
+	ws pipelineWS
+}
+
+// NewScratch returns an empty reusable workspace bundle.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// attemptWS returns the workspace bundle one attempt should use: the
+// shared bundle when a Scratch is configured, a fresh per-call bundle
+// otherwise (nil receiver = the default per-attempt behavior).
+func (s *Scratch) attemptWS() *pipelineWS {
+	if s == nil {
+		return &pipelineWS{}
+	}
+	return &s.ws
 }
 
 // projectionBuffers returns the two pre-sized partition buffers the

@@ -1,0 +1,253 @@
+package server
+
+// Service-level tests for the micro-batch lane. The contract under
+// test is the one DESIGN.md states as "a batch shares workspaces,
+// never fate": batching is invisible in results (byte-identical to
+// solo execution) and invisible in failure (one bad job cannot take
+// its batchmates down).
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"mlpart/internal/faultinject"
+)
+
+// batchedFlag reads the batched scheduling annotation off the job
+// document.
+func batchedFlag(t *testing.T, base, id string) bool {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET job %s: %v", id, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read job %s: %v", id, err)
+	}
+	var v struct {
+		Batched bool `json:"batched"`
+	}
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("unmarshal job %s: %v: %s", id, err, data)
+	}
+	return v.Batched
+}
+
+// TestBatchedVsSoloByteIdentity is the determinism e2e of the batching
+// tentpole: a 50-job mixed-size burst run once through a batching
+// server and once through a plain one, with the result cache disabled
+// on both so every job computes, must produce byte-identical result
+// documents job for job. Small jobs ride the batch lane on server A
+// and the solo lane on server B; large jobs run solo on both.
+func TestBatchedVsSoloByteIdentity(t *testing.T) {
+	small := testHGR(t, 6, 6)   // ~120 pins: under the batch limit
+	large := testHGR(t, 16, 16) // ~960 pins: always solo
+
+	sA, hsA := newTestServer(t, Config{
+		Workers: 2, QueueDepth: 64, CacheCap: -1,
+		BatchPinLimit: 300, BatchMax: 8, BatchWorkers: 2,
+		BatchDelay: 2 * time.Millisecond,
+	})
+	sB, hsB := newTestServer(t, Config{
+		Workers: 2, QueueDepth: 64, CacheCap: -1,
+	})
+
+	const jobs = 50
+	bodies := make([][]byte, jobs)
+	wantBatched := make([]bool, jobs)
+	for i := range bodies {
+		hgr := small
+		wantBatched[i] = true
+		if i%5 == 4 { // every fifth job is too large to batch
+			hgr = large
+			wantBatched[i] = false
+		}
+		k := 2
+		if i%2 == 1 {
+			k = 4
+		}
+		bodies[i] = submitBody(t, hgr, k, map[string]any{"seed": int64(1000 + i), "starts": 2}, nil)
+	}
+
+	run := func(base string) ([]string, [][]byte) {
+		ids := make([]string, jobs)
+		for i, body := range bodies {
+			code, v, data := postJob(t, base, body)
+			if code != http.StatusAccepted {
+				t.Fatalf("submit %d: status %d: %s", i, code, data)
+			}
+			ids[i] = v.ID
+		}
+		results := make([][]byte, jobs)
+		for i, id := range ids {
+			v := waitTerminal(t, base, id)
+			if v.Status != string(StatusCompleted) {
+				t.Fatalf("job %d (%s) ended %q, want completed", i, id, v.Status)
+			}
+			results[i], _ = getResult(t, base, id)
+		}
+		return ids, results
+	}
+
+	idsA, resA := run(hsA.URL)
+	_, resB := run(hsB.URL)
+
+	for i := range resA {
+		if !bytes.Equal(resA[i], resB[i]) {
+			t.Errorf("job %d: batched result differs from solo result (%d vs %d bytes)",
+				i, len(resA[i]), len(resB[i]))
+		}
+	}
+
+	// The scheduling annotation must match the routing rule on A.
+	for i, id := range idsA {
+		if got := batchedFlag(t, hsA.URL, id); got != wantBatched[i] {
+			t.Errorf("job %d: batched = %v, want %v", i, got, wantBatched[i])
+		}
+	}
+
+	repA, repB := sA.Stats(), sB.Stats()
+	if want := int64(jobs - jobs/5); repA.Batched != want {
+		t.Errorf("server A batched %d jobs, want %d", repA.Batched, want)
+	}
+	if repA.BatchFlushes == 0 {
+		t.Errorf("server A batched %d jobs with zero flushes", repA.Batched)
+	}
+	if repB.Batched != 0 || repB.BatchFlushes != 0 {
+		t.Errorf("server B (batching off) reports batched %d, flushes %d", repB.Batched, repB.BatchFlushes)
+	}
+	checkQuiescedLedger(t, sA)
+	checkQuiescedLedger(t, sB)
+}
+
+// TestBatchPanicIsolation pins a panic onto exactly one job of a full
+// batch and asserts per-job fault isolation: the victim fails alone
+// with a typed "internal" error while every batchmate completes with
+// a servable result.
+func TestBatchPanicIsolation(t *testing.T) {
+	const jobs = 6
+	const victim = 3 // 0-based admission seq of the poisoned job
+
+	s, hs := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 16, CacheCap: -1,
+		MaxRetries:    -1, // no retries: the panic must be terminal
+		BatchPinLimit: 1 << 20, BatchMax: jobs, BatchWorkers: 1,
+		BatchDelay: 50 * time.Millisecond, // linger long enough to fill one batch
+		Inject: &faultinject.Plan{Seed: 1, Entries: []faultinject.Entry{
+			faultinject.OnStart(faultinject.SiteServerBatch, faultinject.KindPanic, 1, victim),
+		}},
+	})
+
+	hgr := testHGR(t, 6, 6)
+	ids := make([]string, jobs)
+	for i := 0; i < jobs; i++ {
+		body := submitBody(t, hgr, 2, map[string]any{"seed": int64(i)}, nil)
+		code, v, data := postJob(t, hs.URL, body)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d: %s", i, code, data)
+		}
+		ids[i] = v.ID
+	}
+
+	for i, id := range ids {
+		v := waitTerminal(t, hs.URL, id)
+		if i == victim {
+			if v.Status != string(StatusFailed) {
+				t.Fatalf("victim job %s ended %q, want failed", id, v.Status)
+			}
+			if v.Error == nil || v.Error.Code != "internal" {
+				t.Fatalf("victim job %s error = %+v, want code internal", id, v.Error)
+			}
+			continue
+		}
+		if v.Status != string(StatusCompleted) {
+			t.Errorf("batchmate %d (%s) ended %q, want completed", i, id, v.Status)
+			continue
+		}
+		if res, _ := getResult(t, hs.URL, id); len(res) == 0 {
+			t.Errorf("batchmate %d (%s): empty result document", i, id)
+		}
+	}
+
+	rep := s.Stats()
+	if rep.Batched != jobs {
+		t.Errorf("batched %d, want %d", rep.Batched, jobs)
+	}
+	if rep.Failed != 1 || rep.Completed != jobs-1 {
+		t.Errorf("ledger: completed %d failed %d, want %d/%d", rep.Completed, rep.Failed, jobs-1, 1)
+	}
+	checkQuiescedLedger(t, s)
+}
+
+// TestBatchCorruptFallsBackSolo checks the distrust rule: an injected
+// workspace corruption at the batch site makes the job re-run on
+// fresh solo workspaces within the same attempt, and the result is
+// still the deterministic document.
+func TestBatchCorruptFallsBackSolo(t *testing.T) {
+	hgr := testHGR(t, 6, 6)
+	body := submitBody(t, hgr, 2, map[string]any{"seed": int64(42)}, nil)
+
+	// Reference: plain solo server.
+	_, hsRef := newTestServer(t, Config{CacheCap: -1})
+	code, vRef, data := postJob(t, hsRef.URL, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("reference submit: status %d: %s", code, data)
+	}
+	want := finishOne(t, hsRef.URL, vRef.ID)
+
+	s, hs := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 16, CacheCap: -1,
+		BatchPinLimit: 1 << 20, BatchWorkers: 1,
+		Inject: &faultinject.Plan{Seed: 1, Entries: []faultinject.Entry{
+			faultinject.On(faultinject.SiteServerBatch, faultinject.KindCorrupt, 1),
+		}},
+	})
+	code, v, data := postJob(t, hs.URL, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", code, data)
+	}
+	got := finishOne(t, hs.URL, v.ID)
+	if !bytes.Equal(got, want) {
+		t.Errorf("corrupt-fallback result differs from solo result (%d vs %d bytes)", len(got), len(want))
+	}
+	if !batchedFlag(t, hs.URL, v.ID) {
+		t.Errorf("corrupt-fallback job lost its batched annotation")
+	}
+	checkQuiescedLedger(t, s)
+}
+
+// finishOne waits for completion and returns the result document.
+func finishOne(t *testing.T, base, id string) []byte {
+	t.Helper()
+	v := waitTerminal(t, base, id)
+	if v.Status != string(StatusCompleted) {
+		t.Fatalf("job %s ended %q, want completed", id, v.Status)
+	}
+	res, _ := getResult(t, base, id)
+	return res
+}
+
+// checkQuiescedLedger waits for the in-flight counters to settle and
+// then applies the full ledger invariant, including the batch-lane
+// counters — on a server that is idle but not yet drained.
+func checkQuiescedLedger(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rep := s.Stats()
+		if rep.Queued == 0 && rep.Running == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not quiesce: queued %d running %d", rep.Queued, rep.Running)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	checkLedger(t, s)
+}

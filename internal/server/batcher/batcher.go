@@ -1,0 +1,184 @@
+// Package batcher coalesces individually-submitted items into
+// micro-batches dispatched onto a small worker pool. mlpartd uses it
+// to run many small partitioning jobs back-to-back on a shared
+// workspace set instead of paying full per-job setup.
+//
+// Batching policy: an item joins the pending batch; the batch is cut
+// and handed to a worker when it reaches MaxBatch items, or MaxDelay
+// after its first item arrived (the linger), whichever comes first.
+// Close cuts the remainder, so no accepted item is ever stranded.
+//
+// The batcher moves items and controls timing only — it never looks
+// inside an item and never reorders items (a batch preserves arrival
+// order, and batches are executed in cut order per worker). Whether
+// batching is observable in the items' results is entirely up to the
+// run callback; mlpartd's callback guarantees it is not.
+package batcher
+
+import (
+	"sync"
+	"time"
+)
+
+// Config tunes a Batcher. The zero value selects the defaults
+// documented on each field.
+type Config struct {
+	// MaxBatch cuts a batch when it holds this many items (default 8).
+	MaxBatch int
+	// MaxDelay is the linger: a partial batch is cut this long after
+	// its first item arrived (default 2ms). 0 selects the default; it
+	// is never "cut immediately" — that would make every batch a
+	// singleton and defeat batching.
+	MaxDelay time.Duration
+	// Workers is the number of batch executors (default 1). Each
+	// worker runs whole batches serially, so the run callback may keep
+	// per-worker state (mlpartd keeps one workspace session per
+	// worker).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// Batcher collects items of type J into batches. All methods are safe
+// for concurrent use.
+type Batcher[J any] struct {
+	cfg Config
+	run func(worker int, batch []J)
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals workers: a batch is ready, or closing
+	pending []J        // the batch being assembled
+	ready   [][]J      // cut batches awaiting a worker, FIFO
+	timer   *time.Timer
+	closed  bool
+	flushes int64
+
+	wg sync.WaitGroup
+}
+
+// New starts a Batcher whose workers invoke run once per cut batch
+// (worker is the 0-based executor index, stable for the batcher's
+// lifetime). run is called outside the batcher's lock and must not
+// call back into the Batcher.
+func New[J any](cfg Config, run func(worker int, batch []J)) *Batcher[J] {
+	b := &Batcher[J]{cfg: cfg.withDefaults(), run: run}
+	b.cond = sync.NewCond(&b.mu)
+	b.wg.Add(b.cfg.Workers)
+	for w := 0; w < b.cfg.Workers; w++ {
+		go b.worker(w)
+	}
+	return b
+}
+
+// Add appends one item to the pending batch, cutting it at MaxBatch
+// and arming the linger timer otherwise. Add must not be called after
+// Close; the caller's admission gate (mlpartd rejects submissions
+// once draining) is what enforces that ordering.
+func (b *Batcher[J]) Add(item J) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		panic("batcher: Add after Close")
+	}
+	b.pending = append(b.pending, item)
+	if len(b.pending) >= b.cfg.MaxBatch {
+		b.cutLocked()
+		return
+	}
+	if len(b.pending) == 1 {
+		// First item of a fresh batch: start its linger. A stale timer
+		// from an already-cut batch may still fire; Flush on an empty
+		// pending set is a no-op, so that is harmless.
+		if b.timer == nil {
+			b.timer = time.AfterFunc(b.cfg.MaxDelay, b.Flush)
+		} else {
+			b.timer.Reset(b.cfg.MaxDelay)
+		}
+	}
+}
+
+// Flush cuts the pending partial batch now (no-op when nothing is
+// pending). The linger timer calls it; tests may too.
+func (b *Batcher[J]) Flush() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		// Close already cut the remainder; a late timer fire after
+		// Close must not panic or resurrect work.
+		return
+	}
+	b.cutLocked()
+}
+
+// cutLocked moves pending to the ready queue and wakes a worker;
+// callers hold mu.
+func (b *Batcher[J]) cutLocked() {
+	if len(b.pending) == 0 {
+		return
+	}
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+	b.ready = append(b.ready, b.pending)
+	b.pending = nil
+	b.flushes++
+	b.cond.Signal()
+}
+
+// Flushes reports how many batches have been cut so far.
+func (b *Batcher[J]) Flushes() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.flushes
+}
+
+// Close cuts the pending remainder, lets the workers drain every
+// ready batch, and returns once all of them have exited. Idempotent.
+func (b *Batcher[J]) Close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		b.cutLocked()
+		if b.timer != nil {
+			b.timer.Stop()
+		}
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+}
+
+// worker executes ready batches until the queue is empty and the
+// batcher closed.
+func (b *Batcher[J]) worker(w int) {
+	defer b.wg.Done()
+	for {
+		b.mu.Lock()
+		for len(b.ready) == 0 && !b.closed {
+			b.cond.Wait()
+		}
+		if len(b.ready) == 0 {
+			b.mu.Unlock()
+			return
+		}
+		batch := b.ready[0]
+		b.ready = b.ready[1:]
+		if len(b.ready) > 0 {
+			// More work remains: wake a sibling before running.
+			b.cond.Signal()
+		}
+		b.mu.Unlock()
+		b.run(w, batch)
+	}
+}

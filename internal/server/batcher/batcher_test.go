@@ -1,0 +1,160 @@
+package batcher
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// collect is a test run callback recording every batch it executes.
+type collect struct {
+	mu      sync.Mutex
+	batches [][]int
+	workers map[int]bool
+}
+
+func (c *collect) run(w int, batch []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := append([]int(nil), batch...)
+	c.batches = append(c.batches, cp)
+	if c.workers == nil {
+		c.workers = make(map[int]bool)
+	}
+	c.workers[w] = true
+}
+
+func (c *collect) items() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var all []int
+	for _, b := range c.batches {
+		all = append(all, b...)
+	}
+	return all
+}
+
+func TestCutAtMaxBatch(t *testing.T) {
+	var c collect
+	// A long linger isolates the MaxBatch cut from the timer path.
+	b := New(Config{MaxBatch: 3, MaxDelay: time.Hour, Workers: 1}, c.run)
+	for i := 0; i < 6; i++ {
+		b.Add(i)
+	}
+	b.Close()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.batches) != 2 {
+		t.Fatalf("got %d batches, want 2: %v", len(c.batches), c.batches)
+	}
+	for i, batch := range c.batches {
+		if len(batch) != 3 {
+			t.Errorf("batch %d has %d items, want 3", i, len(batch))
+		}
+	}
+	want := []int{0, 1, 2, 3, 4, 5}
+	for i, batch := range c.batches {
+		for j, v := range batch {
+			if v != want[i*3+j] {
+				t.Errorf("batch %d[%d] = %d, want %d (arrival order must be preserved)", i, j, v, want[i*3+j])
+			}
+		}
+	}
+	if got := b.Flushes(); got != 2 {
+		t.Errorf("Flushes() = %d, want 2", got)
+	}
+}
+
+func TestLingerFlushesPartialBatch(t *testing.T) {
+	var c collect
+	b := New(Config{MaxBatch: 100, MaxDelay: 5 * time.Millisecond, Workers: 1}, c.run)
+	b.Add(1)
+	b.Add(2)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		n := len(c.batches)
+		c.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("linger timer never flushed the partial batch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.mu.Lock()
+	if got := c.batches[0]; len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("linger batch = %v, want [1 2]", got)
+	}
+	c.mu.Unlock()
+	b.Close()
+}
+
+func TestCloseDrainsRemainder(t *testing.T) {
+	var c collect
+	b := New(Config{MaxBatch: 100, MaxDelay: time.Hour, Workers: 2}, c.run)
+	for i := 0; i < 5; i++ {
+		b.Add(i)
+	}
+	b.Close() // must cut and run the 5-item remainder before returning
+	if got := c.items(); len(got) != 5 {
+		t.Fatalf("after Close %d items ran, want 5: %v", len(got), got)
+	}
+	b.Close() // idempotent
+}
+
+func TestConcurrentAddsLoseNothing(t *testing.T) {
+	var c collect
+	b := New(Config{MaxBatch: 4, MaxDelay: time.Millisecond, Workers: 3}, c.run)
+	const n = 200
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b.Add(i)
+		}(i)
+	}
+	wg.Wait()
+	b.Close()
+
+	got := c.items()
+	if len(got) != n {
+		t.Fatalf("%d items ran, want %d", len(got), n)
+	}
+	seen := make(map[int]bool, n)
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("item %d ran twice", v)
+		}
+		seen[v] = true
+	}
+	if f := b.Flushes(); f < int64(n/4) {
+		t.Errorf("Flushes() = %d, want >= %d (MaxBatch 4 over %d items)", f, n/4, n)
+	}
+}
+
+func TestFlushAfterCloseIsNoop(t *testing.T) {
+	var c collect
+	b := New(Config{MaxBatch: 8, MaxDelay: time.Millisecond, Workers: 1}, c.run)
+	b.Add(1)
+	b.Close()
+	b.Flush() // the linger timer may fire after Close; must be safe
+	if got := c.items(); len(got) != 1 {
+		t.Fatalf("%d items ran, want 1", len(got))
+	}
+}
+
+func TestAddAfterClosePanics(t *testing.T) {
+	b := New(Config{}, func(int, []int) {})
+	b.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add after Close did not panic")
+		}
+	}()
+	b.Add(1)
+}

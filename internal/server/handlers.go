@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"mlpart"
+	"mlpart/internal/faultinject"
 	"mlpart/internal/hypergraph"
+	"mlpart/internal/telemetry"
 )
 
 // jobRequest is the POST /v1/jobs submission document.
@@ -66,15 +68,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 //	GET    /v1/jobs/{id}        job state (?wait_ms=N blocks for a terminal state)
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/jobs/{id}/result deterministic result document (X-Mlpartd-Cache: hit|miss)
+//	GET    /v1/jobs/{id}/events live job lifecycle stream (Server-Sent Events;
+//	                            Last-Event-ID resumes after the named event id)
+//	GET    /v1/events           service-wide ledger delta stream (SSE)
 //	GET    /healthz             liveness (always 200 while the process serves)
 //	GET    /readyz              readiness (503 once draining)
-//	GET    /statsz              service counters (schema mlpartd-stats/1)
+//	GET    /statsz              service counters (schema mlpartd-stats/1);
+//	                            ?schema=bench serves the cumulative per-stage
+//	                            timing aggregates as mlpart-bench/1
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleGetResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/events", s.handleServiceEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
@@ -274,9 +283,154 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	_, _ = w.Write([]byte("ready\n"))
 }
 
-func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
-	rep := s.Stats()
-	w.Header().Set("Content-Type", "application/json")
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	switch schema := r.URL.Query().Get("schema"); schema {
+	case "", "service", telemetry.ServiceSchemaVersion:
+		rep := s.Stats()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = rep.WriteJSON(w)
+	case "bench", telemetry.BenchSchemaVersion:
+		rep := s.stats.BenchSnapshot(time.Now().UTC().Format("2006-01-02"))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = rep.WriteJSON(w)
+	default:
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("unknown stats schema %q (want %q or %q)", schema,
+				telemetry.ServiceSchemaVersion, telemetry.BenchSchemaVersion))
+	}
+}
+
+// parseLastEventID reads the SSE resume header; 0 means "from the
+// start of the retained history".
+func parseLastEventID(r *http.Request) (int64, error) {
+	lei := r.Header.Get("Last-Event-ID")
+	if lei == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseInt(lei, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("invalid Last-Event-ID %q", lei)
+	}
+	return v, nil
+}
+
+// handleJobEvents streams one job's lifecycle events as Server-Sent
+// Events: the retained history after Last-Event-ID, then live events
+// until the terminal event ends the stream. The recover barrier makes
+// an injected server.events panic fail only this subscription.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if v := recover(); v != nil {
+			writeError(w, http.StatusInternalServerError, "internal",
+				fmt.Sprintf("event stream failed: %v", v))
+		}
+	}()
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no such job "+id)
+		return
+	}
+	lastID, err := parseLastEventID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	// The events fault site, derived from the job's admission sequence
+	// like the job's own sites. Cancel drops this subscriber right
+	// after the replay — the slow-consumer path on demand.
+	dropNow := false
+	if inj := s.cfg.Inject.NewInjector(j.seq, 0); inj != nil {
+		if inj.Fire(faultinject.SiteServerEvents) == faultinject.ActCancel {
+			dropNow = true
+		}
+	}
+	replay, sub := j.events.subscribe(lastID, s.cfg.EventBuffer)
+	if dropNow && sub != nil {
+		j.events.unsubscribe(sub)
+		sub = nil
+		s.stats.EventDropped()
+	}
+	s.serveSSE(w, r, replay, sub, j.events)
+}
+
+// handleServiceEvents streams the service-wide ledger deltas; the
+// stream ends with the drained event when the service shuts down.
+func (s *Server) handleServiceEvents(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if v := recover(); v != nil {
+			writeError(w, http.StatusInternalServerError, "internal",
+				fmt.Sprintf("event stream failed: %v", v))
+		}
+	}()
+	lastID, err := parseLastEventID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	dropNow := false
+	if inj := s.cfg.Inject.NewInjector(0, 0); inj != nil {
+		if inj.Fire(faultinject.SiteServerEvents) == faultinject.ActCancel {
+			dropNow = true
+		}
+	}
+	replay, sub := s.svcEvents.subscribe(lastID, s.cfg.EventBuffer)
+	if dropNow && sub != nil {
+		s.svcEvents.unsubscribe(sub)
+		sub = nil
+		s.stats.EventDropped()
+	}
+	s.serveSSE(w, r, replay, sub, s.svcEvents)
+}
+
+// serveSSE writes the replay then relays live events until the stream
+// completes (subscriber channel closed), the client goes away, or a
+// write fails. The job is never waited on: a subscriber that cannot
+// keep up is dropped by the publisher, which closes its channel.
+func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, replay []jobEvent, sub *eventSub, log *eventLog) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		if sub != nil {
+			log.unsubscribe(sub)
+		}
+		writeError(w, http.StatusInternalServerError, "internal", "response writer cannot stream")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
-	_ = rep.WriteJSON(w)
+	for _, ev := range replay {
+		if writeSSE(w, ev.id, ev.name, ev.data) != nil {
+			if sub != nil {
+				log.unsubscribe(sub)
+			}
+			return
+		}
+	}
+	fl.Flush()
+	if sub == nil {
+		return // stream already complete: replay was everything
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case ev, open := <-sub.ch:
+			if !open {
+				return // terminal delivered or subscriber dropped
+			}
+			if writeSSE(w, ev.id, ev.name, ev.data) != nil {
+				log.unsubscribe(sub)
+				return
+			}
+			fl.Flush()
+		case <-ctx.Done():
+			log.unsubscribe(sub)
+			return
+		}
+	}
 }

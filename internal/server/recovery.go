@@ -205,10 +205,14 @@ func (s *Server) registerTombstone(acc, term journal.Record) {
 		status:    st,
 		cancelc:   make(chan struct{}),
 		done:      make(chan struct{}),
+		events:    newEventLog(s.cfg.EventHistory),
 	}
 	close(j.done)
 	s.jobs[j.id] = j
 	s.stats.ReplayTerminal()
+	// A tombstone's event stream is born complete: one terminal event,
+	// so a subscriber gets the replayed status and a clean end.
+	s.publishJobEvent(j, string(st), st, 0, true)
 }
 
 // rebuildJob reconstructs a runnable job from a journaled accepted

@@ -37,6 +37,7 @@ import (
 	"mlpart/internal/faultinject"
 	"mlpart/internal/hypergraph"
 	"mlpart/internal/journal"
+	"mlpart/internal/server/batcher"
 	"mlpart/internal/telemetry"
 )
 
@@ -88,6 +89,30 @@ type Config struct {
 	// journal append with the 1-based append count. The crash harness
 	// uses it to SIGKILL the process at exact journal positions.
 	JournalAppendHook func(n int)
+	// BatchPinLimit routes accepted jobs whose hypergraph has at most
+	// this many pins onto the micro-batch lane: small jobs are
+	// coalesced into batches and executed back-to-back on a shared
+	// workspace session, amortizing per-job setup. 0 (the default)
+	// disables batching entirely. Result bytes are identical either
+	// way — batching is a throughput decision, never a result one.
+	BatchPinLimit int
+	// BatchMax cuts a batch at this many jobs (default 8); BatchDelay
+	// is the linger before a partial batch is cut (default 2ms);
+	// BatchWorkers is the number of batch executors, each owning one
+	// workspace session (default 1).
+	BatchMax     int
+	BatchDelay   time.Duration
+	BatchWorkers int
+	// EventBuffer is the per-subscriber event channel capacity
+	// (default 16); a subscriber that falls this far behind is dropped
+	// rather than ever blocking the job. EventHistory bounds each
+	// job's replayable event history (default 64) — the window
+	// Last-Event-ID resume can reach back into.
+	EventBuffer  int
+	EventHistory int
+	// ProgressInterval is the period of the progress events a running
+	// job's stream carries (default 250ms; negative disables them).
+	ProgressInterval time.Duration
 	// Inject arms deterministic fault injection at the server.admit
 	// and server.job sites. Per-submission injectors are derived from
 	// the admission sequence number — every submission consumes one,
@@ -130,6 +155,24 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.BatchMax == 0 {
+		c.BatchMax = 8
+	}
+	if c.BatchDelay == 0 {
+		c.BatchDelay = 2 * time.Millisecond
+	}
+	if c.BatchWorkers == 0 {
+		c.BatchWorkers = 1
+	}
+	if c.EventBuffer == 0 {
+		c.EventBuffer = 16
+	}
+	if c.EventHistory == 0 {
+		c.EventHistory = 64
+	}
+	if c.ProgressInterval == 0 {
+		c.ProgressInterval = 250 * time.Millisecond
+	}
 	return c
 }
 
@@ -151,9 +194,24 @@ func (c Config) Validate() error {
 		{"drain timeout", c.DrainTimeout},
 		{"retry-after", c.RetryAfter},
 		{"retry backoff", c.RetryBackoff},
+		{"batch delay", c.BatchDelay},
 	} {
 		if d.v < 0 {
 			return fmt.Errorf("server: negative %s %v", d.name, d.v)
+		}
+	}
+	for _, n := range []struct {
+		name string
+		v    int
+	}{
+		{"batch pin limit", c.BatchPinLimit},
+		{"batch max", c.BatchMax},
+		{"batch worker count", c.BatchWorkers},
+		{"event buffer", c.EventBuffer},
+		{"event history", c.EventHistory},
+	} {
+		if n.v < 0 {
+			return fmt.Errorf("server: negative %s %d", n.name, n.v)
 		}
 	}
 	return c.Inject.Validate()
@@ -180,14 +238,28 @@ type Server struct {
 	// against the state transitions they record.
 	jnl *journal.Writer
 
-	// mu guards jobs, seq, draining, idem, every queue send, and every
-	// job state transition.
+	// batch is the micro-batch lane; nil when BatchPinLimit is 0.
+	// sessions holds one shared-workspace session per batch worker —
+	// a session is single-goroutine, and each batch worker runs its
+	// batches serially, so worker w exclusively owns sessions[w].
+	batch    *batcher.Batcher[*job]
+	sessions []*mlpart.Session
+
+	// svcEvents is the service-wide ledger event stream (/v1/events).
+	svcEvents *eventLog
+
+	// mu guards jobs, seq, draining, idem, batchPending, every queue
+	// send, and every job state transition.
 	mu       sync.Mutex
 	jobs     map[string]*job
 	seq      int
 	draining bool
 	queue    chan *job
-	cache    *resultCache
+	// batchPending counts jobs accepted onto the batch lane that have
+	// not started executing — the lane's own occupancy for the
+	// overload shed, mirroring len(queue) on the solo lane.
+	batchPending int
+	cache        *resultCache
 	// idem maps an Idempotency-Key to the job it first admitted, plus
 	// that job's cache key for conflict detection. Rebuilt from the
 	// journal on restart.
@@ -228,6 +300,7 @@ func New(cfg Config) (*Server, error) {
 		workersDone: make(chan struct{}),
 		drained:     make(chan struct{}),
 	}
+	s.svcEvents = newEventLog(cfg.EventHistory)
 
 	var recovered []*job
 	if cfg.JournalPath != "" {
@@ -243,10 +316,27 @@ func New(cfg Config) (*Server, error) {
 	// process already acknowledged.
 	s.queue = make(chan *job, cfg.QueueDepth+len(recovered))
 	for _, j := range recovered {
+		// Recovered jobs always run on the solo lane: crash-replay must
+		// reproduce the acknowledged jobs' bytes, and solo execution is
+		// the identity the batch lane is held to anyway.
+		j.events = newEventLog(cfg.EventHistory)
 		s.jobs[j.id] = j
 		s.stats.Accept()
 		s.stats.RecoverJob()
 		s.queue <- j
+		s.publishJobEvent(j, "queued", StatusQueued, 0, false)
+	}
+
+	if cfg.BatchPinLimit > 0 {
+		s.sessions = make([]*mlpart.Session, cfg.BatchWorkers)
+		for i := range s.sessions {
+			s.sessions[i] = mlpart.NewSession()
+		}
+		s.batch = batcher.New(batcher.Config{
+			MaxBatch: cfg.BatchMax,
+			MaxDelay: cfg.BatchDelay,
+			Workers:  cfg.BatchWorkers,
+		}, s.runBatch)
 	}
 
 	var wg sync.WaitGroup
@@ -300,6 +390,13 @@ func (s *Server) Drain(ctx context.Context) error {
 		go func() {
 			grace := time.AfterFunc(s.cfg.DrainTimeout, s.runCancel)
 			<-s.workersDone
+			// The batch lane drains after the solo workers: Close cuts
+			// any lingering partial batch and waits for the batch
+			// workers; the grace timer stays armed over both waits, so
+			// a hung batched job is still cancelled into drained.
+			if s.batch != nil {
+				s.batch.Close()
+			}
 			grace.Stop()
 			s.runCancel()
 			// Every accepted job is terminal once the workers exit, so
@@ -308,6 +405,9 @@ func (s *Server) Drain(ctx context.Context) error {
 			if s.jnl != nil {
 				_ = s.jnl.Close()
 			}
+			// The service-wide stream ends with a drained event; its
+			// subscribers' channels close, ending their streams.
+			s.svcEvents.publish("drained", mustJSON(svcDelta{Change: "drained"}), true)
 			close(s.drained)
 		}()
 	})
@@ -407,6 +507,7 @@ func (s *Server) admitJob(h *mlpart.Hypergraph, k int, opt mlpart.Options, timeo
 		status:    StatusQueued,
 		cancelc:   make(chan struct{}),
 		done:      make(chan struct{}),
+		events:    newEventLog(s.cfg.EventHistory),
 	}
 
 	// Admission-time cache lookup: a hit completes the job without
@@ -421,9 +522,35 @@ func (s *Server) admitJob(h *mlpart.Hypergraph, k int, opt mlpart.Options, timeo
 		s.registerIdemLocked(j)
 		s.stats.Accept()
 		s.stats.CacheHit()
+		s.publishJobEvent(j, "queued", StatusQueued, 0, false)
 		j.cacheHit = true
 		r := res
 		s.finishLocked(j, StatusCompleted, &r, nil, true)
+		return j, false, nil
+	}
+
+	// Batch-lane routing: small jobs are coalesced instead of taking a
+	// solo queue slot. The lane has its own occupancy bound (mirroring
+	// QueueDepth) so a flood of small jobs sheds with 429 exactly like
+	// the solo lane. The Add below cannot race Close: both the Add and
+	// the draining flag live under mu, and Close runs only after
+	// draining is set.
+	if s.batch != nil && j.h.NumPins() <= s.cfg.BatchPinLimit {
+		if s.batchPending >= s.cfg.QueueDepth {
+			s.stats.RejectQueueFull()
+			return nil, false, &rejection{status: 429, code: "queue_full", msg: fmt.Sprintf("batch lane full (%d jobs)", s.cfg.QueueDepth), retryAfter: s.cfg.RetryAfter}
+		}
+		if rej := s.journalAcceptLocked(j, reqBytes); rej != nil {
+			return nil, false, rej
+		}
+		j.batched = true
+		s.batchPending++
+		s.jobs[j.id] = j
+		s.registerIdemLocked(j)
+		s.stats.Accept()
+		s.stats.CacheMiss()
+		s.batch.Add(j)
+		s.publishJobEvent(j, "queued", StatusQueued, 0, false)
 		return j, false, nil
 	}
 
@@ -443,6 +570,7 @@ func (s *Server) admitJob(h *mlpart.Hypergraph, k int, opt mlpart.Options, timeo
 	s.registerIdemLocked(j)
 	s.stats.Accept()
 	s.stats.CacheMiss()
+	s.publishJobEvent(j, "queued", StatusQueued, 0, false)
 	return j, false, nil
 }
 
@@ -533,6 +661,9 @@ func (s *Server) finishLocked(j *job, st Status, res *Result, rep *ErrorReport, 
 	}
 	s.stats.FinishJob(string(st), fromQueue)
 	close(j.done)
+	// The terminal event ends the job's stream: subscribers get it and
+	// their channels close.
+	s.publishJobEvent(j, string(st), st, 0, true)
 }
 
 // Cancel requests client cancellation of a job. A queued job is
@@ -587,8 +718,32 @@ func (s *Server) WaitJob(ctx context.Context, id string) (view, bool, error) {
 	return j.snapshotLocked(), true, nil
 }
 
-// runJob executes one dequeued job to a terminal status.
-func (s *Server) runJob(j *job) {
+// runJob executes one dequeued job to a terminal status on the solo
+// lane: fresh workspaces per attempt.
+func (s *Server) runJob(j *job) { s.runJobWith(j, nil) }
+
+// runBatch is the batch lane's executor, invoked by the batcher once
+// per cut batch. The batch shares worker w's workspace session —
+// never fate: each job runs through the same panic-isolated attempt
+// machinery as a solo job, so a poisoned job fails (or retries on a
+// fresh workspace) while its batchmates complete normally. The flush
+// counter is bumped before any job counts as batched, keeping the
+// batched > 0 => batch_flushes > 0 ledger invariant true at every
+// sampling instant.
+func (s *Server) runBatch(w int, batch []*job) {
+	s.stats.BatchFlush()
+	for _, j := range batch {
+		s.mu.Lock()
+		s.batchPending--
+		s.mu.Unlock()
+		s.stats.BatchJob()
+		s.runJobWith(j, s.sessions[w])
+	}
+}
+
+// runJobWith executes one job to a terminal status, optionally on a
+// shared-workspace session (batch lane).
+func (s *Server) runJobWith(j *job, sess *mlpart.Session) {
 	s.mu.Lock()
 	if j.status.Terminal() {
 		// Cancelled while queued; already terminal.
@@ -603,6 +758,7 @@ func (s *Server) runJob(j *job) {
 	}
 	j.status = StatusRunning
 	s.stats.StartJob()
+	s.publishJobEvent(j, "started", StatusRunning, 0, false)
 	// The started record is advisory (recovery re-enqueues on
 	// accepted-without-terminal either way), so a failed append only
 	// bumps the counter.
@@ -639,7 +795,25 @@ func (s *Server) runJob(j *job) {
 		}
 	}()
 
-	st, res, rep, report, interrupted, attempts := s.execute(jctx, dctx, j)
+	// Periodic progress heartbeats on the job's event stream while it
+	// executes. A tick racing the terminal transition is harmless: the
+	// event log refuses publishes after its terminal event.
+	if s.cfg.ProgressInterval > 0 {
+		tick := time.NewTicker(s.cfg.ProgressInterval)
+		defer tick.Stop()
+		go func() {
+			for {
+				select {
+				case <-tick.C:
+					s.publishJobEvent(j, "progress", StatusRunning, 0, false)
+				case <-watch:
+					return
+				}
+			}
+		}()
+	}
+
+	st, res, rep, report, interrupted, attempts := s.execute(jctx, dctx, j, sess)
 
 	s.mu.Lock()
 	j.attempts = attempts
@@ -654,8 +828,12 @@ func (s *Server) runJob(j *job) {
 
 // execute runs the job's attempts to a classification: terminal
 // status, result, error report, telemetry report, interrupted flag,
-// and attempt count.
-func (s *Server) execute(jctx, dctx context.Context, j *job) (Status, *Result, *ErrorReport, *telemetry.Report, bool, int) {
+// and attempt count. sess, when non-nil, is the batch lane's shared
+// workspace session — used for the first attempt only: a retry
+// follows a failure that may have left the shared workspaces poisoned
+// mid-operation, so every retry runs on fresh solo workspaces (bytes
+// are identical either way).
+func (s *Server) execute(jctx, dctx context.Context, j *job, sess *mlpart.Session) (Status, *Result, *ErrorReport, *telemetry.Report, bool, int) {
 	retries := s.cfg.MaxRetries
 	if retries < 0 {
 		retries = 0
@@ -663,8 +841,11 @@ func (s *Server) execute(jctx, dctx context.Context, j *job) (Status, *Result, *
 	var firstErr error
 	attempts := 0
 	for attempt := 0; attempt <= retries; attempt++ {
+		attemptSess := sess
 		if attempt > 0 {
+			attemptSess = nil
 			s.stats.Retry()
+			s.publishJobEvent(j, "retrying", StatusRunning, attempt+1, false)
 			select {
 			case <-time.After(time.Duration(attempt) * s.cfg.RetryBackoff):
 			case <-jctx.Done():
@@ -672,7 +853,7 @@ func (s *Server) execute(jctx, dctx context.Context, j *job) (Status, *Result, *
 		}
 		attempts = attempt + 1
 
-		p, info, report, err := s.attempt(jctx, j, attempt)
+		p, info, report, err := s.attempt(jctx, j, attempt, attemptSess)
 
 		// Classification order matters: an interruption cause wins
 		// over whatever partial error the wind-down produced, and
@@ -707,8 +888,9 @@ func (s *Server) execute(jctx, dctx context.Context, j *job) (Status, *Result, *
 	}, nil, false, attempts
 }
 
-// attempt runs one panic-isolated execution attempt.
-func (s *Server) attempt(ctx context.Context, j *job, attempt int) (p *mlpart.Partition, info mlpart.Info, report *telemetry.Report, err error) {
+// attempt runs one panic-isolated execution attempt, on sess's shared
+// workspaces when non-nil (batch lane) and on fresh ones otherwise.
+func (s *Server) attempt(ctx context.Context, j *job, attempt int, sess *mlpart.Session) (p *mlpart.Partition, info mlpart.Info, report *telemetry.Report, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			p, report = nil, nil
@@ -718,30 +900,61 @@ func (s *Server) attempt(ctx context.Context, j *job, attempt int) (p *mlpart.Pa
 		}
 	}()
 
-	// The job fault site. Panic unwinds into the recover above and
-	// consumes one attempt; delay eats into the deadline; cancel
-	// emulates a client cancellation; corrupt is handled at the cache
-	// layer (cacheBypassed), so it is a no-op here.
 	if inj := s.cfg.Inject.NewInjector(j.seq, attempt); inj != nil {
+		// The batch fault site, hit only on the batch lane. Panic
+		// unwinds into the recover above and fails this job alone — the
+		// worker's loop in runBatch never sees it, so batchmates run
+		// unaffected; corrupt models a distrusted shared workspace (the
+		// job falls back to fresh solo workspaces, same bytes); cancel
+		// emulates a client cancel; delay stalls the batch worker.
+		if sess != nil {
+			switch inj.Fire(faultinject.SiteServerBatch) {
+			case faultinject.ActCancel:
+				s.Cancel(j.id)
+			case faultinject.ActCorrupt:
+				sess = nil
+			}
+		}
+		// The job fault site. Panic unwinds into the recover above and
+		// consumes one attempt; delay eats into the deadline; cancel
+		// emulates a client cancellation; corrupt is handled at the
+		// cache layer (cacheBypassed), so it is a no-op here.
 		if inj.Fire(faultinject.SiteServerJob) == faultinject.ActCancel {
 			s.Cancel(j.id)
 		}
 	}
 
+	// Telemetry is always armed: the per-stage wall-clock profile
+	// feeds the mlpart-bench/1 view of /statsz. The report reaches the
+	// client only when the job asked for stats.
 	opt := j.opt
-	if j.wantStats {
-		opt.Telemetry = mlpart.NewTelemetry()
-	}
-	switch j.k {
-	case 2:
+	opt.Telemetry = mlpart.NewTelemetry()
+	switch {
+	case j.k == 2 && sess != nil:
+		p, info, err = sess.BipartitionCtx(ctx, j.h, opt)
+	case j.k == 2:
 		p, info, err = mlpart.BipartitionCtx(ctx, j.h, opt)
-	case 4:
+	case j.k == 4 && sess != nil:
+		p, info, err = sess.QuadrisectCtx(ctx, j.h, opt)
+	case j.k == 4:
 		p, info, err = mlpart.QuadrisectCtx(ctx, j.h, opt)
 	default:
 		return nil, mlpart.Info{}, nil, fmt.Errorf("server: bad k %d", j.k)
 	}
-	if j.wantStats && opt.Telemetry != nil {
-		report = opt.Telemetry.Report()
+	report = opt.Telemetry.Report()
+	if err == nil && p != nil {
+		var t telemetry.StageTimings
+		for _, ps := range report.PerStart {
+			t.CoarsenNS += ps.Timings.CoarsenNS
+			t.RefineNS += ps.Timings.RefineNS
+			t.ProjectNS += ps.Timings.ProjectNS
+			t.RebalanceNS += ps.Timings.RebalanceNS
+			t.TotalNS += ps.Timings.TotalNS
+		}
+		s.stats.AddStage(j.k, info.Cut, info.Levels, t)
+	}
+	if !j.wantStats {
+		report = nil
 	}
 	return p, info, report, err
 }

@@ -145,6 +145,18 @@ func checkLedger(t *testing.T, s *Server) {
 	if rep.Accepted != terminals {
 		t.Errorf("ledger violated: accepted %d != terminals %d (%+v)", rep.Accepted, terminals, rep)
 	}
+	// Batch-lane invariants: batched jobs are a subset of accepted
+	// jobs, and a batched job implies at least one flush. These are the
+	// same rules statscheck enforces on the final stats document.
+	if rep.Batched > rep.Accepted {
+		t.Errorf("ledger violated: batched %d > accepted %d", rep.Batched, rep.Accepted)
+	}
+	if rep.Batched > 0 && rep.BatchFlushes == 0 {
+		t.Errorf("ledger violated: batched %d with zero batch flushes", rep.Batched)
+	}
+	if rep.EventsDropped < 0 {
+		t.Errorf("ledger violated: negative events_dropped %d", rep.EventsDropped)
+	}
 }
 
 func TestSubmitCompleteAndResult(t *testing.T) {
@@ -710,18 +722,24 @@ func TestChaosSweepServer(t *testing.T) {
 		faultinject.KindPanic, faultinject.KindCancel,
 		faultinject.KindDelay, faultinject.KindCorrupt,
 	}
-	sites := []faultinject.Site{faultinject.SiteServerAdmit, faultinject.SiteServerJob}
+	sites := []faultinject.Site{
+		faultinject.SiteServerAdmit, faultinject.SiteServerJob,
+		faultinject.SiteServerBatch, faultinject.SiteServerEvents,
+	}
 	hgr := testHGR(t, 6, 6)
 
 	for _, site := range sites {
 		for _, kind := range kinds {
 			t.Run(fmt.Sprintf("%s_%d", site, kind), func(t *testing.T) {
 				t.Parallel()
+				// Batching is on for every sweep cell so the server.batch
+				// site is live and the other sites compose with the lane.
 				s, hs := newTestServer(t, Config{
 					Workers:    2,
 					QueueDepth: 16,
 					CacheCap:   -1,
 					MaxRetries: 1,
+					BatchPinLimit: 1 << 20, BatchWorkers: 1,
 					Inject: &faultinject.Plan{Seed: 7, Entries: []faultinject.Entry{{
 						Site: site, Kind: kind, Prob: 0.5,
 						Delay: 20 * time.Millisecond, Start: faultinject.AnyStart,
@@ -771,6 +789,20 @@ func TestChaosSweepServer(t *testing.T) {
 					v := waitTerminal(t, hs.URL, id)
 					if !Status(v.Status).Terminal() {
 						t.Errorf("job %s non-terminal %q", id, v.Status)
+					}
+					// Exercise the SSE endpoint under fault: the job is
+					// terminal so the stream is a finite replay. An injected
+					// panic at server.events is a structured 500 for this
+					// subscription only — never a wedged or dead server.
+					resp, err := http.Get(hs.URL + "/v1/jobs/" + id + "/events")
+					if err != nil {
+						t.Errorf("GET events %s: %v", id, err)
+						continue
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusInternalServerError {
+						t.Errorf("GET events %s: unexpected status %d", id, resp.StatusCode)
 					}
 				}
 

@@ -15,6 +15,8 @@ package telemetry
 import (
 	"encoding/json"
 	"io"
+	"runtime"
+	"sync"
 	"sync/atomic"
 )
 
@@ -81,6 +83,21 @@ type ServiceReport struct {
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
 
+	// Batched counts accepted jobs executed on the micro-batch lane
+	// (small jobs coalesced onto a shared-workspace worker); every
+	// batched job is also counted in Accepted, so Batched <= Accepted.
+	// BatchFlushes counts batches cut (by size, linger, or close);
+	// BatchFlushes is bumped before any of the batch's jobs is counted
+	// in Batched, so Batched > 0 implies BatchFlushes > 0 at every
+	// sampling instant — cmd/statscheck enforces both invariants.
+	Batched      int64 `json:"batched"`
+	BatchFlushes int64 `json:"batch_flushes"`
+
+	// EventsDropped counts event-stream subscribers disconnected
+	// because they could not keep up: a publish that would block drops
+	// the subscriber, never the job.
+	EventsDropped int64 `json:"events_dropped"`
+
 	// Queued and Running are instantaneous gauges; QueueCap is the
 	// admission queue capacity.
 	Queued   int64 `json:"queued"`
@@ -126,8 +143,28 @@ type ServiceCollector struct {
 	idempotentReplays atomic.Int64
 	cacheHits         atomic.Int64
 	cacheMisses       atomic.Int64
+	batched           atomic.Int64
+	batchFlushes      atomic.Int64
+	eventsDropped     atomic.Int64
 	queued            atomic.Int64
 	running           atomic.Int64
+
+	// bench aggregates the per-stage wall-clock profile of executed
+	// attempts by algorithm, for the mlpart-bench/1 view of /statsz.
+	// A mutex (not atomics) because one attempt updates several fields
+	// that the bench snapshot reads together.
+	bench struct {
+		mu  sync.Mutex
+		agg map[int]*benchAgg // keyed by k (2, 4)
+	}
+}
+
+// benchAgg is the cumulative stage profile of every executed attempt
+// for one algorithm.
+type benchAgg struct {
+	jobs        int64
+	cut, levels int // last observed — a sample, not a sum
+	stage       BenchStageNS
 }
 
 // Accept records one admitted job entering the queue.
@@ -177,6 +214,40 @@ func (s *ServiceCollector) IdempotentReplay() { s.idempotentReplays.Add(1) }
 func (s *ServiceCollector) CacheHit()  { s.cacheHits.Add(1) }
 func (s *ServiceCollector) CacheMiss() { s.cacheMisses.Add(1) }
 
+// BatchFlush records one micro-batch cut and handed to a batch
+// worker. The worker calls it before BatchJob for any of the batch's
+// jobs, preserving the Batched > 0 => BatchFlushes > 0 invariant.
+func (s *ServiceCollector) BatchFlush() { s.batchFlushes.Add(1) }
+
+// BatchJob records one job executed on the micro-batch lane.
+func (s *ServiceCollector) BatchJob() { s.batched.Add(1) }
+
+// EventDropped records one event-stream subscriber dropped for
+// falling behind.
+func (s *ServiceCollector) EventDropped() { s.eventsDropped.Add(1) }
+
+// AddStage folds one executed attempt's stage profile into the
+// per-algorithm bench aggregate.
+func (s *ServiceCollector) AddStage(k, cut, levels int, t StageTimings) {
+	s.bench.mu.Lock()
+	defer s.bench.mu.Unlock()
+	if s.bench.agg == nil {
+		s.bench.agg = make(map[int]*benchAgg)
+	}
+	a := s.bench.agg[k]
+	if a == nil {
+		a = &benchAgg{}
+		s.bench.agg[k] = a
+	}
+	a.jobs++
+	a.cut, a.levels = cut, levels
+	a.stage.CoarsenNS += t.CoarsenNS
+	a.stage.RefineNS += t.RefineNS
+	a.stage.ProjectNS += t.ProjectNS
+	a.stage.RebalanceNS += t.RebalanceNS
+	a.stage.TotalNS += t.TotalNS
+}
+
 // FinishJob records a running job reaching the named terminal status
 // ("completed", "failed", "cancelled", "deadline-exceeded", or
 // "drained"); fromQueue finishes a job that never started running
@@ -224,10 +295,94 @@ func (s *ServiceCollector) Snapshot(queueCap int, draining bool, uptimeNS int64)
 		IdempotentReplays:   s.idempotentReplays.Load(),
 		CacheHits:           s.cacheHits.Load(),
 		CacheMisses:         s.cacheMisses.Load(),
+		Batched:             s.batched.Load(),
+		BatchFlushes:        s.batchFlushes.Load(),
+		EventsDropped:       s.eventsDropped.Load(),
 		Queued:              s.queued.Load(),
 		Running:             s.running.Load(),
 		QueueCap:            queueCap,
 		Draining:            draining,
 		UptimeNS:            uptimeNS,
 	}
+}
+
+// The mlpart-bench/1 view: /statsz?schema=bench renders the service's
+// cumulative per-stage timing aggregates in the exact JSON layout
+// cmd/benchrun emits, so the same tooling reads offline benchmark
+// reports and live service profiles. The struct trio below mirrors
+// benchrun's stageNS / benchEntry / benchFile field for field.
+
+// BenchSchemaVersion identifies the bench JSON layout.
+const BenchSchemaVersion = "mlpart-bench/1"
+
+// BenchStageNS is the per-stage wall-clock profile in nanoseconds.
+type BenchStageNS struct {
+	CoarsenNS   int64 `json:"coarsen_ns"`
+	RefineNS    int64 `json:"refine_ns"`
+	ProjectNS   int64 `json:"project_ns"`
+	RebalanceNS int64 `json:"rebalance_ns"`
+	TotalNS     int64 `json:"total_ns"`
+}
+
+// BenchEntry is one aggregate row. For the service view, Instance is
+// the daemon name, Cut and Levels are the last observed values (a
+// sample of what the lane is producing, not a sum), StageNS is
+// cumulative over every executed attempt, and the allocation fields
+// are zero — a live service cannot bracket runs with MemStats reads.
+type BenchEntry struct {
+	Instance         string       `json:"instance"`
+	Algorithm        string       `json:"algorithm"`
+	IntraParallelism int          `json:"intra_parallelism"`
+	Cut              int          `json:"cut"`
+	Levels           int          `json:"levels"`
+	AllocsPerOp      uint64       `json:"allocs_per_op"`
+	BytesPerOp       uint64       `json:"bytes_per_op"`
+	StageNS          BenchStageNS `json:"stage_ns"`
+}
+
+// BenchReport is the mlpart-bench/1 document.
+type BenchReport struct {
+	Schema  string       `json:"schema"`
+	Date    string       `json:"date"`
+	GoVers  string       `json:"go_version"`
+	Entries []BenchEntry `json:"entries"`
+}
+
+// WriteJSON writes the bench report in the canonical encoding.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// BenchSnapshot assembles the mlpart-bench/1 view from the stage
+// aggregates. date is caller-supplied wall-clock state (the collector
+// itself never reads the clock). Algorithms the service has not
+// executed yet contribute no entry; k=2 sorts before k=4.
+func (s *ServiceCollector) BenchSnapshot(date string) BenchReport {
+	r := BenchReport{Schema: BenchSchemaVersion, Date: date, GoVers: runtime.Version()}
+	s.bench.mu.Lock()
+	defer s.bench.mu.Unlock()
+	for _, k := range []int{2, 4} {
+		a := s.bench.agg[k]
+		if a == nil || a.jobs == 0 {
+			continue
+		}
+		alg := "bipartition"
+		if k == 4 {
+			alg = "quadrisect"
+		}
+		r.Entries = append(r.Entries, BenchEntry{
+			Instance:  "mlpartd",
+			Algorithm: alg,
+			Cut:       a.cut,
+			Levels:    a.levels,
+			StageNS:   a.stage,
+		})
+	}
+	return r
 }

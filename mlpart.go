@@ -370,6 +370,14 @@ func Bipartition(h *Hypergraph, opt Options) (*Partition, Info, error) {
 // solution (nil only when no feasible solution exists at all).
 // Info.StartReports carries the per-start outcome taxonomy.
 func BipartitionCtx(ctx context.Context, h *Hypergraph, opt Options) (*Partition, Info, error) {
+	return bipartitionCtx(ctx, h, opt, nil)
+}
+
+// bipartitionCtx is the shared implementation behind BipartitionCtx
+// and Session.BipartitionCtx; scratch, when non-nil, is the session's
+// reusable workspace bundle (the caller has already forced sequential
+// execution for it).
+func bipartitionCtx(ctx context.Context, h *Hypergraph, opt Options, scratch *core.Scratch) (*Partition, Info, error) {
 	opt, err := opt.normalize()
 	if err != nil {
 		return nil, errInfo(), err
@@ -383,6 +391,7 @@ func BipartitionCtx(ctx context.Context, h *Hypergraph, opt Options) (*Partition
 		Refine:           fm.Config{Engine: opt.Engine, Tolerance: opt.Tolerance},
 		IntraParallelism: opt.IntraParallelism,
 		Audit:            opt.Audit,
+		Scratch:          scratch,
 	}
 	type sol struct {
 		p   *Partition
@@ -421,6 +430,14 @@ func Quadrisect(h *Hypergraph, opt Options) (*Partition, Info, error) {
 // BipartitionCtx (starts are reduced on sum-of-degrees, then start
 // index).
 func QuadrisectCtx(ctx context.Context, h *Hypergraph, opt Options) (*Partition, Info, error) {
+	return quadrisectCtx(ctx, h, opt, nil)
+}
+
+// quadrisectCtx is the shared implementation behind QuadrisectCtx and
+// Session.QuadrisectCtx; scratch, when non-nil, is the session's
+// reusable workspace bundle (the caller has already forced sequential
+// execution for it).
+func quadrisectCtx(ctx context.Context, h *Hypergraph, opt Options, scratch *core.Scratch) (*Partition, Info, error) {
 	opt, err := opt.normalize()
 	if err != nil {
 		return nil, errInfo(), err
@@ -444,6 +461,7 @@ func QuadrisectCtx(ctx context.Context, h *Hypergraph, opt Options) (*Partition,
 		},
 		IntraParallelism: opt.IntraParallelism,
 		Audit:            opt.Audit,
+		Scratch:          scratch,
 	}
 	type sol struct {
 		p   *Partition

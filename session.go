@@ -1,0 +1,53 @@
+package mlpart
+
+import (
+	"context"
+
+	"mlpart/internal/core"
+)
+
+// Session runs successive partitioning jobs with one shared scratch
+// workspace bundle: the matching sweep's score buffers, the induce
+// accumulators, and the refinement engine's arrays are grown once and
+// reused by every job the session runs, amortizing the per-job setup
+// cost that dominates small instances. mlpartd's micro-batcher keeps
+// one Session per batch worker and funnels every job of a batch
+// through it.
+//
+// A Session is single-goroutine: at most one call may be in flight at
+// a time (run concurrent jobs on separate Sessions). To honor that,
+// every call forces Parallelism to 1 — the multi-start supervisor
+// then runs all starts sequentially on the calling goroutine, so the
+// shared workspaces are never touched by two goroutines. This does
+// not change results: partitions are bit-identical across Parallelism
+// values, and workspace reuse is itself bit-identity preserving, so a
+// job's result bytes are the same whether it ran on a Session, on the
+// one-shot entry points, or after a crash-replay.
+type Session struct {
+	scratch *core.Scratch
+}
+
+// NewSession returns a Session with an empty workspace bundle; the
+// buffers grow to the largest instance the session sees.
+func NewSession() *Session {
+	return &Session{scratch: core.NewScratch()}
+}
+
+// BipartitionCtx is BipartitionCtx on the session's shared
+// workspaces. Parallelism is forced to 1 (see the Session contract);
+// everything else — options, cancellation, fault isolation, the
+// result — behaves exactly like the package-level entry point, and
+// the returned partition is byte-identical to a one-shot run with the
+// same inputs.
+func (s *Session) BipartitionCtx(ctx context.Context, h *Hypergraph, opt Options) (*Partition, Info, error) {
+	opt.Parallelism = 1
+	return bipartitionCtx(ctx, h, opt, s.scratch)
+}
+
+// QuadrisectCtx is QuadrisectCtx on the session's shared workspaces,
+// under the same forced-sequential contract as
+// Session.BipartitionCtx.
+func (s *Session) QuadrisectCtx(ctx context.Context, h *Hypergraph, opt Options) (*Partition, Info, error) {
+	opt.Parallelism = 1
+	return quadrisectCtx(ctx, h, opt, s.scratch)
+}
